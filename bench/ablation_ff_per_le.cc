@@ -1,0 +1,57 @@
+// Ablation A2 (DESIGN.md / paper §5): NATURE's LEs carry TWO flip-flops
+// because after folding the register count becomes the area bottleneck;
+// this bench quantifies that choice by mapping every benchmark with 1, 2
+// and 4 flip-flops per LE.
+#include <cstdio>
+#include <string>
+
+#include "circuits/benchmarks.h"
+#include "flow/nanomap_flow.h"
+
+using namespace nanomap;
+
+namespace {
+
+int les_with_ff(const Design& d, int ff_per_le) {
+  FlowOptions opts;
+  opts.arch = ArchParams::paper_instance_unbounded_k();
+  opts.arch.ff_per_le = ff_per_le;
+  opts.forced_folding_level = 1;
+  opts.run_physical = false;
+  FlowResult r = run_nanomap(d, opts);
+  return r.feasible ? r.num_les : -1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: flip-flops per LE (level-1 folding) ===\n");
+  std::printf("paper §5: 2 FFs/LE costs 1.5X SMB area but removes the "
+              "register bottleneck\n\n");
+  std::printf("%-7s | %8s %8s %8s | %s\n", "Circuit", "1 FF", "2 FF",
+              "4 FF", "LE savings 1->2 FF");
+  double sum = 0.0;
+  int count = 0;
+  for (const std::string& name : benchmark_names()) {
+    Design d = make_benchmark(name);
+    int le1 = les_with_ff(d, 1);
+    int le2 = les_with_ff(d, 2);
+    int le4 = les_with_ff(d, 4);
+    if (le1 < 0 || le2 < 0 || le4 < 0) {
+      std::printf("%-7s : INFEASIBLE\n", name.c_str());
+      continue;
+    }
+    double saving = 100.0 * (1.0 - static_cast<double>(le2) / le1);
+    std::printf("%-7s | %8d %8d %8d | %5.1f%%\n", name.c_str(), le1, le2,
+                le4, saving);
+    sum += saving;
+    ++count;
+  }
+  if (count > 0) {
+    std::printf("\naverage LE reduction from the second flip-flop: %.1f%%\n",
+                sum / count);
+    std::printf("(worth it whenever > 33%%, the SMB area premium of the "
+                "second FF per the paper's 1.5X figure)\n");
+  }
+  return 0;
+}

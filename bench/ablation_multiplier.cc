@@ -1,0 +1,75 @@
+// Ablation: multiplier architecture inside the benchmark datapaths.
+//
+// The paper's "parallel multiplier" is not specified beyond its LUT
+// count/depth; we compare our two implementations — the carry-save array
+// (+Kogge-Stone CPA) used by the benchmark generators, and a radix-4
+// Booth-recoded multiplier — both standalone and as the engine of an
+// ex1-style datapath mapped at level-1 folding. A classic result shows up:
+// Booth halves the partial-product rows (depth) but pays for recoding and
+// wide carry-save lanes in LUT count, so in a LUT fabric the plain array
+// usually wins on area.
+#include <cstdio>
+
+#include "flow/nanomap_flow.h"
+#include "rtl/module_expander.h"
+
+using namespace nanomap;
+
+namespace {
+
+Design datapath(int width, bool booth) {
+  Design d;
+  SignalBus a = add_input_bus(d, "a", width, 0);
+  SignalBus b = add_input_bus(d, "b", width, 0);
+  SignalBus r1 = add_register_bank(d, "r1", width, 0);
+  SignalBus r2 = add_register_bank(d, "r2", width, 0);
+  drive_register_bank(d, r1, a);
+  drive_register_bank(d, r2, b);
+  ExpandedModule m = booth
+                         ? expand_booth_multiplier(d, "mul", r1, r2, 0, true)
+                         : expand_multiplier(d, "mul", r1, r2, 0, true);
+  add_output_bus(d, "p", m.out);
+  d.net.compute_levels();
+  d.net.validate();
+  d.refresh_module_stats();
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: array (CSA+Kogge-Stone) vs radix-4 Booth "
+              "multiplier ===\n\n");
+  std::printf("standalone module structure:\n");
+  std::printf("%6s | %10s %10s | %10s %10s\n", "width", "array LUTs",
+              "depth", "booth LUTs", "depth");
+  for (int width : {8, 12, 16, 24}) {
+    Design da = datapath(width, false);
+    Design db = datapath(width, true);
+    std::printf("%6d | %10d %10d | %10d %10d\n", width,
+                da.module(0).num_luts, da.module(0).depth,
+                db.module(0).num_luts, db.module(0).depth);
+  }
+
+  std::printf("\nmapped at level-1 folding (16-bit datapath):\n");
+  for (bool booth : {false, true}) {
+    Design d = datapath(16, booth);
+    FlowOptions opts;
+    opts.arch = ArchParams::paper_instance_unbounded_k();
+    opts.forced_folding_level = 1;
+    FlowResult r = run_nanomap(d, opts);
+    if (!r.feasible) {
+      std::printf("  %-5s: INFEASIBLE\n", booth ? "booth" : "array");
+      continue;
+    }
+    std::printf("  %-5s: %4d LEs, %2d stages, delay %.2f ns, cycle %.3f "
+                "ns\n",
+                booth ? "booth" : "array", r.num_les,
+                r.folding.stages_per_plane, r.delay_ns, r.folding_cycle_ns);
+  }
+  std::printf("\nreading: Booth shortens the carry-save chain (fewer "
+              "stages at level-1) but the recoding muxes and 2n-wide lanes "
+              "cost LUTs — in a LUT fabric the array is the better "
+              "default, which is why the generators use it.\n");
+  return 0;
+}

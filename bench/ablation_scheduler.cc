@@ -1,0 +1,64 @@
+// Ablation A1 (DESIGN.md): scheduling quality at level-1 folding.
+// Four arms:
+//   ASAP        — every node at its earliest folding cycle (no balancing)
+//   List        — resource-constrained list scheduling (classic HLS
+//                 alternative: earliest cycle under the balanced target)
+//   FDS         — the paper's force-directed scheduling (§4.2)
+//   FDS+refine  — FDS followed by greedy peak-reduction sweeps (our
+//                 extension over Algorithm 1)
+// #LEs is the peak per-cycle usage, i.e. the area the mapping needs.
+#include <cstdio>
+#include <string>
+
+#include "circuits/benchmarks.h"
+#include "flow/nanomap_flow.h"
+
+using namespace nanomap;
+
+namespace {
+
+FlowResult run(const Design& d, SchedulerKind kind, bool refine) {
+  FlowOptions opts;
+  opts.arch = ArchParams::paper_instance_unbounded_k();
+  opts.forced_folding_level = 1;
+  opts.scheduler = kind;
+  opts.refine_schedule = refine;
+  opts.run_physical = false;  // the scheduler is what's being measured
+  return run_nanomap(d, opts);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: scheduler arms at level-1 folding "
+              "(#LEs = peak per-cycle usage) ===\n\n");
+  std::printf("%-7s | %8s %8s %8s %11s | %s\n", "Circuit", "ASAP", "List",
+              "FDS", "FDS+refine", "refined vs ASAP");
+  double sum_ratio = 0.0;
+  int count = 0;
+  for (const std::string& name : benchmark_names()) {
+    Design d = make_benchmark(name);
+    FlowResult asap = run(d, SchedulerKind::kAsap, false);
+    FlowResult list = run(d, SchedulerKind::kList, false);
+    FlowResult fds = run(d, SchedulerKind::kFds, false);
+    FlowResult refined = run(d, SchedulerKind::kFds, true);
+    if (!asap.feasible || !list.feasible || !fds.feasible ||
+        !refined.feasible) {
+      std::printf("%-7s : INFEASIBLE\n", name.c_str());
+      continue;
+    }
+    double ratio = static_cast<double>(asap.num_les) / refined.num_les;
+    std::printf("%-7s | %8d %8d %8d %11d | %.2fX\n", name.c_str(),
+                asap.num_les, list.num_les, fds.num_les, refined.num_les,
+                ratio);
+    sum_ratio += ratio;
+    ++count;
+  }
+  if (count > 0)
+    std::printf("\naverage ASAP / (FDS+refine) LE ratio: %.2fX\n"
+                "(window-aligned cluster slicing leaves level-1 frames "
+                "nearly tight, so all schedulers converge — see "
+                "EXPERIMENTS.md A1)\n",
+                sum_ratio / count);
+  return 0;
+}

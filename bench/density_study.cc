@@ -1,0 +1,73 @@
+// Reproduces the logic-density context claims the paper builds on
+// (§1/§2.1.2, quoting the NATURE DAC'06 paper): with a 16-set NRAM
+// (10.6% area overhead, 160 ps reconfiguration), temporal folding improves
+// logic density "by more than an order of magnitude" (14X on the reported
+// instance), because one LE does the work of many.
+//
+// Density gain here = silicon area of the no-folding mapping divided by
+// the area of the k=16 AT-optimized mapping, with the folded fabric paying
+// the NRAM overhead and the no-folding fabric configured with a single
+// SRAM-style configuration set (no NRAM overhead, 1 FF per LE as in a
+// conventional FPGA).
+#include <cstdio>
+#include <string>
+
+#include "circuits/benchmarks.h"
+#include "flow/nanomap_flow.h"
+
+using namespace nanomap;
+
+int main() {
+  std::printf("=== Logic density study (paper §1/§2.1.2 context: ~14X with "
+              "16-set NRAM) ===\n\n");
+
+  // Conventional-FPGA baseline fabric: 1 configuration, no NRAM overhead,
+  // single flip-flop per LE.
+  ArchParams baseline = ArchParams::paper_instance_unbounded_k();
+  baseline.ff_per_le = 1;
+  baseline.nram_overhead = 0.0;
+  baseline.le_area_um2 = 650.0;
+
+  // NATURE fabric: 16-set NRAM (10.6% overhead), 2 FFs/LE (1.5X SMB area
+  // per the paper's §5 discussion — folded into the LE area here).
+  ArchParams nature = ArchParams::paper_instance();
+  nature.le_area_um2 = 650.0 * 1.5;
+
+  std::printf("%-7s | %9s %12s | %9s %12s | %8s | %10s\n", "Circuit",
+              "flat LEs", "flat um^2", "fold LEs", "fold um^2", "density",
+              "NRAM bits");
+  double sum_gain = 0.0;
+  int count = 0;
+  for (const std::string& name : benchmark_names()) {
+    Design d = make_benchmark(name);
+
+    FlowOptions flat_opts;
+    flat_opts.arch = baseline;
+    flat_opts.forced_folding_level = 0;
+    FlowResult flat = run_nanomap(d, flat_opts);
+
+    FlowOptions fold_opts;
+    fold_opts.arch = nature;
+    fold_opts.objective = Objective::kAreaDelayProduct;
+    FlowResult folded = run_nanomap(d, fold_opts);
+
+    if (!flat.feasible || !folded.feasible) {
+      std::printf("%-7s : INFEASIBLE\n", name.c_str());
+      continue;
+    }
+    double gain = flat.area_um2 / folded.area_um2;
+    std::printf("%-7s | %9d %12.0f | %9d %12.0f | %7.1fX | %10zu\n",
+                name.c_str(), flat.num_les, flat.area_um2, folded.num_les,
+                folded.area_um2, gain, folded.bitmap.total_bits);
+    sum_gain += gain;
+    ++count;
+  }
+  if (count > 0) {
+    std::printf("\naverage logic-density gain: %.1fX  [NATURE reports 14X "
+                "for a 16-set NRAM instance]\n",
+                sum_gain / count);
+    std::printf("NRAM cost already charged: 10.6%% config-store overhead + "
+                "1.5X LE area for the second flip-flop.\n");
+  }
+  return 0;
+}

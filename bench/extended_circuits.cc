@@ -1,0 +1,49 @@
+// Robustness sweep beyond the paper's benchmark set: structurally
+// different workloads (FFT butterfly bank, shallow register-dominated CRC,
+// many-plane systolic pipeline, saturating convolution) through the full
+// AT-optimized flow. Shows where temporal folding pays off and where it
+// cannot (a depth-3 CRC has almost nothing to fold).
+#include <cstdio>
+#include <string>
+
+#include "circuits/extra.h"
+#include "flow/nanomap_flow.h"
+#include "netlist/plane.h"
+
+using namespace nanomap;
+
+int main() {
+  std::printf("=== Extended circuits: AT-optimized folding vs no-folding "
+              "===\n\n");
+  std::printf("%-10s | %3s %5s %6s %5s | %6s | %4s %6s %9s | %8s\n",
+              "circuit", "#Pl", "depth", "LUTs", "FFs", "noF-LE", "lvl",
+              "#LEs", "delay ns", "AT gain");
+  for (const std::string& name : extra_benchmark_names()) {
+    Design d = make_extra_benchmark(name);
+    CircuitParams p = extract_circuit_params(d.net);
+
+    FlowOptions flat_opts;
+    flat_opts.arch = ArchParams::paper_instance_unbounded_k();
+    flat_opts.forced_folding_level = 0;
+    FlowResult flat = run_nanomap(d, flat_opts);
+
+    FlowOptions opts;
+    opts.arch = ArchParams::paper_instance_unbounded_k();
+    opts.objective = Objective::kAreaDelayProduct;
+    FlowResult r = run_nanomap(d, opts);
+
+    if (!flat.feasible || !r.feasible) {
+      std::printf("%-10s : INFEASIBLE\n", name.c_str());
+      continue;
+    }
+    std::printf("%-10s | %3d %5d %6d %5d | %6d | %4d %6d %9.2f | %7.2fX\n",
+                name.c_str(), p.num_plane, p.depth_max, p.total_luts,
+                p.total_flipflops, flat.num_les, r.folding.level, r.num_les,
+                r.delay_ns,
+                flat.area_delay_product() / r.area_delay_product());
+  }
+  std::printf("\nexpected: multiplier-heavy circuits fold an order of "
+              "magnitude; the depth-3 CRC barely folds (its AT gain is "
+              "bounded by depth), matching §2.2's folding-level analysis.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces the paper's §5 interconnect claim: "global interconnect usage
+// went down by more than 50% when using level-1 folding as opposed to
+// no-folding" (folding packs active logic into few SMBs, trading
+// interconnect area for NRAM area).
+//
+// For each benchmark we route the no-folding and level-1 mappings and
+// compare wire usage by type. Global usage is normalized per routed net so
+// the comparison is not skewed by the different net counts of the two
+// mappings.
+#include <cstdio>
+#include <string>
+
+#include "circuits/benchmarks.h"
+#include "flow/nanomap_flow.h"
+
+using namespace nanomap;
+
+namespace {
+
+FlowResult run_level(const Design& d, int level) {
+  FlowOptions opts;
+  opts.arch = ArchParams::paper_instance_unbounded_k();
+  opts.forced_folding_level = level;
+  return run_nanomap(d, opts);
+}
+
+double global_per_net(const FlowResult& r) {
+  std::size_t nets = r.routing.nets.size();
+  if (nets == 0) return 0.0;
+  return static_cast<double>(r.routing.usage.global) /
+         static_cast<double>(nets);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Interconnect usage: level-1 folding vs no-folding "
+              "(paper §5 claim: >50%% global reduction) ===\n\n");
+  std::printf("%-7s | %21s | %21s | %9s\n", "", "no-folding  d/1/4/g",
+              "level-1     d/1/4/g", "glob/net");
+  std::printf("%-7s | %10s %10s | %10s %10s | %4s %4s | reduction\n",
+              "Circuit", "nets", "global", "nets", "global", "noF", "L1");
+
+  double sum_reduction = 0.0;
+  int count = 0;
+  for (const std::string& name : benchmark_names()) {
+    Design d = make_benchmark(name);
+    FlowResult flat = run_level(d, 0);
+    FlowResult folded = run_level(d, 1);
+    if (!flat.feasible || !folded.feasible) {
+      std::printf("%-7s : INFEASIBLE (%s | %s)\n", name.c_str(),
+                  flat.message.c_str(), folded.message.c_str());
+      continue;
+    }
+    double g_flat = global_per_net(flat);
+    double g_fold = global_per_net(folded);
+    double reduction =
+        g_flat > 0 ? 100.0 * (1.0 - g_fold / g_flat) : 0.0;
+    std::printf("%-7s | %10zu %10ld | %10zu %10ld | %4.2f %4.2f | %6.1f%%\n",
+                name.c_str(), flat.routing.nets.size(),
+                flat.routing.usage.global, folded.routing.nets.size(),
+                folded.routing.usage.global, g_flat, g_fold, reduction);
+    if (g_flat > 0) {
+      sum_reduction += reduction;
+      ++count;
+    }
+  }
+  if (count > 0) {
+    std::printf("\naverage global-interconnect usage reduction: %.1f%% "
+                "[paper: >50%%]\n",
+                sum_reduction / count);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Reproduces Table 1: circuit mapping results for area-time product
+// optimization — no-folding baseline vs. AT-optimized mapping with
+// unlimited reconfiguration sets and with k = 16.
+//
+// Columns mirror the paper; "AT Improv." is (LEs*delay)_nofold /
+// (LEs*delay)_folded. Absolute delays depend on our analytic 100 nm timing
+// model (EXPERIMENTS.md records the calibration); the shape to check is
+// the order-of-magnitude LE reduction at folding level 1-2 against a
+// 20-40% delay increase.
+#include <cstdio>
+#include <string>
+
+#include "circuits/benchmarks.h"
+#include "flow/nanomap_flow.h"
+
+using namespace nanomap;
+
+namespace {
+
+struct Row {
+  FlowResult nofold;
+  FlowResult k_enough;
+  FlowResult k16;
+};
+
+FlowResult run(const Design& d, ArchParams arch, int forced_level) {
+  FlowOptions opts;
+  opts.arch = arch;
+  opts.objective = Objective::kAreaDelayProduct;
+  opts.forced_folding_level = forced_level;
+  return run_nanomap(d, opts);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 1: circuit mapping results for AT product "
+              "optimization ===\n\n");
+  std::printf("%-7s %3s %5s %6s %5s | %6s %7s | %4s %6s %7s %7s | %4s %6s "
+              "%7s %7s | %5s\n",
+              "Circuit", "#Pl", "Depth", "#LUTs", "#FFs", "noF-LE",
+              "noF-ns", "lvl", "#LEs", "ns", "AT-impr", "lvl", "#LEs", "ns",
+              "AT-impr", "cpu-s");
+  std::printf("        (paper:                       )  (no folding)   "
+              "(AT opt, k enough)              (AT opt, k = 16)\n");
+
+  double sum_le_red_enough = 0.0, sum_at_enough = 0.0, sum_delay_inc = 0.0;
+  double sum_le_red_16 = 0.0, sum_at_16 = 0.0, sum_delay_inc_16 = 0.0;
+  int count = 0;
+
+  for (const std::string& name : benchmark_names()) {
+    Design d = make_benchmark(name);
+    CircuitParams p = extract_circuit_params(d.net);
+
+    Row row;
+    row.nofold = run(d, ArchParams::paper_instance_unbounded_k(), 0);
+    row.k_enough = run(d, ArchParams::paper_instance_unbounded_k(), -1);
+    row.k16 = run(d, ArchParams::paper_instance(), -1);
+
+    if (!row.nofold.feasible || !row.k_enough.feasible ||
+        !row.k16.feasible) {
+      std::printf("%-7s: INFEASIBLE (%s | %s | %s)\n", name.c_str(),
+                  row.nofold.message.c_str(), row.k_enough.message.c_str(),
+                  row.k16.message.c_str());
+      continue;
+    }
+
+    double at_nofold = row.nofold.area_delay_product();
+    double at_enough = at_nofold / row.k_enough.area_delay_product();
+    double at_16 = at_nofold / row.k16.area_delay_product();
+    double cpu = row.nofold.cpu_seconds + row.k_enough.cpu_seconds +
+                 row.k16.cpu_seconds;
+
+    std::printf("%-7s %3d %5d %6d %5d | %6d %7.2f | %4d %6d %7.2f %6.2fX | "
+                "%4d %6d %7.2f %6.2fX | %5.1f\n",
+                name.c_str(), p.num_plane, p.depth_max, p.total_luts,
+                p.total_flipflops, row.nofold.num_les, row.nofold.delay_ns,
+                row.k_enough.folding.level, row.k_enough.num_les,
+                row.k_enough.delay_ns, at_enough, row.k16.folding.level,
+                row.k16.num_les, row.k16.delay_ns, at_16, cpu);
+
+    const PaperCircuitRow& pr = paper_row(name);
+    std::printf("  paper %3d %5d %6d %5d | %6d %7.2f |    1 %6.0f %7.2f "
+                "        |    - \n",
+                pr.planes, pr.max_depth, pr.luts, pr.flipflops, pr.luts,
+                pr.nofold_delay_ns, pr.fold_les_k_enough,
+                pr.fold_delay_k_enough);
+
+    sum_le_red_enough +=
+        static_cast<double>(row.nofold.num_les) / row.k_enough.num_les;
+    sum_at_enough += at_enough;
+    sum_delay_inc += row.k_enough.delay_ns / row.nofold.delay_ns - 1.0;
+    sum_le_red_16 +=
+        static_cast<double>(row.nofold.num_les) / row.k16.num_les;
+    sum_at_16 += at_16;
+    sum_delay_inc_16 += row.k16.delay_ns / row.nofold.delay_ns - 1.0;
+    ++count;
+  }
+
+  if (count > 0) {
+    std::printf("\naverages over %d circuits (paper values in brackets):\n",
+                count);
+    std::printf("  k enough: LE reduction %.1fX [14.8X], AT improvement "
+                "%.1fX [11.0X], delay increase %.1f%% [31.8%%]\n",
+                sum_le_red_enough / count, sum_at_enough / count,
+                100.0 * sum_delay_inc / count);
+    std::printf("  k = 16  : LE reduction %.1fX [9.2X],  AT improvement "
+                "%.1fX [7.8X],  delay increase %.1f%% [19.4%%]\n",
+                sum_le_red_16 / count, sum_at_16 / count,
+                100.0 * sum_delay_inc_16 / count);
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Prints the §4.1 circuit parameters of every bundled benchmark next to
+// the paper's Table 1 values — useful to see what the structural
+// generators produce before mapping anything.
+#include <cstdio>
+
+#include "circuits/benchmarks.h"
+#include "netlist/plane.h"
+
+int main() {
+  using namespace nanomap;
+  std::printf("%-8s | %7s %7s %7s %7s | %7s %7s %7s %7s\n", "circuit",
+              "planes", "depth", "LUTs", "FFs", "p.plane", "p.depth",
+              "p.LUTs", "p.FFs");
+  std::printf("---------+---------------------------------+----------------"
+              "-----------------\n");
+  for (const std::string& name : benchmark_names()) {
+    Design d = make_benchmark(name);
+    CircuitParams p = extract_circuit_params(d.net);
+    const PaperCircuitRow& row = paper_row(name);
+    std::printf("%-8s | %7d %7d %7d %7d | %7d %7d %7d %7d\n", name.c_str(),
+                p.num_plane, p.depth_max, p.total_luts, p.total_flipflops,
+                row.planes, row.max_depth, row.luts, row.flipflops);
+  }
+  return 0;
+}

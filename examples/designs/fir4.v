@@ -1,0 +1,24 @@
+// 4-tap FIR filter in the structural Verilog subset
+// (see docs/FORMATS.md and src/rtl/verilog.h).
+module fir4(clk, x, c0, c1, c2, c3, y);
+  input clk;
+  input [7:0] x, c0, c1, c2, c3;
+  output [7:0] y;
+  reg [7:0] d0, d1, d2, d3, acc;
+  wire [7:0] p0, p1, p2, p3, s0, s1, s2;
+  always @(posedge clk) begin
+    d0 <= x;
+    d1 <= d0;
+    d2 <= d1;
+    d3 <= d2;
+    acc <= s2;
+  end
+  assign p0 = d0 * c0;
+  assign p1 = d1 * c1;
+  assign p2 = d2 * c2;
+  assign p3 = d3 * c3;
+  assign s0 = p0 + p1;
+  assign s1 = p2 + p3;
+  assign s2 = s0 + s1;
+  assign y = acc;
+endmodule

@@ -1,0 +1,26 @@
+-- 8-bit multiply-accumulate with a saturating select, in the structural
+-- VHDL subset NanoMap's front end accepts (see src/rtl/vhdl.h).
+entity mac8 is
+  port ( clk  : in std_logic;
+         x    : in std_logic_vector(7 downto 0);
+         w    : in std_logic_vector(7 downto 0);
+         hold : in std_logic;
+         r    : out std_logic_vector(7 downto 0) );
+end mac8;
+
+architecture rtl of mac8 is
+  signal p    : std_logic_vector(7 downto 0);
+  signal nxt  : std_logic_vector(7 downto 0);
+  signal sel  : std_logic_vector(7 downto 0);
+  signal acc  : std_logic_vector(7 downto 0);
+begin
+  p   <= x * w;
+  nxt <= p + acc;
+  sel <= acc when hold = '1' else nxt;
+  process(clk) begin
+    if rising_edge(clk) then
+      acc <= sel;
+    end if;
+  end process;
+  r <= acc;
+end rtl;

@@ -1,0 +1,90 @@
+// Watch NATURE execute: maps the Fig. 1 circuit at level-2 folding, then
+// single-steps the folded emulator against the golden netlist simulator,
+// printing what each folding cycle computes and proving the results agree
+// — the mechanics of temporal logic folding made visible.
+#include <cstdio>
+
+#include "bitstream/emulator.h"
+#include "circuits/benchmarks.h"
+#include "netlist/plane.h"
+#include "netlist/simulate.h"
+
+int main() {
+  using namespace nanomap;
+  Design d = make_ex1_motivational();
+  CircuitParams params = extract_circuit_params(d.net);
+  ArchParams arch = ArchParams::paper_instance();
+
+  DesignSchedule sched;
+  sched.folding = make_folding_config(params, 2);
+  sched.planes_share = true;
+  for (int plane = 0; plane < params.num_plane; ++plane) {
+    PlaneScheduleGraph g = build_schedule_graph(d, plane, sched.folding);
+    sched.plane_results.push_back(schedule_plane(g, arch));
+    sched.graphs.push_back(std::move(g));
+  }
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+
+  std::printf("ex1 (4-bit) at level-%d folding: %d folding cycles per "
+              "clock of the original design\n\n",
+              sched.folding.level, cd.num_cycles);
+  for (int c = 0; c < cd.num_cycles; ++c) {
+    int luts = 0;
+    for (int m = 0; m < cd.num_smbs; ++m)
+      luts += static_cast<int>(cd.luts_in[static_cast<std::size_t>(c)]
+                                         [static_cast<std::size_t>(m)]
+                                             .size());
+    std::printf("  folding cycle %d executes %2d LUTs (LUT levels %d-%d)\n",
+                c, luts, c * sched.folding.level + 1,
+                (c + 1) * sched.folding.level);
+  }
+
+  // Drive both engines with the same stimulus.
+  Simulator golden(d.net);
+  FoldedEmulator folded(d, sched, cd);
+  // Seed the registers to all-ones so the self-feeding multiplier has a
+  // nonzero operand from the first clock.
+  golden.reset(true);
+  folded.reset(true);
+
+  std::vector<int> a_bus, b_bus, p_bus, sum_bus;
+  for (int id = 0; id < d.net.size(); ++id) {
+    const LutNode& n = d.net.node(id);
+    if (n.kind == NodeKind::kInput) {
+      (n.name[0] == 'a' ? a_bus : b_bus).push_back(id);
+    } else if (n.kind == NodeKind::kOutput) {
+      if (n.name.rfind("p[", 0) == 0) p_bus.push_back(id);
+      if (n.name.rfind("sum[", 0) == 0) sum_bus.push_back(id);
+    }
+  }
+
+  std::printf("\nclock |  a  b | sum f/g     | product f/g | stored "
+              "reads\n");
+  const unsigned stimulus[][2] = {{3, 5}, {7, 2}, {15, 15}, {4, 9}, {6, 6}};
+  for (const auto& s : stimulus) {
+    golden.set_input_bus(a_bus, s[0]);
+    golden.set_input_bus(b_bus, s[1]);
+    folded.set_input_bus(a_bus, s[0]);
+    folded.set_input_bus(b_bus, s[1]);
+    long before = folded.stored_reads();
+    golden.step();
+    folded.run_pass();
+    unsigned pf = static_cast<unsigned>(folded.read_bus(p_bus));
+    unsigned pg = static_cast<unsigned>(golden.read_bus(p_bus));
+    unsigned sf = static_cast<unsigned>(folded.read_bus(sum_bus));
+    unsigned sg = static_cast<unsigned>(golden.read_bus(sum_bus));
+    std::printf("      | %2u %2u | 0x%02x / 0x%02x | 0x%02x / 0x%02x  | "
+                "+%ld\n",
+                s[0], s[1], sf, sg, pf, pg,
+                folded.stored_reads() - before);
+    if (pf != pg || sf != sg) {
+      std::printf("MISMATCH — folding broke the circuit!\n");
+      return 1;
+    }
+  }
+  std::printf("\nfolded execution == golden simulation on every clock: the "
+              "%d-cycle reconfiguration schedule computes the original "
+              "circuit exactly.\n",
+              cd.num_cycles);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// File front end: parse a .nmap structural netlist, elaborate it and map
+// it under an area constraint. Usage:
+//   nmap_frontend [file.nmap] [area-constraint-LEs]
+// Defaults to the bundled examples/designs/mac16.nmap with a 64-LE budget.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "flow/nanomap_flow.h"
+#include "rtl/parser.h"
+
+int main(int argc, char** argv) {
+  using namespace nanomap;
+  std::string path =
+      argc > 1 ? argv[1] : std::string(NMAP_EXAMPLE_DIR "/mac16.nmap");
+  int budget = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  Design design;
+  try {
+    design = parse_nmap_file(path);
+  } catch (const InputError& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("%s", design_summary(design).c_str());
+
+  FlowOptions options;
+  options.arch = ArchParams::paper_instance();
+  options.objective = Objective::kMinDelay;
+  options.area_constraint_le = budget;
+  FlowResult result = run_nanomap(design, options);
+  if (!result.feasible) {
+    std::printf("mapping infeasible under %d LEs: %s\n", budget,
+                result.message.c_str());
+    return 1;
+  }
+  std::printf("mapped under %d LEs: %s\n", budget,
+              summarize(result).c_str());
+  std::printf("configuration bitmap: %d cycles, %zu bits\n",
+              result.bitmap.num_cycles, result.bitmap.total_bits);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Quickstart: map a small controller/datapath design onto NATURE and print
+// the mapping summary — the 60-second tour of the NanoMap API.
+#include <cstdio>
+
+#include "circuits/benchmarks.h"
+#include "flow/nanomap_flow.h"
+#include "rtl/parser.h"
+
+int main() {
+  using namespace nanomap;
+
+  // 1. Build (or parse) a design. make_ex1_motivational() is the paper's
+  //    Fig. 1 example: a 4-bit controller/datapath with an adder and a
+  //    parallel multiplier.
+  Design design = make_ex1_motivational();
+  std::printf("%s", design_summary(design).c_str());
+
+  // 2. Pick the architecture instance and an objective.
+  FlowOptions options;
+  options.arch = ArchParams::paper_instance();  // k = 16 NRAM sets
+  options.objective = Objective::kMinDelay;
+  options.area_constraint_le = 32;  // the paper's walk-through constraint
+
+  // 3. Run the flow.
+  FlowResult result = run_nanomap(design, options);
+  if (!result.feasible) {
+    std::printf("mapping infeasible: %s\n", result.message.c_str());
+    return 1;
+  }
+
+  // 4. Inspect the result.
+  std::printf("mapped: %s\n", summarize(result).c_str());
+  std::printf("folding level %d, %d stages, %d LEs (constraint 32)\n",
+              result.folding.level, result.folding.stages_per_plane,
+              result.num_les);
+  for (std::size_t p = 0; p < result.plane_schedules.size(); ++p) {
+    const FdsResult& fr = result.plane_schedules[p];
+    std::printf("plane %zu per-stage LEs:", p);
+    for (std::size_t s = 1; s < fr.le_count.size(); ++s)
+      std::printf(" %d", fr.le_count[s]);
+    std::printf("\n");
+  }
+  std::printf("bitmap: %d cycles, %zu bits of NRAM\n",
+              result.bitmap.num_cycles, result.bitmap.total_bits);
+  return 0;
+}

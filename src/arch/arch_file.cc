@@ -1,0 +1,113 @@
+#include "arch/arch_file.h"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace nanomap {
+namespace {
+
+struct Field {
+  std::function<void(ArchParams&, double)> set;
+  std::function<double(const ArchParams&)> get;
+  bool integral = false;
+};
+
+const std::map<std::string, Field>& field_table() {
+  static const std::map<std::string, Field> kFields = {
+#define NM_INT_FIELD(name)                                          \
+  {#name,                                                           \
+   {[](ArchParams& a, double v) { a.name = static_cast<int>(v); }, \
+    [](const ArchParams& a) { return static_cast<double>(a.name); }, true}}
+#define NM_DBL_FIELD(name)                                   \
+  {#name,                                                    \
+   {[](ArchParams& a, double v) { a.name = v; },             \
+    [](const ArchParams& a) { return a.name; }, false}}
+      NM_INT_FIELD(lut_size),
+      NM_INT_FIELD(ff_per_le),
+      NM_INT_FIELD(les_per_mb),
+      NM_INT_FIELD(mbs_per_smb),
+      NM_INT_FIELD(num_reconf),
+      NM_DBL_FIELD(reconf_time_ps),
+      NM_DBL_FIELD(lut_delay_ps),
+      NM_DBL_FIELD(mb_mux_delay_ps),
+      NM_DBL_FIELD(local_mux_delay_ps),
+      NM_DBL_FIELD(direct_link_delay_ps),
+      NM_DBL_FIELD(len1_wire_delay_ps),
+      NM_DBL_FIELD(len4_wire_delay_ps),
+      NM_DBL_FIELD(global_wire_delay_ps),
+      NM_DBL_FIELD(ff_setup_ps),
+      NM_DBL_FIELD(le_area_um2),
+      NM_DBL_FIELD(nram_overhead),
+      NM_DBL_FIELD(smb_wiring_factor),
+      NM_INT_FIELD(direct_links_per_side),
+      NM_INT_FIELD(len1_tracks),
+      NM_INT_FIELD(len4_tracks),
+      NM_INT_FIELD(global_tracks),
+#undef NM_INT_FIELD
+#undef NM_DBL_FIELD
+  };
+  return kFields;
+}
+
+}  // namespace
+
+ArchParams parse_arch(const std::string& text, const ArchParams& base) {
+  ArchParams arch = base;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view sv = trim(raw);
+    auto hash = sv.find('#');
+    if (hash != std::string_view::npos) sv = trim(sv.substr(0, hash));
+    if (sv.empty()) continue;
+    auto eq = sv.find('=');
+    if (eq == std::string_view::npos)
+      throw InputError("arch line " + std::to_string(line_no) +
+                       ": expected key = value");
+    std::string key(trim(sv.substr(0, eq)));
+    std::string value(trim(sv.substr(eq + 1)));
+    auto it = field_table().find(key);
+    if (it == field_table().end())
+      throw InputError("arch line " + std::to_string(line_no) +
+                       ": unknown parameter '" + key + "'");
+    double v = parse_double(value, "arch parameter " + key);
+    it->second.set(arch, v);
+  }
+  try {
+    arch.validate();
+  } catch (const CheckError& e) {
+    throw InputError(std::string("arch file describes an invalid "
+                                 "architecture: ") +
+                     e.what());
+  }
+  return arch;
+}
+
+ArchParams parse_arch_file(const std::string& path, const ArchParams& base) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open arch file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_arch(buf.str(), base);
+}
+
+std::string write_arch(const ArchParams& arch) {
+  std::ostringstream os;
+  os << "# NATURE architecture parameters (see src/arch/nature.h)\n";
+  for (const auto& [key, field] : field_table()) {
+    double v = field.get(arch);
+    if (field.integral)
+      os << key << " = " << static_cast<long long>(v) << "\n";
+    else
+      os << key << " = " << v << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nanomap

@@ -1,0 +1,35 @@
+// Architecture description files (key = value).
+//
+// Lets users explore NATURE variants from the command line without
+// recompiling: every ArchParams field is settable, unknown keys are
+// errors, and omitted keys keep the paper-instance defaults.
+//
+//   # nature-16.arch
+//   lut_size = 4
+//   ff_per_le = 2
+//   num_reconf = 16
+//   len1_tracks = 28
+//   lut_delay_ps = 350
+//
+// write_arch_file() emits the complete current parameter set, so
+// `nanomap --dump-arch` output is itself a valid input file.
+#pragma once
+
+#include <string>
+
+#include "arch/nature.h"
+
+namespace nanomap {
+
+// Applies the file's keys on top of `base` and validates the result.
+// Throws InputError with line diagnostics.
+ArchParams parse_arch(const std::string& text,
+                      const ArchParams& base = ArchParams::paper_instance());
+ArchParams parse_arch_file(const std::string& path,
+                           const ArchParams& base =
+                               ArchParams::paper_instance());
+
+// Full round-trippable serialization.
+std::string write_arch(const ArchParams& arch);
+
+}  // namespace nanomap

@@ -1,0 +1,60 @@
+#include "arch/nature.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace nanomap {
+
+void ArchParams::validate() const {
+  NM_CHECK_MSG(lut_size >= 2 && lut_size <= 6, "lut_size " << lut_size);
+  NM_CHECK(ff_per_le >= 1);
+  NM_CHECK(les_per_mb >= 1);
+  NM_CHECK(mbs_per_smb >= 1);
+  NM_CHECK(reconf_time_ps >= 0.0);
+  NM_CHECK(lut_delay_ps > 0.0);
+  NM_CHECK(direct_links_per_side >= 0);
+  NM_CHECK(len1_tracks >= 0);
+  NM_CHECK(len4_tracks >= 0);
+  NM_CHECK(global_tracks >= 0);
+  NM_CHECK_MSG(direct_links_per_side + len1_tracks + len4_tracks +
+                       global_tracks > 0,
+               "architecture has no routing resources");
+}
+
+ArchParams ArchParams::paper_instance() {
+  ArchParams a;  // defaults are the paper instance
+  a.num_reconf = 16;
+  return a;
+}
+
+ArchParams ArchParams::paper_instance_unbounded_k() {
+  ArchParams a;
+  a.num_reconf = 0;  // unbounded
+  return a;
+}
+
+GridSize size_grid_for(int num_smbs) {
+  NM_CHECK(num_smbs >= 0);
+  if (num_smbs == 0) return {1, 1};
+  // ~20% slack rounded up to a square; the annealer needs empty sites.
+  double target = static_cast<double>(num_smbs) * 1.2;
+  int side = static_cast<int>(std::ceil(std::sqrt(target)));
+  if (side < 1) side = 1;
+  while (side * side < num_smbs) ++side;
+  return {side, side};
+}
+
+std::string describe(const ArchParams& arch) {
+  std::ostringstream os;
+  os << "NATURE instance: " << arch.lut_size << "-LUT, " << arch.ff_per_le
+     << " FF/LE, " << arch.les_per_mb << " LE/MB, " << arch.mbs_per_smb
+     << " MB/SMB (" << arch.les_per_smb() << " LE/SMB), k=";
+  if (arch.reconf_unbounded())
+    os << "unbounded";
+  else
+    os << arch.num_reconf;
+  os << ", reconfig " << arch.reconf_time_ps << " ps";
+  return os.str();
+}
+
+}  // namespace nanomap

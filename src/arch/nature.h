@@ -1,0 +1,93 @@
+// NATURE architecture model (paper §2.1, and NATURE DAC'06 [7]).
+//
+// NATURE is an island-style fabric. Each logic block holds one
+// super-macroblock (SMB) plus a local switch matrix. An SMB contains
+// mbs_per_smb macroblocks (MBs); an MB contains les_per_mb logic elements
+// (LEs); an LE holds one m-input LUT and ff_per_le flip-flops. Every logic
+// and interconnect element carries a k-set NRAM configuration store, so k
+// distinct configurations can be cycled through at run time with
+// reconf_time_ps per switch (160 ps for the paper's 16-set layout).
+//
+// Interconnect types (paper §4.4): direct links to adjacent SMBs, length-1
+// segments, length-4 segments, and chip-spanning global lines.
+//
+// The timing/area constants are an analytic stand-in for the paper's 100 nm
+// SPICE characterization; EXPERIMENTS.md documents the calibration against
+// the paper's Table 1 delays (~0.56 ns per LUT level incl. average local
+// routing, +160 ps per reconfiguration).
+#pragma once
+
+#include <string>
+
+#include "util/check.h"
+
+namespace nanomap {
+
+struct ArchParams {
+  // --- logic hierarchy -----------------------------------------------------
+  int lut_size = 4;     // m: inputs per LUT
+  int ff_per_le = 2;    // flip-flops per LE (paper §5 uses 2)
+  int les_per_mb = 4;   // LEs per macroblock
+  int mbs_per_smb = 4;  // MBs per super-macroblock
+
+  // --- reconfiguration -----------------------------------------------------
+  // Number of configuration sets held per NRAM (k). <=0 means "unbounded"
+  // (the paper's "k enough" scenario).
+  int num_reconf = 16;
+  double reconf_time_ps = 160.0;  // on-chip NRAM read + SRAM load
+
+  // --- timing (ps, calibrated against the paper's Table 1 delays:
+  // ~0.56 ns per LUT level incl. average routing; see EXPERIMENTS.md) -------
+  double lut_delay_ps = 350.0;        // LUT evaluation
+  double mb_mux_delay_ps = 60.0;      // intra-MB (first-level) crossbar hop
+  double local_mux_delay_ps = 100.0;  // intra-SMB (second-level) crossbar hop
+  double direct_link_delay_ps = 100.0;   // adjacent-SMB direct link
+  double len1_wire_delay_ps = 150.0;     // length-1 segment + switch
+  double len4_wire_delay_ps = 300.0;     // length-4 segment + switch
+  double global_wire_delay_ps = 550.0;   // chip-spanning line
+  double ff_setup_ps = 60.0;          // flip-flop setup + clk->q lumped
+
+  // --- area (um^2, 100 nm node; used only for reports) ----------------------
+  double le_area_um2 = 650.0;       // LE incl. its share of local muxes
+  double nram_overhead = 0.106;     // 16-set NRAM adds 10.6% (paper §2.1.2)
+  double smb_wiring_factor = 1.25;  // switch matrix + routing share
+
+  // --- routing channel capacities (tracks per channel, per type) ------------
+  int direct_links_per_side = 12;
+  int len1_tracks = 28;
+  int len4_tracks = 14;
+  int global_tracks = 8;
+
+  // Derived quantities ------------------------------------------------------
+  int les_per_smb() const { return les_per_mb * mbs_per_smb; }
+  bool reconf_unbounded() const { return num_reconf <= 0; }
+
+  // Area of one SMB in um^2, including NRAM overhead and wiring share.
+  double smb_area_um2() const {
+    return static_cast<double>(les_per_smb()) * le_area_um2 *
+           (1.0 + nram_overhead) * smb_wiring_factor;
+  }
+
+  // Sanity checks; throws CheckError on nonsensical parameters.
+  void validate() const;
+
+  // The instance used throughout the paper's §5 experiments:
+  // 4-input LUT, 1 LUT + 2 FFs per LE, 4 LEs/MB, 4 MBs/SMB, k = 16.
+  static ArchParams paper_instance();
+  // Same but with unbounded reconfiguration sets ("k enough").
+  static ArchParams paper_instance_unbounded_k();
+};
+
+// Square grid of SMB sites sized to hold `num_smbs` blocks with a small
+// amount of slack for the placer to move things around.
+struct GridSize {
+  int width = 0;
+  int height = 0;
+  int sites() const { return width * height; }
+};
+
+GridSize size_grid_for(int num_smbs);
+
+std::string describe(const ArchParams& arch);
+
+}  // namespace nanomap

@@ -1,0 +1,131 @@
+#include "bitstream/bitmap.h"
+
+#include <algorithm>
+
+namespace nanomap {
+namespace {
+
+// Bits to encode one LE input's source selection. The local crossbar can
+// pick any LE output / FF of the SMB or an SMB input pin; 6 bits covers a
+// 16-LE SMB with generous input count, matching NATURE's mux sizing.
+constexpr int kInputSelBits = 6;
+
+}  // namespace
+
+ConfigBitmap generate_bitmap(const Design& design,
+                             const DesignSchedule& schedule,
+                             const ClusteredDesign& cd,
+                             const RoutingResult* routing,
+                             const ArchParams& arch) {
+  const LutNetwork& net = design.net;
+  ConfigBitmap bitmap;
+  bitmap.num_cycles = cd.num_cycles;
+  bitmap.num_smbs = cd.num_smbs;
+  bitmap.cycles.resize(static_cast<std::size_t>(cd.num_cycles));
+
+  const int les = arch.les_per_smb();
+  const std::size_t truth_bits = std::size_t{1}
+                                 << static_cast<std::size_t>(arch.lut_size);
+
+  for (int c = 0; c < cd.num_cycles; ++c) {
+    CycleConfig& cycle = bitmap.cycles[static_cast<std::size_t>(c)];
+    cycle.smbs.resize(static_cast<std::size_t>(cd.num_smbs));
+    for (SmbConfig& smb : cycle.smbs)
+      smb.les.resize(static_cast<std::size_t>(les));
+  }
+
+  for (int id = 0; id < net.size(); ++id) {
+    const LutNode& n = net.node(id);
+    if (n.kind != NodeKind::kLut) continue;
+    int c = cd.cycle_of[static_cast<std::size_t>(id)];
+    const LutPlacement& p = cd.place[static_cast<std::size_t>(id)];
+    LeConfig& le = bitmap.cycles[static_cast<std::size_t>(c)]
+                       .smbs[static_cast<std::size_t>(p.smb)]
+                       .les[static_cast<std::size_t>(p.slot)];
+    NM_CHECK_MSG(!le.lut_used, "LE double-booked: smb " << p.smb << " slot "
+                                                        << p.slot
+                                                        << " cycle " << c);
+    le.lut_used = true;
+    le.truth = n.truth;
+    for (int f : n.fanins)
+      le.input_sel.push_back(static_cast<std::uint32_t>(f) + 1);
+    // The LE's FF captures the LUT result if any consumer reads it in a
+    // later cycle or a flip-flop/output captures it.
+    for (int out : net.fanouts(id)) {
+      const LutNode& dst = net.node(out);
+      bool later = dst.kind == NodeKind::kLut &&
+                   cd.cycle_of[static_cast<std::size_t>(out)] > c;
+      if (later || dst.kind == NodeKind::kFlipFlop ||
+          dst.kind == NodeKind::kOutput) {
+        le.ff_write_mask |= 1;
+        break;
+      }
+    }
+  }
+
+  if (routing != nullptr) {
+    for (const NetRoute& nr : routing->nets) {
+      const PlacedNet& pn = cd.nets[static_cast<std::size_t>(nr.net_index)];
+      CycleConfig& cycle = bitmap.cycles[static_cast<std::size_t>(pn.cycle)];
+      cycle.switch_nodes.insert(cycle.switch_nodes.end(),
+                                nr.wire_nodes.begin(), nr.wire_nodes.end());
+    }
+    for (CycleConfig& cycle : bitmap.cycles) {
+      std::sort(cycle.switch_nodes.begin(), cycle.switch_nodes.end());
+      cycle.switch_nodes.erase(std::unique(cycle.switch_nodes.begin(),
+                                           cycle.switch_nodes.end()),
+                               cycle.switch_nodes.end());
+    }
+  }
+
+  // NRAM storage accounting.
+  std::size_t bits = 0;
+  for (const CycleConfig& cycle : bitmap.cycles) {
+    for (const SmbConfig& smb : cycle.smbs) {
+      for (const LeConfig& le : smb.les) {
+        if (!le.lut_used && le.ff_write_mask == 0) {
+          bits += 1;  // "unused" flag
+          continue;
+        }
+        bits += 1 + truth_bits +
+                static_cast<std::size_t>(arch.lut_size) * kInputSelBits +
+                static_cast<std::size_t>(arch.ff_per_le);
+      }
+    }
+    bits += cycle.switch_nodes.size();  // one enable bit per switch bundle
+  }
+  bitmap.total_bits = bits;
+  (void)schedule;
+  return bitmap;
+}
+
+std::vector<std::uint8_t> serialize_bitmap(const ConfigBitmap& bitmap) {
+  std::vector<std::uint8_t> out;
+  auto push_u32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  };
+  push_u32(0x4e4d4150u);  // "NMAP"
+  push_u32(static_cast<std::uint32_t>(bitmap.num_cycles));
+  push_u32(static_cast<std::uint32_t>(bitmap.num_smbs));
+  for (const CycleConfig& cycle : bitmap.cycles) {
+    for (const SmbConfig& smb : cycle.smbs) {
+      for (const LeConfig& le : smb.les) {
+        out.push_back(le.lut_used ? 1 : 0);
+        if (!le.lut_used) continue;
+        for (int i = 0; i < 8; ++i)
+          out.push_back(
+              static_cast<std::uint8_t>((le.truth >> (8 * i)) & 0xff));
+        out.push_back(static_cast<std::uint8_t>(le.input_sel.size()));
+        for (std::uint32_t sel : le.input_sel) push_u32(sel);
+        out.push_back(le.ff_write_mask);
+      }
+    }
+    push_u32(static_cast<std::uint32_t>(cycle.switch_nodes.size()));
+    for (int n : cycle.switch_nodes)
+      push_u32(static_cast<std::uint32_t>(n));
+  }
+  return out;
+}
+
+}  // namespace nanomap

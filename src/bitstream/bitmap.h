@@ -1,0 +1,59 @@
+// Configuration bitmap generation (flow step 15 output).
+//
+// After placement and routing, every folding cycle gets one configuration
+// word per SMB: the truth table and input selection of each LE, the
+// flip-flop write-enables, and the switch states of the routing resources
+// the cycle uses. The k-set NRAM constraint (one set per folding cycle) is
+// verified here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/temporal_cluster.h"
+#include "route/pathfinder.h"
+
+namespace nanomap {
+
+struct LeConfig {
+  bool lut_used = false;
+  std::uint64_t truth = 0;
+  // Per LUT input: source code (an opaque id — the producing node id + 1;
+  // 0 = unused input). Real hardware would encode crossbar selects; the
+  // width accounting below charges ceil(log2(#sources)) bits per input.
+  std::vector<std::uint32_t> input_sel;
+  std::uint8_t ff_write_mask = 0;  // which of the LE's FFs capture
+};
+
+struct SmbConfig {
+  std::vector<LeConfig> les;  // size = arch.les_per_smb()
+};
+
+struct CycleConfig {
+  std::vector<SmbConfig> smbs;
+  // Routing switch settings: RR node ids energized this cycle.
+  std::vector<int> switch_nodes;
+};
+
+struct ConfigBitmap {
+  int num_cycles = 0;
+  int num_smbs = 0;
+  std::vector<CycleConfig> cycles;
+  std::size_t total_bits = 0;  // aggregate NRAM storage demand
+
+  // True iff the bitmap fits the architecture's NRAM depth.
+  bool fits_nram(const ArchParams& arch) const {
+    return arch.reconf_unbounded() || num_cycles <= arch.num_reconf;
+  }
+};
+
+ConfigBitmap generate_bitmap(const Design& design,
+                             const DesignSchedule& schedule,
+                             const ClusteredDesign& cd,
+                             const RoutingResult* routing,
+                             const ArchParams& arch);
+
+// Flat byte serialization (stable layout, for golden tests / export).
+std::vector<std::uint8_t> serialize_bitmap(const ConfigBitmap& bitmap);
+
+}  // namespace nanomap

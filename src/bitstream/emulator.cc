@@ -1,0 +1,126 @@
+#include "bitstream/emulator.h"
+
+#include <algorithm>
+
+namespace nanomap {
+
+FoldedEmulator::FoldedEmulator(const Design& design,
+                               const DesignSchedule& schedule,
+                               const ClusteredDesign& clustered)
+    : design_(design), schedule_(schedule), cd_(clustered) {
+  const LutNetwork& net = design.net;
+  value_.assign(static_cast<std::size_t>(net.size()), 0);
+  ff_state_.assign(static_cast<std::size_t>(net.size()), 0);
+
+  program_.assign(static_cast<std::size_t>(cd_.num_cycles), {});
+  for (int id = 0; id < net.size(); ++id) {
+    if (net.node(id).kind != NodeKind::kLut) continue;
+    int c = cd_.cycle_of[static_cast<std::size_t>(id)];
+    NM_CHECK_MSG(c >= 0 && c < cd_.num_cycles,
+                 "LUT '" << net.node(id).name << "' has no cycle");
+    program_[static_cast<std::size_t>(c)].push_back(id);
+  }
+  for (auto& cycle : program_) {
+    std::sort(cycle.begin(), cycle.end(), [&net](int a, int b) {
+      if (net.node(a).level != net.node(b).level)
+        return net.node(a).level < net.node(b).level;
+      return a < b;
+    });
+  }
+}
+
+void FoldedEmulator::reset(bool value) {
+  std::fill(ff_state_.begin(), ff_state_.end(), value ? 1 : 0);
+}
+
+void FoldedEmulator::set_input(int node, bool value) {
+  NM_CHECK(design_.net.node(node).kind == NodeKind::kInput);
+  value_[static_cast<std::size_t>(node)] = value ? 1 : 0;
+}
+
+void FoldedEmulator::set_input_bus(const std::vector<int>& bus,
+                                   std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.size() && i < 64; ++i)
+    set_input(bus[i], (value >> i) & 1u);
+}
+
+void FoldedEmulator::run_pass() {
+  const LutNetwork& net = design_.net;
+  // Plane registers present their held state throughout the pass.
+  for (int id = 0; id < net.size(); ++id) {
+    if (net.node(id).kind == NodeKind::kFlipFlop)
+      value_[static_cast<std::size_t>(id)] =
+          ff_state_[static_cast<std::size_t>(id)];
+  }
+
+  // Track which LUT values have been computed this pass, to verify the
+  // mapping only ever reads stored (earlier-cycle) or same-cycle values.
+  std::vector<char> computed(static_cast<std::size_t>(net.size()), 0);
+  std::vector<int> computed_cycle(static_cast<std::size_t>(net.size()), -1);
+
+  std::vector<bool> fanin_values;
+  for (int c = 0; c < cd_.num_cycles; ++c) {
+    for (int id : program_[static_cast<std::size_t>(c)]) {
+      const LutNode& n = net.node(id);
+      fanin_values.clear();
+      for (int f : n.fanins) {
+        const LutNode& src = net.node(f);
+        if (src.kind == NodeKind::kLut) {
+          NM_CHECK_MSG(computed[static_cast<std::size_t>(f)],
+                       "cycle " << c << ": LUT '" << n.name
+                                << "' reads '" << src.name
+                                << "' before it is computed");
+          if (computed_cycle[static_cast<std::size_t>(f)] == c)
+            ++comb_reads_;
+          else
+            ++stored_reads_;
+        }
+        fanin_values.push_back(value_[static_cast<std::size_t>(f)] != 0);
+      }
+      value_[static_cast<std::size_t>(id)] =
+          net.eval_lut(id, fanin_values) ? 1 : 0;
+      computed[static_cast<std::size_t>(id)] = 1;
+      computed_cycle[static_cast<std::size_t>(id)] = c;
+    }
+  }
+
+  // Atomic register commit at pass end (shadow flip-flops).
+  for (int id = 0; id < net.size(); ++id) {
+    const LutNode& n = net.node(id);
+    if (n.kind == NodeKind::kFlipFlop) {
+      int d = n.fanins[0];
+      if (net.node(d).kind == NodeKind::kLut)
+        NM_CHECK_MSG(computed[static_cast<std::size_t>(d)],
+                     "register '" << n.name << "' captures uncomputed '"
+                                  << net.node(d).name << "'");
+      ff_state_[static_cast<std::size_t>(id)] =
+          value_[static_cast<std::size_t>(d)];
+    }
+  }
+  for (int id = 0; id < net.size(); ++id) {
+    const LutNode& n = net.node(id);
+    if (n.kind == NodeKind::kOutput)
+      value_[static_cast<std::size_t>(id)] =
+          value_[static_cast<std::size_t>(n.fanins[0])];
+  }
+  // Expose the committed register state (matches Simulator::evaluate()
+  // after a step()).
+  for (int id = 0; id < net.size(); ++id) {
+    if (net.node(id).kind == NodeKind::kFlipFlop)
+      value_[static_cast<std::size_t>(id)] =
+          ff_state_[static_cast<std::size_t>(id)];
+  }
+}
+
+bool FoldedEmulator::value(int node) const {
+  return value_[static_cast<std::size_t>(node)] != 0;
+}
+
+std::uint64_t FoldedEmulator::read_bus(const std::vector<int>& bus) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size() && i < 64; ++i)
+    if (value(bus[i])) v |= (std::uint64_t{1} << i);
+  return v;
+}
+
+}  // namespace nanomap

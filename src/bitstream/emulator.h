@@ -1,0 +1,63 @@
+// Cycle-accurate emulation of a temporally folded mapping on NATURE.
+//
+// Executes the mapped design the way the fabric would: folding cycle by
+// folding cycle, evaluating exactly the LUTs configured in each cycle,
+// reading operands either combinationally (same cycle), from LE flip-flops
+// (values stored by earlier cycles) or from plane registers. One
+// run_pass() executes every global folding cycle once — the folded
+// equivalent of a single clock edge of the original RTL — after which all
+// plane registers commit simultaneously (NATURE's second flip-flop per LE
+// provides the shadow storage that makes the commit atomic).
+//
+// This is the strongest correctness check in the repository: for any
+// mapping, FoldedEmulator must agree with netlist/simulate.h's Simulator
+// on every output and register, for every input sequence
+// (tests/equivalence_test.cc).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/temporal_cluster.h"
+
+namespace nanomap {
+
+class FoldedEmulator {
+ public:
+  FoldedEmulator(const Design& design, const DesignSchedule& schedule,
+                 const ClusteredDesign& clustered);
+
+  // Sets every plane register to `value`.
+  void reset(bool value = false);
+
+  void set_input(int node, bool value);
+  void set_input_bus(const std::vector<int>& bus, std::uint64_t value);
+
+  // Executes all folding cycles once and commits the plane registers —
+  // equivalent to one clock cycle of the unfolded design.
+  void run_pass();
+
+  // Value of a node after the last pass (LUT result, register state, or
+  // primary output).
+  bool value(int node) const;
+  std::uint64_t read_bus(const std::vector<int>& bus) const;
+
+  // Telemetry: how many operand reads hit LE flip-flop storage (earlier
+  // cycle) vs. were combinational (same cycle).
+  long stored_reads() const { return stored_reads_; }
+  long combinational_reads() const { return comb_reads_; }
+
+ private:
+  const Design& design_;
+  const DesignSchedule& schedule_;
+  const ClusteredDesign& cd_;
+
+  // LUTs per global cycle, level-ordered (the execution program).
+  std::vector<std::vector<int>> program_;
+  std::vector<char> value_;     // last computed value per node
+  std::vector<char> ff_state_;  // plane register state (by node id)
+  long stored_reads_ = 0;
+  long comb_reads_ = 0;
+};
+
+}  // namespace nanomap

@@ -1,0 +1,159 @@
+#include "circuits/extra.h"
+
+#include "rtl/module_expander.h"
+#include "util/check.h"
+
+namespace nanomap {
+namespace {
+
+Design seal(Design d) {
+  d.net.compute_levels();
+  d.net.validate();
+  d.refresh_module_stats();
+  return d;
+}
+
+}  // namespace
+
+Design make_butterfly(int pairs, int width) {
+  NM_CHECK(pairs >= 1 && width >= 2);
+  Design d;
+  d.name = "butterfly";
+  SignalBus w = add_input_bus(d, "w", width, 0);
+  for (int p = 0; p < pairs; ++p) {
+    std::string tag = std::to_string(p);
+    SignalBus a_in = add_input_bus(d, "a" + tag, width, 0);
+    SignalBus b_in = add_input_bus(d, "b" + tag, width, 0);
+    SignalBus ra = add_register_bank(d, "ra" + tag, width, 0);
+    SignalBus rb = add_register_bank(d, "rb" + tag, width, 0);
+    drive_register_bank(d, ra, a_in);
+    drive_register_bank(d, rb, b_in);
+
+    ExpandedModule wb = expand_multiplier(d, "wb" + tag, rb, w, 0);
+    ExpandedModule up = expand_adder(d, "up" + tag, ra, wb.out, 0);
+    ExpandedModule dn = expand_subtractor(d, "dn" + tag, ra, wb.out, 0);
+
+    SignalBus oa = add_register_bank(d, "oa" + tag, width, 0);
+    SignalBus ob = add_register_bank(d, "ob" + tag, width, 0);
+    drive_register_bank(d, oa, up.out);
+    drive_register_bank(d, ob, dn.out);
+    add_output_bus(d, "ya" + tag, oa);
+    add_output_bus(d, "yb" + tag, ob);
+  }
+  return seal(std::move(d));
+}
+
+Design make_crc(int width) {
+  NM_CHECK(width >= 8);
+  Design d;
+  d.name = "crc";
+  SignalBus data = add_input_bus(d, "data", 8, 0);
+  SignalBus state = add_register_bank(d, "state", width, 0);
+
+  // Feedback network: each next-state bit is a parity of a handful of
+  // state bits and data taps (a dense, shallow LUT cloud — exactly the
+  // structure LFSR-style codes synthesize to).
+  auto parity_tt = [](int n) {
+    return make_truth(n, [n](const bool* b) {
+      bool v = false;
+      for (int i = 0; i < n; ++i) v ^= b[i];
+      return v;
+    });
+  };
+  SignalBus next;
+  for (int i = 0; i < width; ++i) {
+    std::vector<int> taps = {state[static_cast<std::size_t>(
+                                 (i + width - 1) % width)],
+                             state[static_cast<std::size_t>((i + 7) % width)],
+                             data[static_cast<std::size_t>(i % 8)],
+                             data[static_cast<std::size_t>((i + 3) % 8)]};
+    int t1 = d.net.add_lut("fb" + std::to_string(i), taps, parity_tt(4), 0);
+    int t2 = d.net.add_lut(
+        "mix" + std::to_string(i),
+        {t1, state[static_cast<std::size_t>((i + 13) % width)],
+         data[static_cast<std::size_t>((i + 5) % 8)]},
+        parity_tt(3), 0);
+    next.push_back(t2);
+  }
+  drive_register_bank(d, state, next);
+  add_output_bus(d, "crc", state);
+  return seal(std::move(d));
+}
+
+Design make_systolic(int cells, int width) {
+  NM_CHECK(cells >= 1 && width >= 2);
+  Design d;
+  d.name = "systolic";
+  SignalBus x = add_input_bus(d, "x", width, 0);
+  SignalBus prev_x = x;
+  SignalBus prev_acc;
+  for (int c = 0; c < cells; ++c) {
+    std::string tag = std::to_string(c);
+    // Each cell is its own plane: activations and partial sums march
+    // through plane registers; weights are held (D = Q).
+    SignalBus xr = add_register_bank(d, "x" + tag, width, c);
+    drive_register_bank(d, xr, prev_x);
+    SignalBus wr = add_register_bank(d, "w" + tag, width, c);
+    drive_register_bank(d, wr, wr);
+
+    ExpandedModule prod = expand_multiplier(d, "mul" + tag, xr, wr, c);
+    SignalBus sum;
+    if (c == 0) {
+      sum = prod.out;
+    } else {
+      SignalBus acc_r = add_register_bank(d, "acc" + tag, width, c);
+      drive_register_bank(d, acc_r, prev_acc);
+      sum = expand_adder(d, "add" + tag, prod.out, acc_r, c).out;
+    }
+    prev_x = xr;
+    prev_acc = sum;
+  }
+  add_output_bus(d, "y", prev_acc);
+  return seal(std::move(d));
+}
+
+Design make_convolve3(int width) {
+  NM_CHECK(width >= 2);
+  Design d;
+  d.name = "convolve3";
+  SignalBus x = add_input_bus(d, "x", width, 0);
+  SignalBus limit = add_input_bus(d, "limit", width, 0);
+  SignalBus k0 = add_input_bus(d, "k0", width, 0);
+  SignalBus k1 = add_input_bus(d, "k1", width, 0);
+  SignalBus k2 = add_input_bus(d, "k2", width, 0);
+
+  SignalBus d0 = add_register_bank(d, "d0", width, 0);
+  SignalBus d1 = add_register_bank(d, "d1", width, 0);
+  SignalBus d2 = add_register_bank(d, "d2", width, 0);
+  drive_register_bank(d, d0, x);
+  drive_register_bank(d, d1, d0);
+  drive_register_bank(d, d2, d1);
+
+  ExpandedModule p0 = expand_multiplier(d, "p0", d0, k0, 0);
+  ExpandedModule p1 = expand_multiplier(d, "p1", d1, k1, 0);
+  ExpandedModule p2 = expand_multiplier(d, "p2", d2, k2, 0);
+  ExpandedModule s0 = expand_adder(d, "s0", p0.out, p1.out, 0);
+  ExpandedModule s1 = expand_adder(d, "s1", s0.out, p2.out, 0);
+  // Saturate: y = (sum < limit) ? sum : limit.
+  ExpandedModule cmp = expand_comparator(d, "cmp", s1.out, limit, 0);
+  ExpandedModule sat = expand_mux2(d, "sat", cmp.out[0], limit, s1.out, 0);
+
+  SignalBus y = add_register_bank(d, "y", width, 0);
+  drive_register_bank(d, y, sat.out);
+  add_output_bus(d, "yout", y);
+  return seal(std::move(d));
+}
+
+std::vector<std::string> extra_benchmark_names() {
+  return {"butterfly", "crc", "systolic", "convolve3"};
+}
+
+Design make_extra_benchmark(const std::string& name) {
+  if (name == "butterfly") return make_butterfly();
+  if (name == "crc") return make_crc();
+  if (name == "systolic") return make_systolic();
+  if (name == "convolve3") return make_convolve3();
+  throw InputError("unknown extra benchmark: " + name);
+}
+
+}  // namespace nanomap

@@ -1,0 +1,31 @@
+// Extra benchmark circuits beyond the paper's seven — used to exercise the
+// flow on structurally different workloads (bench/extended_circuits and
+// robustness tests). All are built from the same tagged module library, so
+// the folding partitioner sees them exactly like the paper benchmarks.
+#pragma once
+
+#include "netlist/rtl_netlist.h"
+
+namespace nanomap {
+
+// Radix-2 DIT butterfly bank: `pairs` butterflies of `width`-bit values
+// (a' = a + w*b, b' = a - w*b) with registered inputs/outputs; 1 plane.
+Design make_butterfly(int pairs = 4, int width = 10);
+
+// Bit-serial CRC with a dense LUT feedback network over a `width`-bit LFSR
+// state and 8 input taps; register-dominated, depth ~3 — the opposite
+// corner from the multiplier-heavy paper circuits.
+Design make_crc(int width = 32);
+
+// One systolic matrix-multiply cell chain: `cells` MAC stages, each its
+// own plane (weight-stationary pipeline) — stresses many-plane handling.
+Design make_systolic(int cells = 4, int width = 8);
+
+// 3-tap 1-D convolution with saturating compare/select output; mixes
+// multipliers, comparator and muxes in one plane.
+Design make_convolve3(int width = 10);
+
+std::vector<std::string> extra_benchmark_names();
+Design make_extra_benchmark(const std::string& name);
+
+}  // namespace nanomap

@@ -1,0 +1,151 @@
+#include "circuits/random_dag.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace nanomap {
+
+Design make_random_design(const RandomDagSpec& spec) {
+  NM_CHECK(spec.num_planes >= 1);
+  NM_CHECK(spec.depth >= 1);
+  NM_CHECK(spec.luts_per_plane >= spec.depth);
+  NM_CHECK(spec.num_inputs >= 1);
+  NM_CHECK(spec.regs_per_plane >= 1);
+  NM_CHECK(spec.max_fanin >= 2 && spec.max_fanin <= kMaxLutInputs);
+
+  Rng rng(spec.seed);
+  Design d;
+  d.name = "random";
+
+  std::vector<int> primary;
+  for (int i = 0; i < spec.num_inputs; ++i)
+    primary.push_back(d.net.add_input("pi" + std::to_string(i), 0));
+
+  // Registers feeding each plane; D connections filled per producing plane.
+  std::vector<std::vector<int>> regs(
+      static_cast<std::size_t>(spec.num_planes));
+  for (int p = 0; p < spec.num_planes; ++p) {
+    for (int r = 0; r < spec.regs_per_plane; ++r) {
+      regs[static_cast<std::size_t>(p)].push_back(d.net.add_flipflop(
+          "r" + std::to_string(p) + "_" + std::to_string(r), p));
+    }
+  }
+
+  std::vector<std::vector<int>> plane_luts(
+      static_cast<std::size_t>(spec.num_planes));
+  for (int p = 0; p < spec.num_planes; ++p) {
+    // Plane inputs: this plane's registers (+ PIs for plane 0).
+    std::vector<int> level0 = regs[static_cast<std::size_t>(p)];
+    if (p == 0)
+      level0.insert(level0.end(), primary.begin(), primary.end());
+
+    // Distribute LUTs across levels; every level gets at least one.
+    std::vector<int> level_count(static_cast<std::size_t>(spec.depth), 1);
+    for (int extra = spec.luts_per_plane - spec.depth; extra > 0; --extra) {
+      ++level_count[static_cast<std::size_t>(
+          rng.next_int(0, spec.depth - 1))];
+    }
+
+    std::vector<int> prev_level = level0;
+    std::vector<int> shallower = level0;  // everything at lower levels
+    for (int lvl = 0; lvl < spec.depth; ++lvl) {
+      std::vector<int> this_level;
+      for (int i = 0; i < level_count[static_cast<std::size_t>(lvl)]; ++i) {
+        int fanin_count =
+            rng.next_int(2, std::min(spec.max_fanin,
+                                     static_cast<int>(shallower.size()) + 1));
+        std::vector<int> fanins;
+        // Pin the level: one fanin from the immediately previous level.
+        fanins.push_back(rng.pick(prev_level));
+        while (static_cast<int>(fanins.size()) < fanin_count) {
+          int cand = rng.pick(shallower);
+          if (std::find(fanins.begin(), fanins.end(), cand) == fanins.end())
+            fanins.push_back(cand);
+          else if (static_cast<int>(shallower.size()) <
+                   fanin_count)  // not enough distinct candidates
+            break;
+        }
+        std::uint64_t truth = rng.next_u64() &
+                              ((std::uint64_t{1}
+                                << (std::uint64_t{1} << fanins.size())) -
+                               1);
+        this_level.push_back(d.net.add_lut(
+            "l" + std::to_string(p) + "_" + std::to_string(lvl) + "_" +
+                std::to_string(i),
+            std::move(fanins), truth, p));
+      }
+      shallower.insert(shallower.end(), this_level.begin(), this_level.end());
+      plane_luts[static_cast<std::size_t>(p)].insert(
+          plane_luts[static_cast<std::size_t>(p)].end(), this_level.begin(),
+          this_level.end());
+      prev_level = std::move(this_level);
+    }
+  }
+
+  // Drive plane p+1's registers from plane p's LUTs (wrap-around for
+  // plane 0 so the design is a legal sequential loop).
+  for (int p = 0; p < spec.num_planes; ++p) {
+    int src_plane = (p + spec.num_planes - 1) % spec.num_planes;
+    const std::vector<int>& pool =
+        plane_luts[static_cast<std::size_t>(src_plane)];
+    for (int ff : regs[static_cast<std::size_t>(p)]) {
+      d.net.set_flipflop_input(ff, rng.pick(pool));
+    }
+  }
+
+  // Primary outputs from the last plane.
+  const std::vector<int>& last =
+      plane_luts[static_cast<std::size_t>(spec.num_planes - 1)];
+  for (int i = 0; i < std::min<int>(8, static_cast<int>(last.size())); ++i) {
+    d.net.add_output("po" + std::to_string(i), rng.pick(last));
+  }
+
+  d.net.compute_levels();
+  d.net.validate();
+  return d;
+}
+
+GateNetwork make_random_gates(int num_inputs, int num_gates, int num_outputs,
+                              std::uint64_t seed) {
+  NM_CHECK(num_inputs >= 2 && num_gates >= 1 && num_outputs >= 1);
+  Rng rng(seed);
+  GateNetwork g;
+  std::vector<int> pool;
+  for (int i = 0; i < num_inputs; ++i)
+    pool.push_back(g.add_input("pi" + std::to_string(i)));
+
+  static const GateOp kOps[] = {GateOp::kAnd,  GateOp::kOr,  GateOp::kXor,
+                                GateOp::kNand, GateOp::kNor, GateOp::kXnor,
+                                GateOp::kNot};
+  std::vector<int> gates;
+  for (int i = 0; i < num_gates; ++i) {
+    GateOp op = kOps[rng.next_below(7)];
+    std::vector<int> fanins;
+    // Bias toward recent nodes to get real depth.
+    auto pick_node = [&]() {
+      if (!gates.empty() && rng.next_bool(0.7)) {
+        std::size_t lo = gates.size() > 16 ? gates.size() - 16 : 0;
+        return gates[lo + static_cast<std::size_t>(
+                              rng.next_below(gates.size() - lo))];
+      }
+      return pool[static_cast<std::size_t>(rng.next_below(pool.size()))];
+    };
+    fanins.push_back(pick_node());
+    if (gate_op_arity(op) == 2) {
+      int second = pick_node();
+      while (second == fanins[0]) second = pick_node();
+      fanins.push_back(second);
+    }
+    gates.push_back(
+        g.add_gate(op, "g" + std::to_string(i), std::move(fanins)));
+  }
+  for (int i = 0; i < num_outputs; ++i) {
+    g.add_output("po" + std::to_string(i),
+                 gates[gates.size() - 1 - static_cast<std::size_t>(i) %
+                                              gates.size()]);
+  }
+  return g;
+}
+
+}  // namespace nanomap

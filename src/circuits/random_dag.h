@@ -1,0 +1,31 @@
+// Random netlist generators for property-based tests and microbenchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "map/gate_network.h"
+#include "netlist/rtl_netlist.h"
+
+namespace nanomap {
+
+struct RandomDagSpec {
+  int num_planes = 1;
+  int luts_per_plane = 100;
+  int depth = 10;          // target combinational depth per plane
+  int num_inputs = 16;     // primary inputs feeding plane 0
+  int regs_per_plane = 8;  // flip-flops feeding each plane
+  int max_fanin = 4;
+  std::uint64_t seed = 1;
+};
+
+// Produces a valid multi-plane design: each plane gets a level-structured
+// random LUT DAG of exactly `depth` levels (when luts_per_plane >= depth);
+// plane-p registers are driven from plane p-1 (plane 0's from the last
+// plane, making the circuit sequential). Truth tables are random.
+Design make_random_design(const RandomDagSpec& spec);
+
+// Random combinational 2-input gate network (for FlowMap tests).
+GateNetwork make_random_gates(int num_inputs, int num_gates, int num_outputs,
+                              std::uint64_t seed);
+
+}  // namespace nanomap

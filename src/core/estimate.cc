@@ -1,0 +1,30 @@
+#include "core/estimate.h"
+
+namespace nanomap {
+
+double estimated_level_delay_ps(const ArchParams& arch) {
+  // LUT + intra-SMB hop + the routed share of inter-SMB wires per level
+  // (about half the levels leave the SMB on a length-1 segment).
+  return arch.lut_delay_ps + arch.local_mux_delay_ps +
+         0.45 * arch.len1_wire_delay_ps;
+}
+
+double estimated_folding_cycle_ps(const ArchParams& arch, int level) {
+  NM_CHECK(level >= 1);
+  return static_cast<double>(level) * estimated_level_delay_ps(arch) +
+         arch.reconf_time_ps;
+}
+
+double estimated_circuit_delay_ns(const CircuitParams& params,
+                                  const FoldingConfig& cfg,
+                                  const ArchParams& arch) {
+  const double num_plane = static_cast<double>(std::max(1, params.num_plane));
+  if (cfg.no_folding()) {
+    return num_plane * params.depth_max * estimated_level_delay_ps(arch) /
+           1000.0;
+  }
+  return num_plane * cfg.stages_per_plane *
+         estimated_folding_cycle_ps(arch, cfg.level) / 1000.0;
+}
+
+}  // namespace nanomap

@@ -1,0 +1,30 @@
+// Pre-placement area/delay estimation used by the folding-level search.
+//
+// The iterative flow (paper Fig. 2) needs cheap delay numbers to compare
+// folding levels before committing to placement and routing; the final
+// reported delay always comes from route/sta.cc. The per-level constant
+// lumps the LUT delay with the average local interconnect hop observed
+// after routing (calibrated in EXPERIMENTS.md).
+#pragma once
+
+#include "arch/nature.h"
+#include "core/folding.h"
+#include "netlist/plane.h"
+
+namespace nanomap {
+
+// Average delay of one LUT level including typical local routing (ps).
+double estimated_level_delay_ps(const ArchParams& arch);
+
+// Period of one folding cycle at level p (p LUT levels + reconfiguration).
+double estimated_folding_cycle_ps(const ArchParams& arch, int level);
+
+// End-to-end circuit delay in ns for a folding configuration.
+//  * folded, planes shared:   num_plane * S * cycle
+//  * folded, pipelined:       num_plane * S * cycle (latency through planes)
+//  * no folding:              num_plane * depth_max * level_delay
+double estimated_circuit_delay_ns(const CircuitParams& params,
+                                  const FoldingConfig& cfg,
+                                  const ArchParams& arch);
+
+}  // namespace nanomap

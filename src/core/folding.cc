@@ -1,0 +1,56 @@
+#include "core/folding.h"
+
+#include <algorithm>
+
+namespace nanomap {
+namespace {
+
+int ceil_div(int a, int b) {
+  NM_CHECK(b > 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+int min_folding_stages(const CircuitParams& params, int available_le) {
+  NM_CHECK(available_le > 0);
+  return std::max(1, ceil_div(params.lut_max, available_le));
+}
+
+int folding_level_for_stages(const CircuitParams& params, int stages) {
+  NM_CHECK(stages >= 1);
+  return std::max(1, ceil_div(params.depth_max, stages));
+}
+
+int min_folding_level(const CircuitParams& params, const ArchParams& arch) {
+  if (arch.reconf_unbounded()) return 1;
+  NM_CHECK(arch.num_reconf >= 1);
+  // Eq. 3: #configs = #stages * num_plane <= num_reconf, with
+  // #stages = depth_max / level, hence level >= depth_max*num_plane/k.
+  return std::max(
+      1, ceil_div(params.depth_max * params.num_plane, arch.num_reconf));
+}
+
+int folding_level_no_sharing(const CircuitParams& params, int available_le) {
+  NM_CHECK(available_le > 0);
+  int total = params.total_luts;
+  if (total <= 0) return 1;
+  // Eq. 4: with S stages per plane, resident area ~ sum_i num_LUT_i / S;
+  // requiring that to fit available_le gives S >= total/available_le and
+  // level = ceil(depth_max * available_le / total).
+  return std::max(1, ceil_div(params.depth_max * available_le, total));
+}
+
+FoldingConfig make_folding_config(const CircuitParams& params, int level) {
+  FoldingConfig cfg;
+  if (level <= 0 || params.depth_max == 0) {
+    cfg.level = 0;
+    cfg.stages_per_plane = 1;
+    return cfg;
+  }
+  cfg.level = std::min(level, std::max(1, params.depth_max));
+  cfg.stages_per_plane = ceil_div(std::max(1, params.depth_max), cfg.level);
+  return cfg;
+}
+
+}  // namespace nanomap

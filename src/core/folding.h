@@ -1,0 +1,46 @@
+// Folding-level selection (paper §4.1, Eqs. 1-4).
+//
+// A level-p folding executes p LUT levels per folding cycle and
+// reconfigures between cycles. Level 0 denotes "no folding" (the
+// traditional FPGA case). The closed-form equations here seed the flow's
+// iterative search; core/flow.cc then refines the level against the actual
+// FDS/clustering results.
+#pragma once
+
+#include "arch/nature.h"
+#include "netlist/plane.h"
+
+namespace nanomap {
+
+struct FoldingConfig {
+  int level = 0;             // p (0 = no folding)
+  int stages_per_plane = 1;  // S = ceil(depth_max / p); 1 for no folding
+  bool no_folding() const { return level == 0; }
+  // Number of distinct configurations each resource cycles through when
+  // planes share resources.
+  int total_configs(int num_plane) const {
+    return no_folding() ? 1 : stages_per_plane * num_plane;
+  }
+};
+
+// Eq. 1: minimum number of folding stages so that each stage fits in
+// available_le LEs (LUT_max spread across stages).
+int min_folding_stages(const CircuitParams& params, int available_le);
+
+// Eq. 2: folding level achieving `stages` folding stages for the deepest
+// plane.
+int folding_level_for_stages(const CircuitParams& params, int stages);
+
+// Eq. 3: minimum folding level allowed by the NRAM depth k (all planes'
+// stages must fit in k configuration sets). Returns 1 when k is unbounded.
+int min_folding_level(const CircuitParams& params, const ArchParams& arch);
+
+// Eq. 4: folding level when planes may NOT share resources (pipelined
+// designs resident simultaneously).
+int folding_level_no_sharing(const CircuitParams& params, int available_le);
+
+// Builds the stage count for a chosen level (clamping level to depth_max;
+// level 0 = no folding).
+FoldingConfig make_folding_config(const CircuitParams& params, int level);
+
+}  // namespace nanomap

@@ -1,0 +1,411 @@
+#include "core/temporal_cluster.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace nanomap {
+namespace {
+
+// Lifetime of a LUT's stored value in global cycles, or {c, c} if the
+// value never crosses a cycle boundary.
+// The value occupies a flip-flop during cycles [begin, end - 1]: written at
+// the end of its producing cycle, freed once the last consumer has read it.
+struct ValueLife {
+  int begin = 0;
+  int end = 0;  // cycle of the last consumer; end > begin means storage
+  bool stored() const { return end > begin; }
+};
+
+class Clusterer {
+ public:
+  Clusterer(const Design& design, const DesignSchedule& schedule,
+            const ArchParams& arch)
+      : design_(design),
+        schedule_(schedule),
+        arch_(arch),
+        slots_per_smb_(arch.les_per_smb()),
+        ff_cap_per_smb_(arch.les_per_smb() * arch.ff_per_le) {}
+
+  ClusteredDesign run() {
+    const LutNetwork& net = design_.net;
+    cd_.num_cycles = schedule_.num_global_cycles();
+    cd_.place.assign(static_cast<std::size_t>(net.size()), LutPlacement{});
+    cd_.cycle_of.assign(static_cast<std::size_t>(net.size()), -1);
+
+    compute_cycles_and_lifetimes();
+
+    // Group LUTs per cycle, ordered by (level, id) so fanins come first.
+    std::vector<std::vector<int>> cycle_luts(
+        static_cast<std::size_t>(cd_.num_cycles));
+    for (int id = 0; id < net.size(); ++id) {
+      if (net.node(id).kind != NodeKind::kLut) continue;
+      cycle_luts[static_cast<std::size_t>(
+                     cd_.cycle_of[static_cast<std::size_t>(id)])]
+          .push_back(id);
+    }
+    for (auto& luts : cycle_luts) {
+      std::sort(luts.begin(), luts.end(), [&net](int a, int b) {
+        if (net.node(a).level != net.node(b).level)
+          return net.node(a).level < net.node(b).level;
+        return a < b;
+      });
+    }
+
+    for (int c = 0; c < cd_.num_cycles; ++c) {
+      for (int id : cycle_luts[static_cast<std::size_t>(c)]) place_lut(id, c);
+    }
+    place_plane_registers();
+    extract_nets(cycle_luts);
+    finalize_counts();
+    return std::move(cd_);
+  }
+
+ private:
+  void compute_cycles_and_lifetimes() {
+    const LutNetwork& net = design_.net;
+    life_.assign(static_cast<std::size_t>(net.size()), ValueLife{});
+    for (int id = 0; id < net.size(); ++id) {
+      const LutNode& n = net.node(id);
+      if (n.kind != NodeKind::kLut) continue;
+      const PlaneScheduleGraph& g =
+          schedule_.graphs[static_cast<std::size_t>(n.plane)];
+      int sched_node = g.node_of_lut[static_cast<std::size_t>(id)];
+      NM_CHECK_MSG(sched_node >= 0, "LUT '" << n.name << "' not scheduled");
+      int stage = schedule_.plane_results[static_cast<std::size_t>(n.plane)]
+                      .stage_of[static_cast<std::size_t>(sched_node)];
+      cd_.cycle_of[static_cast<std::size_t>(id)] =
+          schedule_.global_cycle(n.plane, stage);
+    }
+    // Value lifetimes.
+    for (int id = 0; id < net.size(); ++id) {
+      const LutNode& n = net.node(id);
+      if (n.kind != NodeKind::kLut) continue;
+      int c = cd_.cycle_of[static_cast<std::size_t>(id)];
+      ValueLife vl{c, c};
+      for (int out : net.fanouts(id)) {
+        const LutNode& dst = net.node(out);
+        if (dst.kind == NodeKind::kLut) {
+          vl.end =
+              std::max(vl.end, cd_.cycle_of[static_cast<std::size_t>(out)]);
+        } else if (dst.kind == NodeKind::kFlipFlop ||
+                   dst.kind == NodeKind::kOutput) {
+          // Captured at the end of the producing plane's last stage.
+          vl.end = std::max(
+              vl.end, schedule_.global_cycle(
+                          n.plane, schedule_.folding.stages_per_plane));
+        }
+      }
+      life_[static_cast<std::size_t>(id)] = vl;
+    }
+  }
+
+  int open_smb() {
+    int id = cd_.num_smbs++;
+    slot_user_.emplace_back(
+        static_cast<std::size_t>(cd_.num_cycles),
+        std::vector<int>(static_cast<std::size_t>(slots_per_smb_), -1));
+    ff_usage_.emplace_back(static_cast<std::size_t>(cd_.num_cycles), 0);
+    lut_count_.emplace_back(static_cast<std::size_t>(cd_.num_cycles), 0);
+    return id;
+  }
+
+  // Can `smb` accept one more LUT in cycle c whose value occupies FFs over
+  // [ffb, ffe] (ffb > ffe means no storage)?
+  bool fits(int smb, int c, int ffb, int ffe) const {
+    if (lut_count_[static_cast<std::size_t>(smb)]
+                  [static_cast<std::size_t>(c)] >= slots_per_smb_)
+      return false;
+    for (int j = ffb; j <= ffe; ++j) {
+      if (ff_usage_[static_cast<std::size_t>(smb)]
+                   [static_cast<std::size_t>(j)] >= ff_cap_per_smb_)
+        return false;
+    }
+    return true;
+  }
+
+  // Location of the source feeding LUT fanin `f` as seen in cycle c.
+  int source_smb(int f) const {
+    return cd_.place[static_cast<std::size_t>(f)].smb;
+  }
+
+  void place_lut(int id, int c) {
+    const LutNetwork& net = design_.net;
+    const LutNode& n = net.node(id);
+    const ValueLife& vl = life_[static_cast<std::size_t>(id)];
+    int ffb = vl.stored() ? vl.begin : 1;
+    int ffe = vl.stored() ? vl.end - 1 : 0;
+
+    int best = -1;
+    double best_attr = -1.0;
+    for (int m = 0; m < cd_.num_smbs; ++m) {
+      if (!fits(m, c, ffb, ffe)) continue;
+      double attr = 0.0;
+      for (int f : n.fanins) {
+        if (source_smb(f) == m) attr += 3.0;
+      }
+      // Pin sharing with same-cycle occupants (coarse: occupancy-weighted
+      // packing bonus keeps SMBs dense when no connectivity exists).
+      attr += 0.001 * lut_count_[static_cast<std::size_t>(m)]
+                                [static_cast<std::size_t>(c)];
+      // Consumers already placed (cross-cycle attraction, paper Fig. 6a).
+      for (int out : net.fanouts(id)) {
+        if (net.node(out).kind == NodeKind::kLut &&
+            cd_.place[static_cast<std::size_t>(out)].smb == m)
+          attr += 2.0;
+      }
+      if (attr > best_attr) {
+        best_attr = attr;
+        best = m;
+      }
+    }
+    if (best < 0) best = open_smb();
+
+    // Slot: prefer the slot of a fanin producer (LE-local flip-flop feed),
+    // else the lowest free slot.
+    auto& users = slot_user_[static_cast<std::size_t>(best)]
+                            [static_cast<std::size_t>(c)];
+    int slot = -1;
+    for (int f : n.fanins) {
+      const LutPlacement& fp = cd_.place[static_cast<std::size_t>(f)];
+      if (fp.smb == best && fp.slot >= 0 &&
+          users[static_cast<std::size_t>(fp.slot)] == -1) {
+        slot = fp.slot;
+        break;
+      }
+    }
+    if (slot < 0) {
+      // Second preference: a free slot in the same MB as a fanin producer
+      // (the intra-MB crossbar is the fastest path, paper section 2.1.1).
+      for (int f : n.fanins) {
+        const LutPlacement& fp = cd_.place[static_cast<std::size_t>(f)];
+        if (fp.smb != best || fp.slot < 0) continue;
+        int mb_base = (fp.slot / arch_.les_per_mb) * arch_.les_per_mb;
+        for (int sidx = mb_base;
+             sidx < mb_base + arch_.les_per_mb && sidx < slots_per_smb_;
+             ++sidx) {
+          if (users[static_cast<std::size_t>(sidx)] == -1) {
+            slot = sidx;
+            break;
+          }
+        }
+        if (slot >= 0) break;
+      }
+    }
+    if (slot < 0) {
+      for (int sidx = 0; sidx < slots_per_smb_; ++sidx) {
+        if (users[static_cast<std::size_t>(sidx)] == -1) {
+          slot = sidx;
+          break;
+        }
+      }
+    }
+    NM_CHECK(slot >= 0);
+
+    users[static_cast<std::size_t>(slot)] = id;
+    lut_count_[static_cast<std::size_t>(best)][static_cast<std::size_t>(c)]++;
+    cd_.place[static_cast<std::size_t>(id)] = {best, slot};
+    if (vl.stored()) {
+      for (int j = vl.begin; j <= vl.end - 1; ++j)
+        ff_usage_[static_cast<std::size_t>(best)]
+                 [static_cast<std::size_t>(j)]++;
+    }
+  }
+
+  void place_plane_registers() {
+    const LutNetwork& net = design_.net;
+    for (int id = 0; id < net.size(); ++id) {
+      const LutNode& n = net.node(id);
+      if (n.kind != NodeKind::kFlipFlop) continue;
+      int best = -1;
+      double best_attr = -1.0;
+      for (int m = 0; m < cd_.num_smbs; ++m) {
+        bool ok = true;
+        for (int c = 0; c < cd_.num_cycles; ++c) {
+          if (ff_usage_[static_cast<std::size_t>(m)]
+                       [static_cast<std::size_t>(c)] >= ff_cap_per_smb_) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        double attr = 0.0;
+        for (int out : net.fanouts(id)) {
+          if (net.node(out).kind == NodeKind::kLut &&
+              cd_.place[static_cast<std::size_t>(out)].smb == m)
+            attr += 2.0;
+        }
+        for (int f : n.fanins) {
+          if (net.node(f).kind == NodeKind::kLut &&
+              cd_.place[static_cast<std::size_t>(f)].smb == m)
+            attr += 1.0;
+        }
+        if (attr > best_attr) {
+          best_attr = attr;
+          best = m;
+        }
+      }
+      if (best < 0) best = open_smb();
+      cd_.place[static_cast<std::size_t>(id)] = {best, -1};
+      for (int c = 0; c < cd_.num_cycles; ++c)
+        ff_usage_[static_cast<std::size_t>(best)]
+                 [static_cast<std::size_t>(c)]++;
+    }
+  }
+
+  void extract_nets(const std::vector<std::vector<int>>& cycle_luts) {
+    const LutNetwork& net = design_.net;
+    // (driver node, cycle) -> sink smbs.
+    std::map<std::pair<int, int>, std::set<int>> sinks;
+    for (int c = 0; c < cd_.num_cycles; ++c) {
+      for (int id : cycle_luts[static_cast<std::size_t>(c)]) {
+        int my_smb = cd_.place[static_cast<std::size_t>(id)].smb;
+        for (int f : net.node(id).fanins) {
+          const LutNode& src = net.node(f);
+          if (src.kind == NodeKind::kInput) continue;  // chip I/O pads
+          int src_smb = cd_.place[static_cast<std::size_t>(f)].smb;
+          if (src_smb != my_smb) sinks[{f, c}].insert(my_smb);
+        }
+      }
+    }
+    // Flip-flop D captures happen in the driver's cycle.
+    for (int id = 0; id < net.size(); ++id) {
+      const LutNode& n = net.node(id);
+      if (n.kind != NodeKind::kFlipFlop) continue;
+      int f = n.fanins[0];
+      const LutNode& src = net.node(f);
+      if (src.kind != NodeKind::kLut) continue;
+      int src_smb = cd_.place[static_cast<std::size_t>(f)].smb;
+      int my_smb = cd_.place[static_cast<std::size_t>(id)].smb;
+      if (src_smb != my_smb)
+        sinks[{f, cd_.cycle_of[static_cast<std::size_t>(f)]}].insert(my_smb);
+    }
+
+    int depth = std::max(1, design_.net.max_depth());
+    for (const auto& [key, smbs] : sinks) {
+      PlacedNet pn;
+      pn.driver_node = key.first;
+      pn.cycle = key.second;
+      pn.driver_smb = cd_.place[static_cast<std::size_t>(key.first)].smb;
+      pn.sink_smbs.assign(smbs.begin(), smbs.end());
+      const LutNode& drv = net.node(key.first);
+      // Flip-flop (plane register / stored value) nets gate the start of
+      // every consuming cycle's chains — treat them as highly critical so
+      // placement and routing keep them short.
+      pn.criticality =
+          drv.kind == NodeKind::kLut
+              ? static_cast<double>(drv.level) / static_cast<double>(depth)
+              : 0.9;
+      cd_.nets.push_back(std::move(pn));
+    }
+  }
+
+  void finalize_counts() {
+    cd_.les_used = 0;
+    cd_.ffs_peak = 0;
+    cd_.luts_in.assign(
+        static_cast<std::size_t>(cd_.num_cycles),
+        std::vector<std::vector<int>>(static_cast<std::size_t>(cd_.num_smbs)));
+    std::vector<int> global_ff(static_cast<std::size_t>(cd_.num_cycles), 0);
+    for (int m = 0; m < cd_.num_smbs; ++m) {
+      std::vector<bool> slot_used(static_cast<std::size_t>(slots_per_smb_),
+                                  false);
+      int max_ff = 0;
+      for (int c = 0; c < cd_.num_cycles; ++c) {
+        const auto& users =
+            slot_user_[static_cast<std::size_t>(m)][static_cast<std::size_t>(c)];
+        for (int sidx = 0; sidx < slots_per_smb_; ++sidx) {
+          int id = users[static_cast<std::size_t>(sidx)];
+          if (id >= 0) {
+            slot_used[static_cast<std::size_t>(sidx)] = true;
+            cd_.luts_in[static_cast<std::size_t>(c)]
+                       [static_cast<std::size_t>(m)]
+                           .push_back(id);
+          }
+        }
+        int ff = ff_usage_[static_cast<std::size_t>(m)]
+                          [static_cast<std::size_t>(c)];
+        max_ff = std::max(max_ff, ff);
+        global_ff[static_cast<std::size_t>(c)] += ff;
+      }
+      int lut_slots = static_cast<int>(
+          std::count(slot_used.begin(), slot_used.end(), true));
+      int ff_les = (max_ff + arch_.ff_per_le - 1) / arch_.ff_per_le;
+      cd_.les_used += std::max(lut_slots, ff_les);
+    }
+    for (int c = 0; c < cd_.num_cycles; ++c)
+      cd_.ffs_peak = std::max(cd_.ffs_peak,
+                              global_ff[static_cast<std::size_t>(c)]);
+  }
+
+  const Design& design_;
+  const DesignSchedule& schedule_;
+  const ArchParams& arch_;
+  const int slots_per_smb_;
+  const int ff_cap_per_smb_;
+
+  ClusteredDesign cd_;
+  std::vector<ValueLife> life_;  // by LUT node id
+  // Per smb, per cycle: slot -> occupying LUT (-1 free).
+  std::vector<std::vector<std::vector<int>>> slot_user_;
+  std::vector<std::vector<int>> ff_usage_;  // [smb][cycle]
+  std::vector<std::vector<int>> lut_count_; // [smb][cycle]
+};
+
+}  // namespace
+
+ClusteredDesign temporal_cluster(const Design& design,
+                                 const DesignSchedule& schedule,
+                                 const ArchParams& arch) {
+  return Clusterer(design, schedule, arch).run();
+}
+
+void verify_clustering(const Design& design, const DesignSchedule& schedule,
+                       const ArchParams& arch, const ClusteredDesign& cd) {
+  const LutNetwork& net = design.net;
+  const int slots = arch.les_per_smb();
+  // Every LUT placed, slot conflicts absent, per-cycle SMB capacity held.
+  std::vector<std::map<std::pair<int, int>, int>> slot_taken(
+      static_cast<std::size_t>(cd.num_cycles));
+  for (int id = 0; id < net.size(); ++id) {
+    const LutNode& n = net.node(id);
+    if (n.kind == NodeKind::kLut) {
+      const LutPlacement& p = cd.place[static_cast<std::size_t>(id)];
+      NM_CHECK_MSG(p.smb >= 0 && p.smb < cd.num_smbs,
+                   "LUT '" << n.name << "' unplaced");
+      NM_CHECK(p.slot >= 0 && p.slot < slots);
+      int c = cd.cycle_of[static_cast<std::size_t>(id)];
+      NM_CHECK(c >= 0 && c < cd.num_cycles);
+      auto [it, inserted] = slot_taken[static_cast<std::size_t>(c)].try_emplace(
+          {p.smb, p.slot}, id);
+      NM_CHECK_MSG(inserted, "slot conflict in smb " << p.smb << " slot "
+                                                     << p.slot << " cycle "
+                                                     << c);
+    } else if (n.kind == NodeKind::kFlipFlop) {
+      NM_CHECK_MSG(cd.place[static_cast<std::size_t>(id)].smb >= 0,
+                   "flip-flop '" << n.name << "' unplaced");
+    }
+  }
+  // luts_in capacity.
+  for (int c = 0; c < cd.num_cycles; ++c) {
+    for (int m = 0; m < cd.num_smbs; ++m) {
+      NM_CHECK(static_cast<int>(
+                   cd.luts_in[static_cast<std::size_t>(c)]
+                             [static_cast<std::size_t>(m)]
+                                 .size()) <= slots);
+    }
+  }
+  // Nets reference placed endpoints.
+  for (const PlacedNet& pn : cd.nets) {
+    NM_CHECK(pn.driver_smb ==
+             cd.place[static_cast<std::size_t>(pn.driver_node)].smb);
+    NM_CHECK(!pn.sink_smbs.empty());
+    for (int sm : pn.sink_smbs) {
+      NM_CHECK(sm >= 0 && sm < cd.num_smbs && sm != pn.driver_smb);
+    }
+    NM_CHECK(pn.cycle >= 0 && pn.cycle < cd.num_cycles);
+  }
+  (void)schedule;
+}
+
+}  // namespace nanomap

@@ -1,0 +1,88 @@
+// Temporal clustering: packing scheduled LUTs into LEs -> MBs -> SMBs
+// (paper §4.3).
+//
+// Because of temporal logic folding a physical LE is shared by logic from
+// different folding cycles, so clustering considers, for every candidate
+// SMB, a LUT's attraction accumulated across *all* cycles: fanin sources
+// already living there (including values stored in the SMB's flip-flops by
+// earlier cycles), consumers already placed there, and same-cycle shared
+// inputs (timing criticality and pin sharing, after [16]).
+//
+// Capacity model per SMB and folding cycle: les_per_smb() LUT slots and
+// les_per_smb()*ff_per_le flip-flops. A stored value occupies a flip-flop
+// of the SMB where its producer LUT resides, from its producing cycle to
+// its last consuming cycle; plane registers are assigned to an SMB once
+// and hold flip-flops in every cycle.
+#pragma once
+
+#include <vector>
+
+#include "arch/nature.h"
+#include "core/fds.h"
+#include "core/schedule_graph.h"
+
+namespace nanomap {
+
+// Where a LUT (or flip-flop) physically lives.
+struct LutPlacement {
+  int smb = -1;
+  int slot = -1;  // LE index within the SMB [0, les_per_smb)
+};
+
+// An inter-SMB connection to route in one folding cycle.
+struct PlacedNet {
+  int driver_node = -1;  // LutNetwork node id (LUT or flip-flop)
+  int cycle = 0;         // global folding cycle
+  int driver_smb = -1;
+  std::vector<int> sink_smbs;  // deduplicated, != driver_smb
+  double criticality = 0.0;    // 0..1, fraction of plane depth consumed
+};
+
+struct ClusteredDesign {
+  int num_cycles = 1;  // global folding cycles (plane-major)
+  int num_smbs = 0;
+  int les_used = 0;    // area metric (paper's #LEs)
+  int ffs_peak = 0;    // max flip-flops alive in any cycle
+  // Indexed by LutNetwork node id; LUTs get smb+slot, flip-flops smb only.
+  std::vector<LutPlacement> place;
+  // Global cycle in which each LUT executes (-1 for non-LUT nodes).
+  std::vector<int> cycle_of;
+  // Inter-SMB nets per cycle (intra-SMB connections need no routing).
+  std::vector<PlacedNet> nets;
+  // Per (cycle, smb) LUT lists, for capacity verification and bitstream
+  // generation: luts_in[cycle][smb] -> LUT node ids.
+  std::vector<std::vector<std::vector<int>>> luts_in;
+};
+
+// Scheduling results for all planes (index = plane).
+struct DesignSchedule {
+  FoldingConfig folding;
+  bool planes_share = true;  // multi-plane resource sharing (paper §4.1)
+  std::vector<PlaneScheduleGraph> graphs;
+  std::vector<FdsResult> plane_results;
+
+  // Global cycle of (plane, stage). With sharing, cycles are plane-major;
+  // without sharing, planes run concurrently so cycles coincide.
+  int global_cycle(int plane, int stage) const {
+    if (!planes_share) return stage - 1;
+    return plane * folding.stages_per_plane + (stage - 1);
+  }
+  int num_global_cycles() const {
+    return planes_share
+               ? static_cast<int>(graphs.size()) * folding.stages_per_plane
+               : folding.stages_per_plane;
+  }
+};
+
+// Packs the scheduled design into SMBs and extracts inter-SMB nets.
+ClusteredDesign temporal_cluster(const Design& design,
+                                 const DesignSchedule& schedule,
+                                 const ArchParams& arch);
+
+// Validates the capacity invariants (each cycle: <= les_per_smb LUTs per
+// SMB, flip-flop usage within capacity, every LUT placed exactly once).
+// Throws CheckError on violation.
+void verify_clustering(const Design& design, const DesignSchedule& schedule,
+                       const ArchParams& arch, const ClusteredDesign& cd);
+
+}  // namespace nanomap

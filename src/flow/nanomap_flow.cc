@@ -1,0 +1,329 @@
+#include "flow/nanomap_flow.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/log.h"
+
+namespace nanomap {
+namespace {
+
+// A scheduled+clustered candidate at one folding level.
+struct Candidate {
+  bool valid = false;
+  int level = -1;  // 0 = no folding
+  FoldingConfig cfg;
+  DesignSchedule schedule;
+  ClusteredDesign clustered;
+  std::vector<FdsResult> plane_results;
+  int les = 0;
+  double est_delay_ns = 0.0;
+};
+
+class FlowEngine {
+ public:
+  FlowEngine(const Design& design, const FlowOptions& options)
+      : design_(design), options_(options) {
+    options_.arch.validate();
+    params_ = extract_circuit_params(design.net);
+  }
+
+  FlowResult run() {
+    auto t0 = std::chrono::steady_clock::now();
+    FlowResult result;
+    result.params = params_;
+
+    std::vector<int> candidates = candidate_levels();
+    std::ostringstream log;
+    log << "objective " << objective_name(options_.objective)
+        << ", candidate levels:";
+    for (int lv : candidates) log << " " << lv;
+
+    // For AT-product optimization rank all candidates by their *measured*
+    // post-clustering area times the estimated delay; for the other
+    // objectives the candidate order already encodes preference.
+    if (options_.objective == Objective::kAreaDelayProduct &&
+        options_.forced_folding_level < 0) {
+      rank_by_at_product(&candidates, &log);
+    }
+
+    for (int level : candidates) {
+      ++result.levels_tried;
+      Candidate& cand = evaluate_cached(level);
+      if (!cand.valid) {
+        log << " | L" << level << ": infeasible schedule";
+        continue;
+      }
+      if (options_.area_constraint_le > 0 &&
+          cand.les > options_.area_constraint_le) {
+        log << " | L" << level << ": area " << cand.les << " > "
+            << options_.area_constraint_le;
+        continue;
+      }
+      if (options_.delay_constraint_ns > 0.0 &&
+          cand.est_delay_ns > options_.delay_constraint_ns * 1.25) {
+        // Clearly hopeless even before placement (25% estimate margin).
+        log << " | L" << level << ": est delay " << cand.est_delay_ns
+            << " >> " << options_.delay_constraint_ns;
+        continue;
+      }
+
+      if (!finish(cand, &result, &log)) continue;  // physical fallback
+      if (options_.delay_constraint_ns > 0.0 &&
+          result.delay_ns > options_.delay_constraint_ns) {
+        log << " | L" << level << ": delay " << result.delay_ns << " > "
+            << options_.delay_constraint_ns;
+        continue;
+      }
+      result.feasible = true;
+      break;
+    }
+
+    if (!result.feasible)
+      log << " | no folding level satisfies the constraints";
+    result.message = log.str();
+    result.cpu_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;
+  }
+
+ private:
+  // --- candidate generation ------------------------------------------------
+
+  int min_level() const { return min_folding_level(params_, options_.arch); }
+
+  bool no_folding_fits_area() const {
+    if (options_.area_constraint_le <= 0) return true;
+    int les = std::max(params_.total_luts,
+                       (params_.total_flipflops + options_.arch.ff_per_le -
+                        1) /
+                           options_.arch.ff_per_le);
+    return les <= options_.area_constraint_le;
+  }
+
+  std::vector<int> candidate_levels() const {
+    if (options_.forced_folding_level >= 0)
+      return {options_.forced_folding_level};
+
+    const int lo = min_level();
+    const int hi = std::max(lo, params_.depth_max);
+    std::vector<int> levels;
+    switch (options_.objective) {
+      case Objective::kMinDelay: {
+        if (options_.area_constraint_le <= 0) return {0};
+        if (no_folding_fits_area()) levels.push_back(0);
+        int start;
+        if (options_.planes_share) {
+          int stages =
+              min_folding_stages(params_, options_.area_constraint_le);
+          start = folding_level_for_stages(params_, stages);
+        } else {
+          start = folding_level_no_sharing(params_,
+                                           options_.area_constraint_le);
+        }
+        start = std::clamp(start, lo, hi);
+        for (int lv = start; lv >= lo; --lv) levels.push_back(lv);
+        break;
+      }
+      case Objective::kMinArea: {
+        for (int lv = lo; lv <= hi; ++lv) levels.push_back(lv);
+        levels.push_back(0);
+        break;
+      }
+      case Objective::kMeetBoth: {
+        if (no_folding_fits_area()) levels.push_back(0);
+        for (int lv = hi; lv >= lo; --lv) levels.push_back(lv);
+        break;
+      }
+      case Objective::kAreaDelayProduct: {
+        for (int lv = lo; lv <= hi; ++lv) levels.push_back(lv);
+        levels.push_back(0);
+        break;
+      }
+    }
+    return levels;
+  }
+
+  // Runs the (cheap) schedule+cluster evaluation for every candidate level
+  // and orders the levels by measured #LEs x estimated delay, so the
+  // physical flow is attempted best-product-first.
+  void rank_by_at_product(std::vector<int>* levels, std::ostringstream* log) {
+    std::vector<std::pair<double, int>> ranked;
+    for (int lv : *levels) {
+      const Candidate& cand = evaluate_cached(lv);
+      if (!cand.valid) continue;
+      ranked.push_back({cand.les * cand.est_delay_ns, lv});
+    }
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    levels->clear();
+    for (auto& [at, lv] : ranked) levels->push_back(lv);
+    if (!levels->empty()) *log << " | AT ranking best L" << levels->front();
+  }
+
+  // --- evaluation -----------------------------------------------------------
+
+  Candidate& evaluate_cached(int level) {
+    auto it = cache_.find(level);
+    if (it == cache_.end())
+      it = cache_.emplace(level, evaluate(level)).first;
+    return it->second;
+  }
+
+  Candidate evaluate(int level) {
+    Candidate cand;
+    cand.level = level;
+    cand.cfg = make_folding_config(params_, level);
+
+    // Respect the NRAM depth.
+    if (!cand.cfg.no_folding() && !options_.arch.reconf_unbounded() &&
+        options_.planes_share &&
+        cand.cfg.total_configs(params_.num_plane) >
+            options_.arch.num_reconf) {
+      return cand;
+    }
+
+    DesignSchedule sched;
+    sched.folding = cand.cfg;
+    sched.planes_share = cand.cfg.no_folding() ? false : options_.planes_share;
+    FdsOptions fds_opts;
+    fds_opts.scheduler =
+        options_.use_fds ? options_.scheduler : SchedulerKind::kAsap;
+    fds_opts.refine = options_.refine_schedule;
+    for (int p = 0; p < params_.num_plane; ++p) {
+      PlaneScheduleGraph graph = build_schedule_graph(design_, p, cand.cfg);
+      if (!graph.feasible) return cand;
+      FdsResult fr = schedule_plane(graph, options_.arch, fds_opts);
+      if (!fr.feasible) return cand;
+      sched.graphs.push_back(std::move(graph));
+      sched.plane_results.push_back(std::move(fr));
+    }
+
+    cand.clustered = temporal_cluster(design_, sched, options_.arch);
+    verify_clustering(design_, sched, options_.arch, cand.clustered);
+    cand.les = cand.clustered.les_used;
+    cand.est_delay_ns =
+        estimated_circuit_delay_ns(params_, cand.cfg, options_.arch);
+    cand.plane_results = sched.plane_results;
+    cand.schedule = std::move(sched);
+    cand.valid = true;
+    return cand;
+  }
+
+  // Physical flow; returns false to make the search fall back to the next
+  // folding level (paper steps 13/14).
+  bool finish(Candidate& cand, FlowResult* result, std::ostringstream* log) {
+    result->folding = cand.cfg;
+    result->num_les = cand.les;
+    result->num_smbs = cand.clustered.num_smbs;
+    result->peak_ffs = cand.clustered.ffs_peak;
+    result->area_um2 =
+        cand.clustered.num_smbs * options_.arch.smb_area_um2();
+    result->estimated_delay_ns = cand.est_delay_ns;
+    result->plane_schedules = cand.plane_results;
+
+    if (!options_.run_physical) {
+      result->delay_ns = cand.est_delay_ns;
+      result->folding_cycle_ns =
+          cand.cfg.no_folding()
+              ? 0.0
+              : estimated_folding_cycle_ps(options_.arch, cand.cfg.level) /
+                    1000.0;
+      result->schedule = std::move(cand.schedule);
+      result->clustered = std::move(cand.clustered);
+      return true;
+    }
+
+    // Placement + routing, with fresh-seed retries before giving the level
+    // up (paper step 13's "several attempts are made to refine the
+    // placement").
+    PlacementResult placed;
+    RoutingResult routed;
+    bool route_ok = false;
+    for (int attempt = 0; attempt < 3 && !route_ok; ++attempt) {
+      PlacementOptions popts = options_.placement;
+      popts.seed = options_.seed + static_cast<std::uint64_t>(attempt);
+      placed = place_design(cand.clustered, options_.arch, popts);
+      if (!placed.screen_passed) {
+        // Advisory only — the router below is the authoritative check.
+        *log << " | L" << cand.level << ": routability screen high (util "
+             << placed.routability.peak_utilization << "), routing anyway";
+      }
+      RrGraph rr(placed.placement.grid, options_.arch);
+      routed = route_design(cand.clustered, placed.placement, rr,
+                            options_.router);
+      route_ok = routed.success;
+      if (!route_ok) {
+        *log << " | L" << cand.level << ": routing failed ("
+             << routed.overused_nodes << " overused, attempt "
+             << (attempt + 1) << ")";
+      }
+    }
+    if (!route_ok) return false;
+
+    TimingReport timing =
+        analyze_timing(design_, cand.schedule, cand.clustered,
+                       placed.placement, &routed, options_.arch);
+
+    result->delay_ns = timing.circuit_delay_ns;
+    result->folding_cycle_ns = timing.folding_cycle_ns;
+    result->bitmap = generate_bitmap(design_, cand.schedule, cand.clustered,
+                                     &routed, options_.arch);
+    if (!result->bitmap.fits_nram(options_.arch)) {
+      *log << " | L" << cand.level << ": bitmap exceeds NRAM depth";
+      return false;
+    }
+    result->timing = std::move(timing);
+    result->routing = std::move(routed);
+    result->placement = std::move(placed);
+    result->schedule = std::move(cand.schedule);
+    result->clustered = std::move(cand.clustered);
+    return true;
+  }
+
+  const Design& design_;
+  FlowOptions options_;
+  CircuitParams params_;
+  std::map<int, Candidate> cache_;
+};
+
+}  // namespace
+
+const char* objective_name(Objective objective) {
+  switch (objective) {
+    case Objective::kAreaDelayProduct: return "area-delay-product";
+    case Objective::kMinDelay: return "min-delay";
+    case Objective::kMinArea: return "min-area";
+    case Objective::kMeetBoth: return "meet-constraints";
+  }
+  return "?";
+}
+
+FlowResult run_nanomap(const Design& design, const FlowOptions& options) {
+  return FlowEngine(design, options).run();
+}
+
+std::string summarize(const FlowResult& r) {
+  std::ostringstream os;
+  if (!r.feasible) {
+    os << "INFEASIBLE (" << r.message << ")";
+    return os.str();
+  }
+  os << "level ";
+  if (r.folding.no_folding())
+    os << "no-folding";
+  else
+    os << r.folding.level << " (" << r.folding.stages_per_plane
+       << " stages/plane)";
+  os << ", " << r.num_les << " LEs, " << r.num_smbs << " SMBs, delay "
+     << r.delay_ns << " ns, cycle " << r.folding_cycle_ns << " ns";
+  return os.str();
+}
+
+}  // namespace nanomap

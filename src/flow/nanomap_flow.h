@@ -1,0 +1,102 @@
+// NanoMap: the integrated design optimization flow (paper §4, Fig. 2).
+//
+// Given an elaborated Design, the flow
+//   1. extracts the circuit parameters (planes, LUT counts, depths),
+//   2. searches folding levels per the user objective, seeding the search
+//      with Eqs. 1-4 and evaluating each candidate with FDS + temporal
+//      clustering (the authoritative area check, flow step 8),
+//   3. runs temporal placement (two-step SA with routability/delay screen),
+//      falling back to the next folding level if the screen or the router
+//      fails (steps 13/14 -> step 2),
+//   4. routes every folding cycle with PathFinder, runs STA, and emits the
+//      per-cycle configuration bitmap.
+//
+// Objectives mirror the paper's experiments: area-delay-product
+// minimization (Table 1), delay minimization under an optional area
+// constraint, area minimization under an optional delay constraint, and
+// meeting a joint area+delay constraint pair (Table 2).
+#pragma once
+
+#include <string>
+
+#include "bitstream/bitmap.h"
+#include "core/estimate.h"
+#include "core/fds.h"
+#include "core/folding.h"
+#include "core/temporal_cluster.h"
+#include "place/placement.h"
+#include "route/pathfinder.h"
+#include "route/sta.h"
+
+namespace nanomap {
+
+enum class Objective {
+  kAreaDelayProduct,  // minimize #LEs x delay
+  kMinDelay,          // minimize delay (optional area constraint)
+  kMinArea,           // minimize #LEs (optional delay constraint)
+  kMeetBoth,          // any solution meeting both constraints
+};
+
+const char* objective_name(Objective objective);
+
+struct FlowOptions {
+  ArchParams arch = ArchParams::paper_instance();
+  Objective objective = Objective::kAreaDelayProduct;
+  int area_constraint_le = 0;       // 0 = unconstrained
+  double delay_constraint_ns = 0.0; // 0 = unconstrained
+  // Multi-plane resource sharing (§4.1). false models pipelined designs
+  // whose planes must stay resident simultaneously.
+  bool planes_share = true;
+  // -1 = search; 0 = force no-folding; >0 = force level-p folding.
+  int forced_folding_level = -1;
+  bool run_physical = true;  // placement + routing + STA + bitmap
+  bool use_fds = true;       // false: ASAP scheduling (ablation shortcut)
+  SchedulerKind scheduler = SchedulerKind::kFds;  // overridden by use_fds=false
+  bool refine_schedule = true;  // post-scheduling rebalancing sweeps
+  std::uint64_t seed = 42;
+  PlacementOptions placement;
+  RouterOptions router;
+};
+
+struct FlowResult {
+  bool feasible = false;
+  std::string message;  // why infeasible / which fallbacks happened
+
+  CircuitParams params;
+  FoldingConfig folding;
+
+  // Area.
+  int num_les = 0;   // paper's area metric (post-clustering)
+  int num_smbs = 0;
+  double area_um2 = 0.0;
+  int peak_ffs = 0;
+
+  // Delay.
+  double delay_ns = 0.0;          // STA when physical ran, else estimate
+  double folding_cycle_ns = 0.0;
+  double estimated_delay_ns = 0.0;
+
+  // Stage-by-stage usage (flattened per plane; for reports and Fig. 1).
+  std::vector<FdsResult> plane_schedules;
+
+  DesignSchedule schedule;
+  ClusteredDesign clustered;
+  PlacementResult placement;
+  RoutingResult routing;
+  TimingReport timing;
+  ConfigBitmap bitmap;
+
+  int levels_tried = 0;
+  double cpu_seconds = 0.0;
+
+  double area_delay_product() const {
+    return static_cast<double>(num_les) * delay_ns;
+  }
+};
+
+FlowResult run_nanomap(const Design& design, const FlowOptions& options);
+
+// One-line summary for reports.
+std::string summarize(const FlowResult& result);
+
+}  // namespace nanomap

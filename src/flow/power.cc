@@ -1,0 +1,130 @@
+#include "flow/power.h"
+
+#include <algorithm>
+
+namespace nanomap {
+
+PowerReport estimate_power(const Design& design,
+                           const DesignSchedule& schedule,
+                           const ClusteredDesign& clustered,
+                           const RoutingResult& routing,
+                           const ConfigBitmap& bitmap,
+                           const TimingReport& timing,
+                           const ArchParams& arch,
+                           const PowerParams& params) {
+  const LutNetwork& net = design.net;
+  PowerReport report;
+
+  // --- logic dynamic energy: every LUT evaluates once per pass; flip-flop
+  // writes = stored values + plane-register captures.
+  long ff_writes = net.num_flipflops();
+  for (int id = 0; id < net.size(); ++id) {
+    const LutNode& n = net.node(id);
+    if (n.kind != NodeKind::kLut) continue;
+    int c = clustered.cycle_of[static_cast<std::size_t>(id)];
+    for (int out : net.fanouts(id)) {
+      const LutNode& dst = net.node(out);
+      if (dst.kind == NodeKind::kLut &&
+          clustered.cycle_of[static_cast<std::size_t>(out)] > c) {
+        ++ff_writes;  // the value is parked in the LE's flip-flop
+        break;
+      }
+    }
+  }
+  report.logic_pj = params.switching_activity *
+                    (net.num_luts() * params.lut_eval_pj +
+                     ff_writes * params.ff_write_pj);
+
+  // --- interconnect dynamic energy from the routed wire mix, plus local
+  // hops for the intra-SMB connections that never reach the router.
+  double wire = routing.usage.direct * params.wire_direct_pj +
+                routing.usage.len1 * params.wire_len1_pj +
+                routing.usage.len4 * params.wire_len4_pj +
+                routing.usage.global * params.wire_global_pj;
+  long local_hops = 0;
+  for (int id = 0; id < net.size(); ++id) {
+    const LutNode& n = net.node(id);
+    if (n.kind != NodeKind::kLut) continue;
+    for (int f : n.fanins) {
+      if (net.node(f).kind == NodeKind::kOutput) continue;
+      if (clustered.place[static_cast<std::size_t>(f)].smb ==
+          clustered.place[static_cast<std::size_t>(id)].smb)
+        ++local_hops;
+    }
+  }
+  wire += local_hops * params.wire_local_pj;
+  report.wire_pj = params.switching_activity * wire;
+
+  // --- reconfiguration energy: each folding cycle reads its configuration
+  // word out of the NRAMs (no-folding designs configure once and pay
+  // nothing per pass).
+  if (!schedule.folding.no_folding() && bitmap.num_cycles > 1) {
+    report.reconfig_pj = static_cast<double>(bitmap.total_bits) *
+                         params.nram_read_pj_per_bit;
+  }
+
+  report.energy_per_pass_pj =
+      report.logic_pj + report.wire_pj + report.reconfig_pj;
+  report.pass_time_ns = timing.circuit_delay_ns;
+  if (report.pass_time_ns > 0.0) {
+    // pJ / ns = mW.
+    report.power_mw = report.energy_per_pass_pj / report.pass_time_ns;
+  }
+
+  // --- configuration standby power: what an SRAM store of the same
+  // capacity would leak; the NRAM store leaks nothing.
+  report.config_standby_sram_mw = static_cast<double>(bitmap.total_bits) *
+                                  params.sram_leak_nw_per_bit * 1e-6;
+  report.config_standby_nram_mw = 0.0;
+  (void)arch;
+  return report;
+}
+
+BitmapDeltaStats bitmap_delta_stats(const ConfigBitmap& bitmap,
+                                    const ArchParams& arch) {
+  BitmapDeltaStats stats;
+  if (bitmap.num_cycles == 0 || bitmap.num_smbs == 0) return stats;
+  const std::size_t truth_bits = std::size_t{1}
+                                 << static_cast<std::size_t>(arch.lut_size);
+  stats.per_cycle_bits = static_cast<std::size_t>(bitmap.num_smbs) *
+                         static_cast<std::size_t>(arch.les_per_smb()) *
+                         (truth_bits + 8);
+
+  auto le_bits_differ = [&](const LeConfig& a, const LeConfig& b) {
+    std::size_t diff = 0;
+    if (a.lut_used != b.lut_used) diff += 1;
+    if (a.lut_used && b.lut_used) {
+      std::uint64_t x = a.truth ^ b.truth;
+      diff += static_cast<std::size_t>(__builtin_popcountll(x));
+      std::size_t common = std::min(a.input_sel.size(), b.input_sel.size());
+      for (std::size_t i = 0; i < common; ++i)
+        if (a.input_sel[i] != b.input_sel[i]) diff += 6;
+      diff += 6 * (std::max(a.input_sel.size(), b.input_sel.size()) - common);
+    } else if (a.lut_used || b.lut_used) {
+      diff += truth_bits;
+    }
+    if (a.ff_write_mask != b.ff_write_mask) diff += 1;
+    return diff;
+  };
+
+  double total = 0.0;
+  int transitions = 0;
+  for (int c = 1; c < bitmap.num_cycles; ++c) {
+    std::size_t changed = 0;
+    const CycleConfig& prev = bitmap.cycles[static_cast<std::size_t>(c - 1)];
+    const CycleConfig& cur = bitmap.cycles[static_cast<std::size_t>(c)];
+    for (int m = 0; m < bitmap.num_smbs; ++m) {
+      const SmbConfig& pa = prev.smbs[static_cast<std::size_t>(m)];
+      const SmbConfig& pb = cur.smbs[static_cast<std::size_t>(m)];
+      for (std::size_t le = 0; le < pa.les.size(); ++le)
+        changed += le_bits_differ(pa.les[le], pb.les[le]);
+    }
+    total += static_cast<double>(changed);
+    stats.max_changed_bits = std::max(stats.max_changed_bits, changed);
+    ++transitions;
+  }
+  if (transitions > 0) stats.avg_changed_bits = total / transitions;
+  return stats;
+}
+
+}  // namespace nanomap

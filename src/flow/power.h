@@ -1,0 +1,76 @@
+// Analytic power/energy model for mapped designs on NATURE.
+//
+// The paper motivates NRAM configuration storage partly on power grounds
+// (§1): configuration bits live in non-volatile nanotube RAM, so they leak
+// no standby power and never need reloading from off-chip, unlike the
+// SRAM configuration cells of a conventional FPGA. This model quantifies
+// that story for a concrete mapping:
+//
+//   * dynamic logic energy  — LUT evaluations + flip-flop writes per pass
+//     (one pass = all folding cycles = one clock of the unfolded design);
+//   * dynamic wire energy   — per routed wire segment, by type;
+//   * reconfiguration energy — NRAM reads refreshing the SRAM shadow bits
+//     each folding cycle;
+//   * configuration standby  — the leakage an SRAM-based configuration
+//     store of the same capacity would burn (NRAM: none).
+//
+// Constants are representative 100 nm numbers (same spirit as the timing
+// model); EXPERIMENTS.md discusses calibration. All energies in pJ, power
+// in mW.
+#pragma once
+
+#include "arch/nature.h"
+#include "bitstream/bitmap.h"
+#include "route/pathfinder.h"
+#include "route/sta.h"
+
+namespace nanomap {
+
+struct PowerParams {
+  double lut_eval_pj = 0.8;        // one LUT evaluation incl. input muxes
+  double ff_write_pj = 0.15;       // one flip-flop capture
+  double wire_mb_pj = 0.08;        // intra-MB hop
+  double wire_local_pj = 0.15;     // intra-SMB hop
+  double wire_direct_pj = 0.30;
+  double wire_len1_pj = 0.50;
+  double wire_len4_pj = 1.40;
+  double wire_global_pj = 3.00;
+  double nram_read_pj_per_bit = 0.02;       // per reconfiguration bit read
+  double sram_leak_nw_per_bit = 0.05;       // SRAM config cell standby
+  double switching_activity = 0.25;         // fraction of nets toggling
+};
+
+struct PowerReport {
+  double logic_pj = 0.0;      // LUT + FF dynamic energy per pass
+  double wire_pj = 0.0;       // interconnect dynamic energy per pass
+  double reconfig_pj = 0.0;   // NRAM->SRAM refresh energy per pass
+  double energy_per_pass_pj = 0.0;
+  double pass_time_ns = 0.0;  // latency of one pass
+  double power_mw = 0.0;      // dynamic power at full rate
+  // Standby power of the configuration store.
+  double config_standby_sram_mw = 0.0;  // volatile SRAM equivalent
+  double config_standby_nram_mw = 0.0;  // NRAM: zero (non-volatile)
+};
+
+PowerReport estimate_power(const Design& design,
+                           const DesignSchedule& schedule,
+                           const ClusteredDesign& clustered,
+                           const RoutingResult& routing,
+                           const ConfigBitmap& bitmap,
+                           const TimingReport& timing,
+                           const ArchParams& arch,
+                           const PowerParams& params = {});
+
+// Reconfiguration locality: how many configuration bits actually change
+// between consecutive folding cycles (an incremental NRAM reader would
+// only refresh these).
+struct BitmapDeltaStats {
+  std::size_t per_cycle_bits = 0;   // full configuration word size
+  double avg_changed_bits = 0.0;    // between consecutive cycles
+  std::size_t max_changed_bits = 0;
+};
+
+BitmapDeltaStats bitmap_delta_stats(const ConfigBitmap& bitmap,
+                                    const ArchParams& arch);
+
+}  // namespace nanomap

@@ -1,0 +1,297 @@
+#include "map/bench_format.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "map/flowmap.h"
+#include "map/gate_network.h"
+#include "util/strings.h"
+
+namespace nanomap {
+namespace {
+
+struct GateDecl {
+  std::string name;
+  std::string op;  // upper-cased
+  std::vector<std::string> args;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw InputError("bench line " + std::to_string(line) + ": " + msg);
+}
+
+GateOp to_gate_op(const std::string& op, int line) {
+  if (op == "AND") return GateOp::kAnd;
+  if (op == "OR") return GateOp::kOr;
+  if (op == "NAND") return GateOp::kNand;
+  if (op == "NOR") return GateOp::kNor;
+  if (op == "XOR") return GateOp::kXor;
+  if (op == "XNOR") return GateOp::kXnor;
+  if (op == "NOT") return GateOp::kNot;
+  if (op == "BUFF" || op == "BUF") return GateOp::kBuf;
+  fail(line, "unknown gate type '" + op + "'");
+}
+
+// For NAND/NOR/XNOR trees, the inner nodes use the non-inverting op and
+// only the root inverts.
+GateOp inner_op(GateOp op) {
+  switch (op) {
+    case GateOp::kNand: return GateOp::kAnd;
+    case GateOp::kNor: return GateOp::kOr;
+    case GateOp::kXnor: return GateOp::kXor;
+    default: return op;
+  }
+}
+
+}  // namespace
+
+Design parse_bench(const std::string& text, int lut_size) {
+  // ---- parse ----------------------------------------------------------------
+  std::vector<std::string> inputs, outputs;
+  std::vector<GateDecl> gates;
+  {
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      std::string_view sv = trim(raw);
+      auto hash = sv.find('#');
+      if (hash != std::string_view::npos) sv = trim(sv.substr(0, hash));
+      if (sv.empty()) continue;
+      std::string line(sv);
+      // Normalize case of keywords while keeping signal names intact:
+      // .bench names are case-sensitive in the wild but keywords vary.
+      auto paren = line.find('(');
+      auto eq = line.find('=');
+      if (eq == std::string::npos) {
+        // INPUT(x) / OUTPUT(x)
+        if (paren == std::string::npos || line.back() != ')')
+          fail(line_no, "malformed directive: " + line);
+        std::string kw = line.substr(0, paren);
+        std::string name(trim(line.substr(paren + 1,
+                                          line.size() - paren - 2)));
+        std::string kw_up = kw;
+        std::transform(kw_up.begin(), kw_up.end(), kw_up.begin(),
+                       [](char c) { return static_cast<char>(std::toupper(
+                             static_cast<unsigned char>(c))); });
+        std::string kw_trim(trim(kw_up));
+        if (kw_trim == "INPUT")
+          inputs.push_back(name);
+        else if (kw_trim == "OUTPUT")
+          outputs.push_back(name);
+        else
+          fail(line_no, "unknown directive '" + kw + "'");
+        continue;
+      }
+      // name = OP(a, b, ...)
+      GateDecl g;
+      g.line = line_no;
+      g.name = std::string(trim(line.substr(0, eq)));
+      std::string rhs(trim(line.substr(eq + 1)));
+      auto p = rhs.find('(');
+      if (p == std::string::npos || rhs.back() != ')')
+        fail(line_no, "malformed gate: " + line);
+      g.op = std::string(trim(rhs.substr(0, p)));
+      std::transform(g.op.begin(), g.op.end(), g.op.begin(), [](char c) {
+        return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      });
+      for (const std::string& a :
+           split(rhs.substr(p + 1, rhs.size() - p - 2), ',')) {
+        g.args.emplace_back(trim(a));
+      }
+      if (g.args.empty()) fail(line_no, "gate with no inputs: " + line);
+      gates.push_back(std::move(g));
+    }
+  }
+  if (inputs.empty() && gates.empty())
+    throw InputError("bench: empty netlist");
+
+  // ---- build the combinational core -----------------------------------------
+  // DFF outputs act as core inputs; DFF D-signals become core outputs.
+  GateNetwork core;
+  std::map<std::string, int> node_of;
+  std::vector<const GateDecl*> dffs;
+
+  for (const std::string& n : inputs) {
+    if (!node_of.emplace(n, core.add_input(n)).second)
+      throw InputError("bench: duplicate input '" + n + "'");
+  }
+  for (const GateDecl& g : gates) {
+    if (g.op == "DFF") {
+      if (g.args.size() != 1) fail(g.line, "DFF takes one input");
+      if (!node_of.emplace(g.name, core.add_input(g.name)).second)
+        fail(g.line, "duplicate signal '" + g.name + "'");
+      dffs.push_back(&g);
+    }
+  }
+
+  // Combinational gates may appear in any order: fixpoint elaboration with
+  // balanced n-ary decomposition.
+  std::vector<bool> done(gates.size(), false);
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    if (gates[i].op == "DFF")
+      done[i] = true;
+    else
+      ++remaining;
+  }
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (done[i]) continue;
+      const GateDecl& g = gates[i];
+      std::vector<int> args;
+      bool ready = true;
+      for (const std::string& a : g.args) {
+        auto it = node_of.find(a);
+        if (it == node_of.end()) {
+          ready = false;
+          break;
+        }
+        args.push_back(it->second);
+      }
+      if (!ready) continue;
+
+      GateOp op = to_gate_op(g.op, g.line);
+      int node;
+      if (gate_op_arity(op) == 1) {
+        if (args.size() != 1)
+          fail(g.line, "'" + g.op + "' takes one input");
+        node = core.add_gate(op, g.name, {args[0]});
+      } else if (args.size() == 1) {
+        // Single-input AND/OR in the wild act as buffers.
+        node = core.add_gate(GateOp::kBuf, g.name, {args[0]});
+      } else {
+        // Balanced reduction tree; invert only at the root.
+        GateOp mid = inner_op(op);
+        std::vector<int> layer = args;
+        int tmp = 0;
+        while (layer.size() > 2) {
+          std::vector<int> next;
+          for (std::size_t k = 0; k + 1 < layer.size(); k += 2) {
+            next.push_back(core.add_gate(
+                mid, g.name + "~t" + std::to_string(tmp++),
+                {layer[k], layer[k + 1]}));
+          }
+          if (layer.size() % 2 == 1) next.push_back(layer.back());
+          layer = next;
+        }
+        node = core.add_gate(op, g.name, {layer[0], layer[1]});
+      }
+      if (!node_of.emplace(g.name, node).second)
+        fail(g.line, "duplicate signal '" + g.name + "'");
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+      if (!done[i])
+        fail(gates[i].line,
+             "unresolved inputs (cycle or undefined signal) for '" +
+                 gates[i].name + "'");
+    }
+  }
+
+  // Core outputs: primary outputs first, then DFF D-signals.
+  std::vector<int> core_pos;
+  for (const std::string& o : outputs) {
+    auto it = node_of.find(o);
+    if (it == node_of.end())
+      throw InputError("bench: output '" + o + "' undefined");
+    core_pos.push_back(core.add_output(o, it->second));
+  }
+  for (const GateDecl* d : dffs) {
+    auto it = node_of.find(d->args[0]);
+    if (it == node_of.end())
+      fail(d->line, "DFF input '" + d->args[0] + "' undefined");
+    core_pos.push_back(core.add_output(d->name + "~D", it->second));
+  }
+
+  // ---- map and stitch the flip-flops back ------------------------------------
+  FlowMapResult mapped = flowmap(core, lut_size);
+
+  Design design;
+  design.name = "bench";
+  const LutNetwork& src = mapped.net;
+  std::vector<int> remap(static_cast<std::size_t>(src.size()), -1);
+
+  // Pass 1: inputs — the first |inputs| stay primary inputs, the rest (DFF
+  // outputs) become flip-flops.
+  std::size_t input_index = 0;
+  for (int id = 0; id < src.size(); ++id) {
+    if (src.node(id).kind != NodeKind::kInput) continue;
+    if (input_index < inputs.size()) {
+      remap[static_cast<std::size_t>(id)] =
+          design.net.add_input(src.node(id).name, 0);
+    } else {
+      remap[static_cast<std::size_t>(id)] =
+          design.net.add_flipflop(src.node(id).name, 0);
+    }
+    ++input_index;
+  }
+  // Pass 2: LUTs (construction order keeps fanins defined).
+  for (int id = 0; id < src.size(); ++id) {
+    const LutNode& n = src.node(id);
+    if (n.kind != NodeKind::kLut) continue;
+    std::vector<int> fanins;
+    for (int f : n.fanins)
+      fanins.push_back(remap[static_cast<std::size_t>(f)]);
+    remap[static_cast<std::size_t>(id)] =
+        design.net.add_lut(n.name, std::move(fanins), n.truth, 0);
+  }
+  // Pass 3: outputs — the first |outputs| stay primary outputs, the rest
+  // drive the flip-flops (in dff declaration order).
+  std::size_t out_index = 0;
+  std::size_t dff_index = 0;
+  std::vector<int> ff_ids;
+  // Flip-flop node ids in declaration order (core inputs beyond the
+  // primary ones were added in dff declaration order, and ids ascend).
+  for (int id = 0; id < design.net.size(); ++id) {
+    if (design.net.node(id).kind == NodeKind::kFlipFlop) ff_ids.push_back(id);
+  }
+  for (int id = 0; id < src.size(); ++id) {
+    const LutNode& n = src.node(id);
+    if (n.kind != NodeKind::kOutput) continue;
+    int driver = remap[static_cast<std::size_t>(n.fanins[0])];
+    NM_CHECK(driver >= 0);
+    if (out_index < outputs.size()) {
+      design.net.add_output(n.name, driver);
+    } else {
+      NM_CHECK(dff_index < ff_ids.size());
+      design.net.set_flipflop_input(ff_ids[dff_index++], driver);
+    }
+    ++out_index;
+  }
+  NM_CHECK_MSG(dff_index == ff_ids.size(),
+               "bench: flip-flop stitching mismatch");
+
+  design.net.compute_levels();
+  design.net.validate();
+  return design;
+}
+
+Design parse_bench_file(const std::string& path, int lut_size) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open bench file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Design d = parse_bench(buf.str(), lut_size);
+  // Name the design after the file stem.
+  auto slash = path.find_last_of('/');
+  std::string stem = slash == std::string::npos ? path
+                                                : path.substr(slash + 1);
+  auto dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem = stem.substr(0, dot);
+  d.name = stem;
+  return d;
+}
+
+}  // namespace nanomap

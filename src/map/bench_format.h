@@ -1,0 +1,30 @@
+// ISCAS .bench netlist front end.
+//
+// The ISCAS'85/'89 benchmark suites (c5315 among them) are distributed in
+// the .bench format:
+//
+//   # comment
+//   INPUT(G1)
+//   OUTPUT(G22)
+//   G10 = NAND(G1, G3)        # AND OR NAND NOR XOR XNOR NOT BUFF, n-ary
+//   G11 = DFF(G10)            # state element (ISCAS'89)
+//
+// Elaboration mirrors classic sequential technology mapping: DFF outputs
+// join the primary inputs of the combinational core, DFF inputs join its
+// outputs, the core is mapped to LUTs by FlowMap (depth-optimal), and the
+// flip-flops are stitched back around the mapped core. N-ary gates
+// decompose into balanced 2-input trees before mapping.
+#pragma once
+
+#include <string>
+
+#include "netlist/rtl_netlist.h"
+
+namespace nanomap {
+
+// Parses .bench text and maps it into `lut_size`-input LUTs.
+// Throws InputError with line diagnostics.
+Design parse_bench(const std::string& text, int lut_size = 4);
+Design parse_bench_file(const std::string& path, int lut_size = 4);
+
+}  // namespace nanomap

@@ -1,0 +1,311 @@
+#include "map/flowmap.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+namespace nanomap {
+namespace {
+
+// Small max-flow network with unit node capacities, rebuilt per labeling
+// query. Sized by the cone, so allocation churn is acceptable; FlowMap
+// stops augmenting once flow exceeds K, which bounds the work per query.
+class FlowGraph {
+ public:
+  explicit FlowGraph(int num_vertices)
+      : head_(static_cast<std::size_t>(num_vertices), -1) {}
+
+  void add_edge(int from, int to, int capacity) {
+    add_half_edge(from, to, capacity);
+    add_half_edge(to, from, 0);
+  }
+
+  // Ford-Fulkerson with BFS (Edmonds-Karp), aborting once flow > limit.
+  // Returns the achieved flow (possibly limit+1 on abort).
+  int max_flow_up_to(int source, int sink, int limit) {
+    int flow = 0;
+    while (flow <= limit) {
+      if (!bfs_augment(source, sink)) break;
+      ++flow;
+    }
+    return flow;
+  }
+
+  // Vertices reachable from `source` in the residual graph.
+  std::vector<bool> residual_reachable(int source) const {
+    std::vector<bool> seen(head_.size(), false);
+    std::vector<int> stack{source};
+    seen[static_cast<std::size_t>(source)] = true;
+    while (!stack.empty()) {
+      int v = stack.back();
+      stack.pop_back();
+      for (int e = head_[static_cast<std::size_t>(v)]; e != -1;
+           e = edges_[static_cast<std::size_t>(e)].next) {
+        const Edge& ed = edges_[static_cast<std::size_t>(e)];
+        if (ed.capacity > 0 && !seen[static_cast<std::size_t>(ed.to)]) {
+          seen[static_cast<std::size_t>(ed.to)] = true;
+          stack.push_back(ed.to);
+        }
+      }
+    }
+    return seen;
+  }
+
+ private:
+  struct Edge {
+    int to = 0;
+    int capacity = 0;
+    int next = -1;
+  };
+
+  void add_half_edge(int from, int to, int capacity) {
+    Edge e;
+    e.to = to;
+    e.capacity = capacity;
+    e.next = head_[static_cast<std::size_t>(from)];
+    head_[static_cast<std::size_t>(from)] = static_cast<int>(edges_.size());
+    edges_.push_back(e);
+  }
+
+  bool bfs_augment(int source, int sink) {
+    std::vector<int> parent_edge(head_.size(), -1);
+    std::vector<int> queue{source};
+    std::vector<bool> seen(head_.size(), false);
+    seen[static_cast<std::size_t>(source)] = true;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      int v = queue[qi];
+      if (v == sink) break;
+      for (int e = head_[static_cast<std::size_t>(v)]; e != -1;
+           e = edges_[static_cast<std::size_t>(e)].next) {
+        const Edge& ed = edges_[static_cast<std::size_t>(e)];
+        if (ed.capacity > 0 && !seen[static_cast<std::size_t>(ed.to)]) {
+          seen[static_cast<std::size_t>(ed.to)] = true;
+          parent_edge[static_cast<std::size_t>(ed.to)] = e;
+          queue.push_back(ed.to);
+        }
+      }
+    }
+    if (!seen[static_cast<std::size_t>(sink)]) return false;
+    // All augmenting paths carry one unit (unit node capacities).
+    for (int v = sink; v != source;) {
+      int e = parent_edge[static_cast<std::size_t>(v)];
+      edges_[static_cast<std::size_t>(e)].capacity -= 1;
+      edges_[static_cast<std::size_t>(e ^ 1)].capacity += 1;
+      v = edges_[static_cast<std::size_t>(e ^ 1)].to;
+    }
+    return true;
+  }
+
+  std::vector<int> head_;
+  std::vector<Edge> edges_;
+};
+
+constexpr int kInfCap = 1 << 28;
+
+// Backward transitive fanin of `t` (inclusive), as node ids.
+std::vector<int> collect_cone(const GateNetwork& gates, int t) {
+  std::vector<int> cone;
+  std::vector<int> stack{t};
+  std::unordered_map<int, bool> seen;
+  seen[t] = true;
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    cone.push_back(v);
+    for (int f : gates.gate(v).fanins) {
+      if (!seen[f]) {
+        seen[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+  return cone;
+}
+
+std::vector<int> unique_fanins(const GateNetwork& gates, int t) {
+  std::vector<int> f = gates.gate(t).fanins;
+  std::sort(f.begin(), f.end());
+  f.erase(std::unique(f.begin(), f.end()), f.end());
+  return f;
+}
+
+}  // namespace
+
+FlowMapResult flowmap(const GateNetwork& gates, int k, int plane) {
+  NM_CHECK_MSG(k >= 2 && k <= kMaxLutInputs, "unsupported LUT size " << k);
+  gates.validate();
+
+  const int n = gates.size();
+  std::vector<int> label(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> cut(static_cast<std::size_t>(n));
+
+  for (int t : gates.topological_order()) {
+    const Gate& g = gates.gate(t);
+    if (g.op == GateOp::kInput) {
+      label[static_cast<std::size_t>(t)] = 0;
+      continue;
+    }
+    if (g.op == GateOp::kOutput) {
+      label[static_cast<std::size_t>(t)] =
+          label[static_cast<std::size_t>(g.fanins[0])];
+      continue;
+    }
+
+    int p = 0;
+    for (int f : g.fanins)
+      p = std::max(p, label[static_cast<std::size_t>(f)]);
+    if (p == 0) {
+      // All fanins are primary inputs: the trivial cut is K-feasible
+      // (gates have arity <= 2 <= K).
+      label[static_cast<std::size_t>(t)] = 1;
+      cut[static_cast<std::size_t>(t)] = unique_fanins(gates, t);
+      continue;
+    }
+
+    // Build the node-split flow network over the cone of t, collapsing all
+    // cone nodes labeled p (plus t itself) into the sink.
+    std::vector<int> cone = collect_cone(gates, t);
+    std::unordered_map<int, int> local;  // node id -> cone index
+    local.reserve(cone.size() * 2);
+    for (std::size_t i = 0; i < cone.size(); ++i)
+      local[cone[i]] = static_cast<int>(i);
+
+    auto in_sink = [&](int v) {
+      return v == t || label[static_cast<std::size_t>(v)] == p;
+    };
+
+    const int num_local = static_cast<int>(cone.size());
+    const int source = 2 * num_local;
+    const int sink = 2 * num_local + 1;
+    FlowGraph flow(2 * num_local + 2);
+
+    for (int v : cone) {
+      int idx = local[v];
+      if (in_sink(v)) continue;
+      // Unit node capacity: v_in (2*idx) -> v_out (2*idx+1).
+      flow.add_edge(2 * idx, 2 * idx + 1, 1);
+      if (gates.gate(v).op == GateOp::kInput) {
+        flow.add_edge(source, 2 * idx, kInfCap);
+      }
+      for (int f : gates.gate(v).fanins) {
+        NM_CHECK(!in_sink(f));  // labels are monotone along edges
+        flow.add_edge(2 * local[f] + 1, 2 * idx, kInfCap);
+      }
+    }
+    // In-edges of the collapsed sink set.
+    for (int v : cone) {
+      if (!in_sink(v)) continue;
+      for (int f : gates.gate(v).fanins) {
+        if (in_sink(f)) continue;
+        flow.add_edge(2 * local[f] + 1, sink, kInfCap);
+      }
+    }
+
+    int achieved = flow.max_flow_up_to(source, sink, k);
+    if (achieved <= k) {
+      label[static_cast<std::size_t>(t)] = p;
+      std::vector<bool> reach = flow.residual_reachable(source);
+      std::vector<int>& c = cut[static_cast<std::size_t>(t)];
+      for (int v : cone) {
+        if (in_sink(v)) continue;
+        int idx = local[v];
+        if (reach[static_cast<std::size_t>(2 * idx)] &&
+            !reach[static_cast<std::size_t>(2 * idx + 1)]) {
+          c.push_back(v);
+        }
+      }
+      NM_CHECK_MSG(!c.empty() && static_cast<int>(c.size()) <= k,
+                   "bad min cut of size " << c.size() << " at gate '"
+                                          << g.name << "'");
+    } else {
+      label[static_cast<std::size_t>(t)] = p + 1;
+      cut[static_cast<std::size_t>(t)] = unique_fanins(gates, t);
+    }
+  }
+
+  // --- covering phase --------------------------------------------------------
+  FlowMapResult result;
+  result.labels = label;
+
+  std::vector<int> lut_of(static_cast<std::size_t>(n), -1);  // gate -> net id
+  // Primary inputs first, preserving order.
+  for (int pi : gates.input_ids()) {
+    lut_of[static_cast<std::size_t>(pi)] =
+        result.net.add_input(gates.gate(pi).name, plane);
+  }
+
+  // Evaluates the covered cone of `t` for one assignment of its cut nodes.
+  auto eval_cone = [&](int t, const std::unordered_map<int, bool>& cut_val) {
+    std::unordered_map<int, bool> memo;
+    auto rec = [&](auto&& self, int v) -> bool {
+      auto it = cut_val.find(v);
+      if (it != cut_val.end()) return it->second;
+      auto mit = memo.find(v);
+      if (mit != memo.end()) return mit->second;
+      const Gate& gv = gates.gate(v);
+      NM_CHECK_MSG(gv.op != GateOp::kInput,
+                   "primary input inside covered cone of '"
+                       << gates.gate(t).name << "'");
+      bool a = self(self, gv.fanins[0]);
+      bool b = gv.fanins.size() > 1 ? self(self, gv.fanins[1]) : false;
+      bool r = gate_op_eval(gv.op, a, b);
+      memo[v] = r;
+      return r;
+    };
+    return rec(rec, t);
+  };
+
+  std::vector<int> needed;
+  for (int po : gates.output_ids()) needed.push_back(gates.gate(po).fanins[0]);
+
+  while (!needed.empty()) {
+    int t = needed.back();
+    needed.pop_back();
+    if (lut_of[static_cast<std::size_t>(t)] != -1) continue;
+    const std::vector<int>& c = cut[static_cast<std::size_t>(t)];
+    NM_CHECK_MSG(!c.empty(), "no cut recorded for '" << gates.gate(t).name
+                                                     << "'");
+    // Make sure every cut node is realized before we wire the LUT.
+    bool ready = true;
+    for (int v : c) {
+      if (lut_of[static_cast<std::size_t>(v)] == -1) {
+        if (ready) {
+          needed.push_back(t);  // revisit after fanins are built
+          ready = false;
+        }
+        needed.push_back(v);
+      }
+    }
+    if (!ready) continue;
+
+    std::uint64_t truth = 0;
+    const int bits = static_cast<int>(c.size());
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << bits); ++m) {
+      std::unordered_map<int, bool> cut_val;
+      for (int i = 0; i < bits; ++i)
+        cut_val[c[static_cast<std::size_t>(i)]] = (m >> i) & 1u;
+      if (eval_cone(t, cut_val)) truth |= (std::uint64_t{1} << m);
+    }
+
+    std::vector<int> fanins;
+    fanins.reserve(c.size());
+    for (int v : c)
+      fanins.push_back(lut_of[static_cast<std::size_t>(v)]);
+    lut_of[static_cast<std::size_t>(t)] = result.net.add_lut(
+        gates.gate(t).name, std::move(fanins), truth, plane);
+  }
+
+  for (int po : gates.output_ids()) {
+    int driver = gates.gate(po).fanins[0];
+    result.net.add_output(gates.gate(po).name,
+                          lut_of[static_cast<std::size_t>(driver)]);
+  }
+
+  result.net.compute_levels();
+  result.net.validate();
+  result.num_luts = result.net.num_luts();
+  result.depth = result.net.max_depth();
+  return result;
+}
+
+}  // namespace nanomap

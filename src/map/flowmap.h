@@ -1,0 +1,42 @@
+// FlowMap: depth-optimal technology mapping of a gate network into m-input
+// LUTs (Cong & Ding, TCAD'94 — reference [14] of the paper).
+//
+// NanoMap takes gate-level input (e.g. c5315) through this mapper before
+// scheduling. The implementation follows the original two phases:
+//
+//  1. Labeling. Nodes are processed in topological order. For node t with
+//     p = max label over fanins, t's label is p iff there exists a
+//     K-feasible cut (|cut| <= K) separating t from the primary inputs with
+//     all cut nodes labeled < p. The test collapses every cone node with
+//     label == p into the sink and checks max-flow <= K on the node-split
+//     cone network; the min-cut gives the LUT input set. Otherwise the
+//     label is p+1 and the trivial cut {fanins(t)} is used.
+//  2. Covering. Working back from the primary outputs, each needed node
+//     becomes one LUT implementing its recorded cut cone; cut nodes become
+//     the LUT fanins (logic duplication is allowed, as in the original).
+//
+// Truth tables are derived by exhaustively simulating each covered cone, so
+// the resulting LutNetwork is functionally equivalent to the gate network
+// (verified by tests/flowmap_test.cc).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "map/gate_network.h"
+#include "netlist/lut_network.h"
+
+namespace nanomap {
+
+struct FlowMapResult {
+  LutNetwork net;           // single-plane LUT network
+  std::vector<int> labels;  // per gate-network node; PIs are 0
+  int depth = 0;            // optimal LUT depth (max PO label)
+  int num_luts = 0;
+};
+
+// Maps `gates` into k-input LUTs. k must be in [2, kMaxLutInputs].
+// All LUTs are placed in `plane` of the resulting network.
+FlowMapResult flowmap(const GateNetwork& gates, int k, int plane = 0);
+
+}  // namespace nanomap

@@ -1,0 +1,214 @@
+#include "map/gate_network.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace nanomap {
+
+const char* gate_op_name(GateOp op) {
+  switch (op) {
+    case GateOp::kInput: return "input";
+    case GateOp::kOutput: return "output";
+    case GateOp::kBuf: return "buf";
+    case GateOp::kNot: return "not";
+    case GateOp::kAnd: return "and";
+    case GateOp::kOr: return "or";
+    case GateOp::kXor: return "xor";
+    case GateOp::kNand: return "nand";
+    case GateOp::kNor: return "nor";
+    case GateOp::kXnor: return "xnor";
+  }
+  return "?";
+}
+
+int gate_op_arity(GateOp op) {
+  switch (op) {
+    case GateOp::kInput: return 0;
+    case GateOp::kOutput:
+    case GateOp::kBuf:
+    case GateOp::kNot: return 1;
+    default: return 2;
+  }
+}
+
+bool gate_op_eval(GateOp op, bool a, bool b) {
+  switch (op) {
+    case GateOp::kBuf: return a;
+    case GateOp::kNot: return !a;
+    case GateOp::kAnd: return a && b;
+    case GateOp::kOr: return a || b;
+    case GateOp::kXor: return a != b;
+    case GateOp::kNand: return !(a && b);
+    case GateOp::kNor: return !(a || b);
+    case GateOp::kXnor: return a == b;
+    case GateOp::kInput:
+    case GateOp::kOutput: break;
+  }
+  NM_CHECK_MSG(false, "gate_op_eval on " << gate_op_name(op));
+  return false;
+}
+
+int GateNetwork::add_input(std::string name) {
+  gates_.push_back(Gate{GateOp::kInput, std::move(name), {}});
+  ++num_inputs_;
+  return size() - 1;
+}
+
+int GateNetwork::add_gate(GateOp op, std::string name,
+                          std::vector<int> fanins) {
+  NM_CHECK_MSG(op != GateOp::kInput && op != GateOp::kOutput,
+               "add_gate with op " << gate_op_name(op));
+  NM_CHECK_MSG(static_cast<int>(fanins.size()) == gate_op_arity(op),
+               "gate '" << name << "' (" << gate_op_name(op) << ") has "
+                        << fanins.size() << " fanins");
+  for (int f : fanins) {
+    NM_CHECK(f >= 0 && f < size());
+    NM_CHECK_MSG(gate(f).op != GateOp::kOutput,
+                 "gate '" << name << "' driven by a primary output");
+  }
+  gates_.push_back(Gate{op, std::move(name), std::move(fanins)});
+  return size() - 1;
+}
+
+int GateNetwork::add_output(std::string name, int fanin) {
+  NM_CHECK(fanin >= 0 && fanin < size());
+  NM_CHECK(gate(fanin).op != GateOp::kOutput);
+  gates_.push_back(Gate{GateOp::kOutput, std::move(name), {fanin}});
+  ++num_outputs_;
+  return size() - 1;
+}
+
+std::vector<int> GateNetwork::input_ids() const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i)
+    if (gates_[static_cast<std::size_t>(i)].op == GateOp::kInput)
+      out.push_back(i);
+  return out;
+}
+
+std::vector<int> GateNetwork::output_ids() const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i)
+    if (gates_[static_cast<std::size_t>(i)].op == GateOp::kOutput)
+      out.push_back(i);
+  return out;
+}
+
+std::vector<int> GateNetwork::topological_order() const {
+  // Construction is append-only with fanins referring to earlier ids, so
+  // index order *is* a topological order; keep the explicit check anyway.
+  for (int i = 0; i < size(); ++i)
+    for (int f : gates_[static_cast<std::size_t>(i)].fanins)
+      NM_CHECK_MSG(f < i, "gate network not in construction order");
+  std::vector<int> order(static_cast<std::size_t>(size()));
+  for (int i = 0; i < size(); ++i) order[static_cast<std::size_t>(i)] = i;
+  return order;
+}
+
+int GateNetwork::depth() const {
+  std::vector<int> level(static_cast<std::size_t>(size()), 0);
+  int depth = 0;
+  for (int id : topological_order()) {
+    const Gate& g = gates_[static_cast<std::size_t>(id)];
+    if (g.op == GateOp::kInput) continue;
+    int lvl = 0;
+    for (int f : g.fanins)
+      lvl = std::max(lvl, level[static_cast<std::size_t>(f)]);
+    if (g.op != GateOp::kOutput) lvl += 1;
+    level[static_cast<std::size_t>(id)] = lvl;
+    depth = std::max(depth, lvl);
+  }
+  return depth;
+}
+
+std::vector<bool> GateNetwork::evaluate(
+    const std::vector<bool>& input_values) const {
+  NM_CHECK(static_cast<int>(input_values.size()) == num_inputs_);
+  std::vector<bool> value(static_cast<std::size_t>(size()), false);
+  int next_input = 0;
+  std::vector<bool> outputs;
+  for (int id : topological_order()) {
+    const Gate& g = gates_[static_cast<std::size_t>(id)];
+    switch (g.op) {
+      case GateOp::kInput:
+        value[static_cast<std::size_t>(id)] =
+            input_values[static_cast<std::size_t>(next_input++)];
+        break;
+      case GateOp::kOutput:
+        value[static_cast<std::size_t>(id)] =
+            value[static_cast<std::size_t>(g.fanins[0])];
+        outputs.push_back(value[static_cast<std::size_t>(id)]);
+        break;
+      default: {
+        bool a = value[static_cast<std::size_t>(g.fanins[0])];
+        bool b = g.fanins.size() > 1
+                     ? static_cast<bool>(
+                           value[static_cast<std::size_t>(g.fanins[1])])
+                     : false;
+        value[static_cast<std::size_t>(id)] = gate_op_eval(g.op, a, b);
+        break;
+      }
+    }
+  }
+  return outputs;
+}
+
+void GateNetwork::validate() const {
+  for (int i = 0; i < size(); ++i) {
+    const Gate& g = gates_[static_cast<std::size_t>(i)];
+    NM_CHECK_MSG(static_cast<int>(g.fanins.size()) == gate_op_arity(g.op),
+                 "gate '" << g.name << "' arity mismatch");
+    for (int f : g.fanins) NM_CHECK(f >= 0 && f < size() && f != i);
+  }
+}
+
+Bus build_gate_adder(GateNetwork& net, const Bus& a, const Bus& b,
+                     const std::string& prefix, int* carry_out) {
+  NM_CHECK(a.size() == b.size() && !a.empty());
+  Bus sum;
+  int carry = -1;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::string tag = prefix + "_b" + std::to_string(i);
+    int axb = net.add_gate(GateOp::kXor, tag + "_axb", {a[i], b[i]});
+    if (carry < 0) {
+      sum.push_back(axb);
+      carry = net.add_gate(GateOp::kAnd, tag + "_c", {a[i], b[i]});
+    } else {
+      sum.push_back(net.add_gate(GateOp::kXor, tag + "_s", {axb, carry}));
+      int t1 = net.add_gate(GateOp::kAnd, tag + "_t1", {a[i], b[i]});
+      int t2 = net.add_gate(GateOp::kAnd, tag + "_t2", {axb, carry});
+      carry = net.add_gate(GateOp::kOr, tag + "_c", {t1, t2});
+    }
+  }
+  if (carry_out != nullptr) *carry_out = carry;
+  return sum;
+}
+
+Bus build_gate_bitwise(GateNetwork& net, GateOp op, const Bus& a, const Bus& b,
+                       const std::string& prefix) {
+  NM_CHECK(a.size() == b.size());
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out.push_back(net.add_gate(op, prefix + "_b" + std::to_string(i),
+                               {a[i], b[i]}));
+  }
+  return out;
+}
+
+Bus build_gate_mux(GateNetwork& net, int select, const Bus& a, const Bus& b,
+                   const std::string& prefix) {
+  NM_CHECK(a.size() == b.size());
+  int nsel = net.add_gate(GateOp::kNot, prefix + "_nsel", {select});
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::string tag = prefix + "_b" + std::to_string(i);
+    int ta = net.add_gate(GateOp::kAnd, tag + "_a", {a[i], nsel});
+    int tb = net.add_gate(GateOp::kAnd, tag + "_b", {b[i], select});
+    out.push_back(net.add_gate(GateOp::kOr, tag, {ta, tb}));
+  }
+  return out;
+}
+
+}  // namespace nanomap

@@ -1,0 +1,97 @@
+// Gate-level combinational network (the FlowMap input IR).
+//
+// Gate-level benchmarks (e.g. the ISCAS'85-style ALU used for c5315) are
+// described as a DAG of 1- and 2-input gates plus primary inputs/outputs.
+// map/flowmap.cc converts this into a depth-optimal m-LUT LutNetwork, which
+// is what NanoMap schedules. The IR is deliberately tiny: NanoMap does no
+// logic restructuring, so AND/OR/XOR/NOT and friends are enough.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nanomap {
+
+enum class GateOp : std::uint8_t {
+  kInput,
+  kOutput,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+  kXnor,
+};
+
+const char* gate_op_name(GateOp op);
+// Number of data fanins the op requires (0 for kInput, 1 for buf/not/output,
+// 2 otherwise).
+int gate_op_arity(GateOp op);
+// Applies a 1- or 2-input op. For unary ops `b` is ignored.
+bool gate_op_eval(GateOp op, bool a, bool b);
+
+struct Gate {
+  GateOp op = GateOp::kAnd;
+  std::string name;
+  std::vector<int> fanins;
+};
+
+class GateNetwork {
+ public:
+  int add_input(std::string name);
+  int add_gate(GateOp op, std::string name, std::vector<int> fanins);
+  int add_output(std::string name, int fanin);
+
+  int size() const { return static_cast<int>(gates_.size()); }
+  const Gate& gate(int id) const { return gates_.at(static_cast<std::size_t>(id)); }
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
+  int num_logic_gates() const {
+    return size() - num_inputs_ - num_outputs_;
+  }
+
+  // Ids of all primary outputs / inputs.
+  std::vector<int> input_ids() const;
+  std::vector<int> output_ids() const;
+
+  // Topological order over all nodes (inputs first). Throws on cycles.
+  std::vector<int> topological_order() const;
+
+  // Longest path in gate levels (inputs at 0), for reporting.
+  int depth() const;
+
+  // Evaluates all outputs for the given input assignment (by input order).
+  std::vector<bool> evaluate(const std::vector<bool>& input_values) const;
+
+  void validate() const;
+
+ private:
+  std::vector<Gate> gates_;
+  int num_inputs_ = 0;
+  int num_outputs_ = 0;
+};
+
+// --- word-level construction helpers (used by benchmark generators) ---------
+
+// A bus is just an ordered list of net ids, LSB first.
+using Bus = std::vector<int>;
+
+// Ripple-carry addition of two equal-width buses; returns sum bus (same
+// width) and writes the carry-out id if carry_out != nullptr.
+Bus build_gate_adder(GateNetwork& net, const Bus& a, const Bus& b,
+                     const std::string& prefix, int* carry_out = nullptr);
+
+// Bitwise ops.
+Bus build_gate_bitwise(GateNetwork& net, GateOp op, const Bus& a, const Bus& b,
+                       const std::string& prefix);
+
+// 2:1 mux of two buses under a single select net.
+Bus build_gate_mux(GateNetwork& net, int select, const Bus& a, const Bus& b,
+                   const std::string& prefix);
+
+}  // namespace nanomap

@@ -1,0 +1,279 @@
+#include "netlist/lut_network.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace nanomap {
+
+const char* node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kInput: return "input";
+    case NodeKind::kOutput: return "output";
+    case NodeKind::kLut: return "lut";
+    case NodeKind::kFlipFlop: return "flipflop";
+  }
+  return "?";
+}
+
+int LutNetwork::add_input(std::string name, int plane) {
+  NM_CHECK(plane >= 0);
+  LutNode n;
+  n.kind = NodeKind::kInput;
+  n.name = std::move(name);
+  n.plane = plane;
+  nodes_.push_back(std::move(n));
+  ++num_inputs_;
+  num_planes_ = std::max(num_planes_, plane + 1);
+  invalidate_derived();
+  return size() - 1;
+}
+
+int LutNetwork::add_output(std::string name, int fanin) {
+  NM_CHECK(fanin >= 0 && fanin < size());
+  LutNode n;
+  n.kind = NodeKind::kOutput;
+  n.name = std::move(name);
+  n.fanins = {fanin};
+  n.plane = node(fanin).plane;
+  nodes_.push_back(std::move(n));
+  ++num_outputs_;
+  invalidate_derived();
+  return size() - 1;
+}
+
+int LutNetwork::add_lut(std::string name, std::vector<int> fanins,
+                        std::uint64_t truth, int plane, int module_id) {
+  NM_CHECK(plane >= 0);
+  NM_CHECK_MSG(!fanins.empty() &&
+                   fanins.size() <= static_cast<std::size_t>(kMaxLutInputs),
+               "LUT '" << name << "' has " << fanins.size() << " fanins");
+  for (int f : fanins) NM_CHECK(f >= 0 && f < size());
+  LutNode n;
+  n.kind = NodeKind::kLut;
+  n.name = std::move(name);
+  n.fanins = std::move(fanins);
+  n.truth = truth;
+  n.plane = plane;
+  n.module_id = module_id;
+  nodes_.push_back(std::move(n));
+  ++num_luts_;
+  num_planes_ = std::max(num_planes_, plane + 1);
+  invalidate_derived();
+  return size() - 1;
+}
+
+int LutNetwork::add_flipflop(std::string name, int plane) {
+  NM_CHECK(plane >= 0);
+  LutNode n;
+  n.kind = NodeKind::kFlipFlop;
+  n.name = std::move(name);
+  n.plane = plane;
+  nodes_.push_back(std::move(n));
+  ++num_flipflops_;
+  num_planes_ = std::max(num_planes_, plane + 1);
+  invalidate_derived();
+  return size() - 1;
+}
+
+void LutNetwork::set_flipflop_input(int ff, int source) {
+  NM_CHECK(ff >= 0 && ff < size());
+  NM_CHECK(source >= 0 && source < size());
+  LutNode& n = mutable_node(ff);
+  NM_CHECK_MSG(n.kind == NodeKind::kFlipFlop,
+               "set_flipflop_input on non-flip-flop '" << n.name << "'");
+  n.fanins = {source};
+  invalidate_derived();
+}
+
+const std::vector<int>& LutNetwork::fanouts(int id) const {
+  NM_CHECK(id >= 0 && id < size());
+  ensure_fanouts();
+  return fanouts_[static_cast<std::size_t>(id)];
+}
+
+void LutNetwork::ensure_fanouts() const {
+  if (fanouts_valid_) return;
+  fanouts_.assign(nodes_.size(), {});
+  for (int id = 0; id < size(); ++id) {
+    for (int f : nodes_[static_cast<std::size_t>(id)].fanins) {
+      fanouts_[static_cast<std::size_t>(f)].push_back(id);
+    }
+  }
+  fanouts_valid_ = true;
+}
+
+void LutNetwork::invalidate_derived() {
+  fanouts_valid_ = false;
+  levels_valid_ = false;
+}
+
+void LutNetwork::compute_levels() {
+  // Kahn's algorithm over combinational (same-plane LUT -> LUT) edges,
+  // processed globally: a LUT's level is 1 + max level of its same-plane
+  // LUT fanins; PI / flip-flop fanins contribute level 0.
+  std::vector<int> pending(nodes_.size(), 0);
+  for (int id = 0; id < size(); ++id) {
+    const LutNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.kind != NodeKind::kLut) continue;
+    int cnt = 0;
+    for (int f : n.fanins) {
+      const LutNode& src = node(f);
+      if (src.kind == NodeKind::kLut) {
+        NM_CHECK_MSG(src.plane == n.plane,
+                     "combinational edge crosses planes: '" << src.name
+                         << "' -> '" << n.name << "'");
+        ++cnt;
+      }
+    }
+    pending[static_cast<std::size_t>(id)] = cnt;
+  }
+
+  std::queue<int> ready;
+  int processed = 0;
+  for (int id = 0; id < size(); ++id) {
+    LutNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.kind != NodeKind::kLut) {
+      n.level = 0;
+      continue;
+    }
+    n.level = -1;
+    if (pending[static_cast<std::size_t>(id)] == 0) ready.push(id);
+  }
+
+  ensure_fanouts();
+  while (!ready.empty()) {
+    int id = ready.front();
+    ready.pop();
+    LutNode& n = nodes_[static_cast<std::size_t>(id)];
+    int lvl = 1;
+    for (int f : n.fanins) {
+      const LutNode& src = node(f);
+      if (src.kind == NodeKind::kLut) lvl = std::max(lvl, src.level + 1);
+    }
+    n.level = lvl;
+    ++processed;
+    for (int out : fanouts_[static_cast<std::size_t>(id)]) {
+      const LutNode& dst = node(out);
+      if (dst.kind != NodeKind::kLut) continue;
+      if (--pending[static_cast<std::size_t>(out)] == 0) ready.push(out);
+    }
+  }
+  NM_CHECK_MSG(processed == num_luts_,
+               "combinational cycle detected (" << (num_luts_ - processed)
+                   << " LUTs unlevelized)");
+  levels_valid_ = true;
+}
+
+std::vector<int> LutNetwork::plane_luts_topological(int plane) const {
+  NM_CHECK_MSG(levels_valid_, "compute_levels() must run first");
+  std::vector<int> luts = plane_luts(plane);
+  std::sort(luts.begin(), luts.end(), [this](int a, int b) {
+    const LutNode& na = node(a);
+    const LutNode& nb = node(b);
+    if (na.level != nb.level) return na.level < nb.level;
+    return a < b;
+  });
+  return luts;
+}
+
+std::vector<int> LutNetwork::plane_luts(int plane) const {
+  std::vector<int> out;
+  for (int id = 0; id < size(); ++id) {
+    const LutNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.kind == NodeKind::kLut && n.plane == plane) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<int> LutNetwork::plane_registers(int plane) const {
+  std::vector<int> out;
+  for (int id = 0; id < size(); ++id) {
+    const LutNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.kind == NodeKind::kFlipFlop && n.plane == plane) out.push_back(id);
+  }
+  return out;
+}
+
+PlaneStats LutNetwork::plane_stats(int plane) const {
+  NM_CHECK_MSG(levels_valid_, "compute_levels() must run first");
+  PlaneStats s;
+  for (int id = 0; id < size(); ++id) {
+    const LutNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (n.plane != plane) continue;
+    if (n.kind == NodeKind::kLut) {
+      ++s.num_luts;
+      s.depth = std::max(s.depth, n.level);
+    } else if (n.kind == NodeKind::kInput || n.kind == NodeKind::kFlipFlop) {
+      ++s.num_inputs;
+    }
+  }
+  return s;
+}
+
+int LutNetwork::max_depth() const {
+  int d = 0;
+  for (int p = 0; p < num_planes_; ++p) d = std::max(d, plane_stats(p).depth);
+  return d;
+}
+
+int LutNetwork::max_plane_luts() const {
+  int m = 0;
+  for (int p = 0; p < num_planes_; ++p)
+    m = std::max(m, plane_stats(p).num_luts);
+  return m;
+}
+
+void LutNetwork::validate() const {
+  for (int id = 0; id < size(); ++id) {
+    const LutNode& n = nodes_[static_cast<std::size_t>(id)];
+    switch (n.kind) {
+      case NodeKind::kInput:
+        NM_CHECK_MSG(n.fanins.empty(), "input '" << n.name << "' has fanins");
+        break;
+      case NodeKind::kOutput:
+        NM_CHECK_MSG(n.fanins.size() == 1,
+                     "output '" << n.name << "' must have exactly one driver");
+        NM_CHECK_MSG(node(n.fanins[0]).kind != NodeKind::kOutput,
+                     "output '" << n.name << "' driven by an output");
+        break;
+      case NodeKind::kLut: {
+        NM_CHECK_MSG(!n.fanins.empty() &&
+                         n.fanins.size() <=
+                             static_cast<std::size_t>(kMaxLutInputs),
+                     "LUT '" << n.name << "' fanin count "
+                             << n.fanins.size());
+        for (int f : n.fanins) {
+          const LutNode& src = node(f);
+          NM_CHECK_MSG(src.kind != NodeKind::kOutput,
+                       "LUT '" << n.name << "' driven by primary output");
+          if (src.kind == NodeKind::kLut) {
+            NM_CHECK_MSG(src.plane == n.plane,
+                         "LUT '" << n.name
+                                 << "' has cross-plane combinational fanin '"
+                                 << src.name << "'");
+          }
+        }
+        break;
+      }
+      case NodeKind::kFlipFlop:
+        NM_CHECK_MSG(n.fanins.size() == 1,
+                     "flip-flop '" << n.name << "' not connected");
+        NM_CHECK_MSG(node(n.fanins[0]).kind != NodeKind::kOutput,
+                     "flip-flop '" << n.name << "' driven by primary output");
+        break;
+    }
+  }
+}
+
+bool LutNetwork::eval_lut(int id, const std::vector<bool>& fanin_values) const {
+  const LutNode& n = node(id);
+  NM_CHECK(n.kind == NodeKind::kLut);
+  NM_CHECK(fanin_values.size() == n.fanins.size());
+  std::uint64_t minterm = 0;
+  for (std::size_t i = 0; i < fanin_values.size(); ++i) {
+    if (fanin_values[i]) minterm |= (std::uint64_t{1} << i);
+  }
+  return (n.truth >> minterm) & 1u;
+}
+
+}  // namespace nanomap

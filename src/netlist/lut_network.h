@@ -1,0 +1,146 @@
+// Flat LUT-level netlist IR for NanoMap.
+//
+// This is the representation the whole flow operates on. A LutNetwork is a
+// directed graph of four node kinds:
+//
+//   * kInput     — primary input bit.
+//   * kOutput    — primary output bit (single fanin).
+//   * kLut       — an m-input LUT (m given by the architecture; the IR
+//                  allows up to 6 inputs and stores the truth table).
+//   * kFlipFlop  — a register bit. Its D input is driven by a LUT/PI of the
+//                  plane that computes it; its Q output is a *plane input*
+//                  of the plane it feeds.
+//
+// Planes (paper §3): registers are levelized; the combinational logic
+// between two register levels forms a plane. Every node carries its plane
+// index. Only LUT→LUT edges *within* a plane are combinational; an edge
+// whose source is a PI or flip-flop enters at level 0 of the consuming
+// plane. Cross-plane communication must pass through a flip-flop — this is
+// enforced by validate().
+//
+// LUT nodes may be tagged with the RTL module that produced them
+// (module_id), which the folding-level partitioner uses to form LUT
+// clusters (paper §3, §4.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nanomap {
+
+enum class NodeKind : std::uint8_t {
+  kInput,
+  kOutput,
+  kLut,
+  kFlipFlop,
+};
+
+const char* node_kind_name(NodeKind kind);
+
+// Maximum LUT fanin the IR supports (truth table fits in one uint64_t).
+inline constexpr int kMaxLutInputs = 6;
+
+struct LutNode {
+  NodeKind kind = NodeKind::kLut;
+  std::string name;
+  // Fanin node ids. LUT: its inputs (<= kMaxLutInputs). Output: exactly one
+  // driver. FlipFlop: its D input (empty until connected via
+  // set_flipflop_input). Input: none.
+  std::vector<int> fanins;
+  // Truth table over the fanins, bit i = output for input minterm i
+  // (fanins[0] is the least-significant select bit). Meaningful for LUTs.
+  std::uint64_t truth = 0;
+  // Plane this node belongs to. For flip-flops: the plane its Q output
+  // feeds (its D input comes from the producing plane).
+  int plane = 0;
+  // RTL module that generated this LUT, or -1 for loose logic.
+  int module_id = -1;
+  // Combinational LUT level within the plane (1-based; plane inputs are at
+  // level 0). Computed by compute_levels(); -1 before that.
+  int level = -1;
+};
+
+// Aggregate statistics for one plane (paper §4.1 circuit parameters).
+struct PlaneStats {
+  int num_luts = 0;
+  int depth = 0;       // max LUT level in the plane
+  int num_inputs = 0;  // PIs + flip-flop Qs feeding the plane
+};
+
+class LutNetwork {
+ public:
+  // --- construction -------------------------------------------------------
+  int add_input(std::string name, int plane = 0);
+  int add_output(std::string name, int fanin);
+  int add_lut(std::string name, std::vector<int> fanins, std::uint64_t truth,
+              int plane = 0, int module_id = -1);
+  // Creates a flip-flop whose Q feeds `plane`; D is connected later (the D
+  // source is usually created afterwards when planes feed back on
+  // themselves).
+  int add_flipflop(std::string name, int plane = 0);
+  void set_flipflop_input(int ff, int source);
+
+  // --- accessors -----------------------------------------------------------
+  int size() const { return static_cast<int>(nodes_.size()); }
+  const LutNode& node(int id) const { return nodes_.at(static_cast<std::size_t>(id)); }
+  LutNode& mutable_node(int id) { return nodes_.at(static_cast<std::size_t>(id)); }
+  const std::vector<LutNode>& nodes() const { return nodes_; }
+
+  int num_planes() const { return num_planes_; }
+  int num_luts() const { return num_luts_; }
+  int num_flipflops() const { return num_flipflops_; }
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
+
+  // Fanout lists (derived; rebuilt lazily after mutations).
+  const std::vector<int>& fanouts(int id) const;
+
+  // --- analysis ------------------------------------------------------------
+  // Assigns LutNode::level within each plane (longest path from plane
+  // inputs, counting LUTs). Throws CheckError on a combinational cycle.
+  void compute_levels();
+
+  // Topological order of the LUT nodes of `plane` (combinational edges
+  // only). compute_levels() must have run.
+  std::vector<int> plane_luts_topological(int plane) const;
+
+  // All LUT node ids of a plane (arbitrary order).
+  std::vector<int> plane_luts(int plane) const;
+  // Flip-flop ids whose Q feeds `plane` (i.e. the plane registers).
+  std::vector<int> plane_registers(int plane) const;
+
+  PlaneStats plane_stats(int plane) const;
+  // depth_max across planes; requires compute_levels().
+  int max_depth() const;
+  // LUT_max across planes.
+  int max_plane_luts() const;
+
+  // Structural invariants: fanin kinds legal, LUT fanin count <= max, every
+  // flip-flop connected, LUT fanins from same plane or plane inputs, no
+  // dangling output. Throws CheckError with a diagnostic on violation.
+  void validate() const;
+
+  // Evaluates the combinational function of LUT `id` for the given fanin
+  // values (used by tests and bitstream verification).
+  bool eval_lut(int id, const std::vector<bool>& fanin_values) const;
+
+ private:
+  void invalidate_derived();
+  void ensure_fanouts() const;
+
+  std::vector<LutNode> nodes_;
+  int num_planes_ = 1;
+  int num_luts_ = 0;
+  int num_flipflops_ = 0;
+  int num_inputs_ = 0;
+  int num_outputs_ = 0;
+  bool levels_valid_ = false;
+
+  mutable bool fanouts_valid_ = false;
+  mutable std::vector<std::vector<int>> fanouts_;
+};
+
+}  // namespace nanomap

@@ -1,0 +1,227 @@
+#include "netlist/optimize.h"
+
+#include <map>
+#include <queue>
+
+namespace nanomap {
+namespace {
+
+std::uint64_t truth_mask(int arity) {
+  return (arity >= 6) ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << (std::uint64_t{1} << arity)) -
+                         1);
+}
+
+// Specializes `truth` over `arity` inputs by fixing input `pos` to `value`,
+// producing a truth table over arity-1 inputs.
+std::uint64_t cofactor(std::uint64_t truth, int arity, int pos, bool value) {
+  std::uint64_t out = 0;
+  int out_bit = 0;
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << arity); ++m) {
+    if ((((m >> pos) & 1u) != 0) != value) continue;
+    if ((truth >> m) & 1u) out |= (std::uint64_t{1} << out_bit);
+    ++out_bit;
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepResult sweep(const LutNetwork& net) {
+  const int n = net.size();
+  SweepResult result;
+  result.remap.assign(static_cast<std::size_t>(n), -1);
+
+  // Working copies (only meaningful for LUTs).
+  std::vector<std::vector<int>> fanins(static_cast<std::size_t>(n));
+  std::vector<std::uint64_t> truth(static_cast<std::size_t>(n), 0);
+  std::vector<int> ref(static_cast<std::size_t>(n));
+  std::vector<int> cval(static_cast<std::size_t>(n), -1);  // -1/0/1
+  for (int id = 0; id < n; ++id) {
+    ref[static_cast<std::size_t>(id)] = id;
+    const LutNode& node = net.node(id);
+    if (node.kind == NodeKind::kLut) {
+      fanins[static_cast<std::size_t>(id)] = node.fanins;
+      truth[static_cast<std::size_t>(id)] = node.truth;
+    }
+  }
+
+  auto resolve = [&ref](int id) {
+    while (ref[static_cast<std::size_t>(id)] != id)
+      id = ref[static_cast<std::size_t>(id)];
+    return id;
+  };
+
+  // Constant folding + structural hashing to a fixpoint. LUT fanins always
+  // have smaller ids (construction order), so id order is topological for
+  // the combinational logic.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::pair<std::vector<int>, std::uint64_t>, int> structural;
+    for (int id = 0; id < n; ++id) {
+      if (net.node(id).kind != NodeKind::kLut) continue;
+      if (ref[static_cast<std::size_t>(id)] != id) continue;  // merged away
+      auto& fi = fanins[static_cast<std::size_t>(id)];
+      auto& tt = truth[static_cast<std::size_t>(id)];
+
+      // Redirect fanins through merge references.
+      for (int& f : fi) {
+        int r = resolve(f);
+        if (r != f) {
+          f = r;
+          changed = true;
+        }
+      }
+      // Fold constant fanins.
+      for (std::size_t pos = 0; pos < fi.size();) {
+        int cv = cval[static_cast<std::size_t>(fi[pos])];
+        if (cv < 0) {
+          ++pos;
+          continue;
+        }
+        tt = cofactor(tt, static_cast<int>(fi.size()),
+                      static_cast<int>(pos), cv != 0);
+        fi.erase(fi.begin() + static_cast<long>(pos));
+        ++result.stats.constants_folded;
+        changed = true;
+      }
+      // Did the LUT become constant?
+      if (cval[static_cast<std::size_t>(id)] < 0) {
+        std::uint64_t mask = truth_mask(static_cast<int>(fi.size()));
+        if (fi.empty() || (tt & mask) == 0 || (tt & mask) == mask) {
+          cval[static_cast<std::size_t>(id)] =
+              (fi.empty() ? (tt & 1u) : ((tt & mask) == mask)) ? 1 : 0;
+          changed = true;
+          continue;  // constants are folded into consumers, not hashed
+        }
+      } else {
+        continue;
+      }
+      // Structural hashing.
+      auto [it, inserted] = structural.try_emplace({fi, tt}, id);
+      if (!inserted && it->second != id) {
+        ref[static_cast<std::size_t>(id)] = it->second;
+        ++result.stats.duplicates_merged;
+        changed = true;
+      }
+    }
+  }
+
+  // Liveness: reverse reachability from primary outputs through resolved
+  // references (flip-flops keep their D cones alive only if live).
+  std::vector<char> live(static_cast<std::size_t>(n), 0);
+  std::queue<int> work;
+  auto mark = [&](int id) {
+    id = resolve(id);
+    if (!live[static_cast<std::size_t>(id)]) {
+      live[static_cast<std::size_t>(id)] = 1;
+      work.push(id);
+    }
+  };
+  for (int id = 0; id < n; ++id) {
+    if (net.node(id).kind == NodeKind::kOutput) {
+      live[static_cast<std::size_t>(id)] = 1;
+      mark(net.node(id).fanins[0]);
+    }
+  }
+  while (!work.empty()) {
+    int id = work.front();
+    work.pop();
+    const LutNode& node = net.node(id);
+    if (node.kind == NodeKind::kLut) {
+      if (cval[static_cast<std::size_t>(id)] < 0) {
+        for (int f : fanins[static_cast<std::size_t>(id)]) mark(f);
+      }
+      // Constant LUTs keep no fanins alive.
+    } else if (node.kind == NodeKind::kFlipFlop) {
+      mark(node.fanins[0]);
+    }
+  }
+
+  // Rebuild. Primary inputs always survive (they are the interface).
+  int anchor_input = -1;
+  for (int id = 0; id < n; ++id) {
+    const LutNode& node = net.node(id);
+    switch (node.kind) {
+      case NodeKind::kInput: {
+        int nid = result.net.add_input(node.name, node.plane);
+        result.remap[static_cast<std::size_t>(id)] = nid;
+        if (anchor_input < 0) anchor_input = nid;
+        break;
+      }
+      case NodeKind::kFlipFlop:
+        if (live[static_cast<std::size_t>(id)]) {
+          result.remap[static_cast<std::size_t>(id)] =
+              result.net.add_flipflop(node.name, node.plane);
+        } else {
+          ++result.stats.dead_flipflops_removed;
+        }
+        break;
+      case NodeKind::kLut: {
+        if (ref[static_cast<std::size_t>(id)] != id) break;  // merged
+        if (!live[static_cast<std::size_t>(id)]) {
+          ++result.stats.dead_luts_removed;
+          break;
+        }
+        std::vector<int> new_fanins;
+        std::uint64_t new_truth;
+        if (cval[static_cast<std::size_t>(id)] >= 0) {
+          NM_CHECK_MSG(anchor_input >= 0,
+                       "constant LUT in a network without inputs");
+          new_fanins = {anchor_input};
+          new_truth = cval[static_cast<std::size_t>(id)] ? 0x3 : 0x0;
+        } else {
+          for (int f : fanins[static_cast<std::size_t>(id)]) {
+            int nf = result.remap[static_cast<std::size_t>(resolve(f))];
+            NM_CHECK_MSG(nf >= 0, "live LUT '" << node.name
+                                               << "' has a dead fanin");
+            new_fanins.push_back(nf);
+          }
+          new_truth = truth[static_cast<std::size_t>(id)];
+        }
+        result.remap[static_cast<std::size_t>(id)] = result.net.add_lut(
+            node.name, std::move(new_fanins), new_truth, node.plane,
+            node.module_id);
+        break;
+      }
+      case NodeKind::kOutput:
+        break;  // second pass, after every driver exists
+    }
+  }
+  // Merged nodes map to their representative's new id.
+  for (int id = 0; id < n; ++id) {
+    if (result.remap[static_cast<std::size_t>(id)] < 0) {
+      int r = resolve(id);
+      if (r != id) {
+        result.remap[static_cast<std::size_t>(id)] =
+            result.remap[static_cast<std::size_t>(r)];
+      }
+    }
+  }
+  for (int id = 0; id < n; ++id) {
+    const LutNode& node = net.node(id);
+    if (node.kind == NodeKind::kFlipFlop &&
+        result.remap[static_cast<std::size_t>(id)] >= 0) {
+      int src = result.remap[static_cast<std::size_t>(
+          resolve(node.fanins[0]))];
+      NM_CHECK_MSG(src >= 0, "live flip-flop '" << node.name
+                                                << "' has a dead driver");
+      result.net.set_flipflop_input(
+          result.remap[static_cast<std::size_t>(id)], src);
+    } else if (node.kind == NodeKind::kOutput) {
+      int src = result.remap[static_cast<std::size_t>(
+          resolve(node.fanins[0]))];
+      NM_CHECK_MSG(src >= 0, "primary output '" << node.name
+                                                << "' lost its driver");
+      result.remap[static_cast<std::size_t>(id)] =
+          result.net.add_output(node.name, src);
+    }
+  }
+
+  result.net.compute_levels();
+  result.net.validate();
+  return result;
+}
+
+}  // namespace nanomap

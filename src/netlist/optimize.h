@@ -1,0 +1,43 @@
+// Netlist cleanup passes over a LutNetwork.
+//
+// Front ends (FlowMap duplication, BLIF imports, generated RTL) can leave
+// dead logic, duplicated LUTs and constant cones behind. These passes are
+// the standard hygiene a mapper applies before scheduling:
+//
+//   * dead-code elimination — drop LUTs/flip-flops with no path to a
+//     primary output or flip-flop that is itself alive;
+//   * structural hashing    — merge LUTs with identical (fanins, truth);
+//   * constant propagation  — fold LUT inputs driven by constant-function
+//     LUTs into the consumer's truth table.
+//
+// sweep() runs them to a fixpoint and returns the compacted network plus
+// the old-id -> new-id mapping (so callers can translate buses).
+#pragma once
+
+#include <vector>
+
+#include "netlist/lut_network.h"
+
+namespace nanomap {
+
+struct SweepStats {
+  int dead_luts_removed = 0;
+  int dead_flipflops_removed = 0;
+  int duplicates_merged = 0;
+  int constants_folded = 0;
+  int total_removed() const {
+    return dead_luts_removed + dead_flipflops_removed + duplicates_merged;
+  }
+};
+
+struct SweepResult {
+  LutNetwork net;
+  // old node id -> new node id (-1 if removed). Merged duplicates map to
+  // the surviving node.
+  std::vector<int> remap;
+  SweepStats stats;
+};
+
+SweepResult sweep(const LutNetwork& net);
+
+}  // namespace nanomap

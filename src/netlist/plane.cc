@@ -1,0 +1,27 @@
+#include "netlist/plane.h"
+
+#include <algorithm>
+
+namespace nanomap {
+
+CircuitParams extract_circuit_params(const LutNetwork& net) {
+  CircuitParams p;
+  p.num_plane = net.num_planes();
+  p.num_lut.resize(static_cast<std::size_t>(p.num_plane), 0);
+  p.depth.resize(static_cast<std::size_t>(p.num_plane), 0);
+  p.num_regs.resize(static_cast<std::size_t>(p.num_plane), 0);
+  for (int plane = 0; plane < p.num_plane; ++plane) {
+    PlaneStats s = net.plane_stats(plane);
+    p.num_lut[static_cast<std::size_t>(plane)] = s.num_luts;
+    p.depth[static_cast<std::size_t>(plane)] = s.depth;
+    p.num_regs[static_cast<std::size_t>(plane)] =
+        static_cast<int>(net.plane_registers(plane).size());
+    p.lut_max = std::max(p.lut_max, s.num_luts);
+    p.depth_max = std::max(p.depth_max, s.depth);
+    p.total_luts += s.num_luts;
+  }
+  p.total_flipflops = net.num_flipflops();
+  return p;
+}
+
+}  // namespace nanomap

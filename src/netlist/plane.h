@@ -1,0 +1,29 @@
+// Circuit-parameter extraction (paper §4.1).
+//
+// The folding-level search consumes exactly the parameters the paper lists:
+// num_plane, num_LUT_i, LUT_max, depth_i, depth_max, plus flip-flop counts
+// used by the storage-resource check.
+#pragma once
+
+#include <vector>
+
+#include "netlist/lut_network.h"
+
+namespace nanomap {
+
+struct CircuitParams {
+  int num_plane = 0;
+  std::vector<int> num_lut;    // per plane
+  std::vector<int> depth;      // per plane
+  std::vector<int> num_regs;   // flip-flops feeding each plane
+  int lut_max = 0;             // max over planes of num_lut
+  int depth_max = 0;           // max over planes of depth
+  int total_luts = 0;          // sum over planes
+  int total_flipflops = 0;
+};
+
+// Computes the parameters. Calls net.compute_levels() internally if needed
+// is NOT done — the caller must have levelized the network already.
+CircuitParams extract_circuit_params(const LutNetwork& net);
+
+}  // namespace nanomap

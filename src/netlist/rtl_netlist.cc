@@ -1,0 +1,55 @@
+#include "netlist/rtl_netlist.h"
+
+#include <algorithm>
+
+namespace nanomap {
+
+const char* module_type_name(ModuleType type) {
+  switch (type) {
+    case ModuleType::kAdder: return "adder";
+    case ModuleType::kSubtractor: return "subtractor";
+    case ModuleType::kMultiplier: return "multiplier";
+    case ModuleType::kComparator: return "comparator";
+    case ModuleType::kMux: return "mux";
+    case ModuleType::kAluSlice: return "alu";
+    case ModuleType::kGeneric: return "generic";
+  }
+  return "?";
+}
+
+int Design::add_module(std::string module_name, ModuleType type, int width,
+                       int plane) {
+  RtlModuleInfo info;
+  info.id = static_cast<int>(modules.size());
+  info.name = std::move(module_name);
+  info.type = type;
+  info.width = width;
+  info.plane = plane;
+  modules.push_back(std::move(info));
+  return modules.back().id;
+}
+
+void Design::refresh_module_stats() {
+  for (RtlModuleInfo& m : modules) {
+    m.num_luts = 0;
+    m.depth = 0;
+  }
+  // A module's depth is measured relative to its own shallowest LUT, so a
+  // module fed by other logic still reports its internal critical path.
+  std::vector<int> min_level(modules.size(), 1 << 30);
+  std::vector<int> max_level(modules.size(), 0);
+  for (const LutNode& n : net.nodes()) {
+    if (n.kind != NodeKind::kLut || n.module_id < 0) continue;
+    auto idx = static_cast<std::size_t>(n.module_id);
+    NM_CHECK(idx < modules.size());
+    ++modules[idx].num_luts;
+    min_level[idx] = std::min(min_level[idx], n.level);
+    max_level[idx] = std::max(max_level[idx], n.level);
+  }
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    if (modules[i].num_luts > 0)
+      modules[i].depth = max_level[i] - min_level[i] + 1;
+  }
+}
+
+}  // namespace nanomap

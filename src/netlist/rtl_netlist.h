@@ -1,0 +1,60 @@
+// Design container: a LUT network plus the RTL module table.
+//
+// NanoMap's input is an RTL/gate-level design. After front-end elaboration
+// (rtl/module_expander or map/flowmap), everything is a flat LutNetwork,
+// but the flow still needs to know which LUTs belong to which RTL module:
+// the folding-level partitioner (paper §3) cuts *modules* into LUT clusters
+// by depth range, while loose LUTs (controller logic, gate-level input) are
+// scheduled individually.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/lut_network.h"
+
+namespace nanomap {
+
+enum class ModuleType : std::uint8_t {
+  kAdder,        // ripple-carry adder
+  kSubtractor,   // ripple borrow subtractor
+  kMultiplier,   // array multiplier (carry-save rows + ripple merge)
+  kComparator,   // magnitude comparator
+  kMux,          // 2:1 word multiplexer
+  kAluSlice,     // small multi-function ALU
+  kGeneric,      // any other expanded LUT subnetwork
+};
+
+const char* module_type_name(ModuleType type);
+
+// One elaborated RTL module instance. num_luts/depth are filled in by the
+// expander and consumed by the folding-level search (Eq. 1-4 inputs) and the
+// LUT-cluster partitioner.
+struct RtlModuleInfo {
+  int id = -1;
+  std::string name;
+  ModuleType type = ModuleType::kGeneric;
+  int width = 0;      // operand bit width (0 if not applicable)
+  int plane = 0;      // plane the module's logic lives in
+  int num_luts = 0;   // LUTs produced by elaboration
+  int depth = 0;      // LUT levels along the module's critical path
+};
+
+struct Design {
+  std::string name;
+  LutNetwork net;
+  std::vector<RtlModuleInfo> modules;
+
+  // Registers a module and returns its id (to tag LUTs with).
+  int add_module(std::string module_name, ModuleType type, int width,
+                 int plane);
+  // Recomputes per-module LUT counts and depths from the network. Call once
+  // after elaboration (requires net.compute_levels()).
+  void refresh_module_stats();
+
+  const RtlModuleInfo& module(int id) const {
+    return modules.at(static_cast<std::size_t>(id));
+  }
+};
+
+}  // namespace nanomap

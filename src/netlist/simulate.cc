@@ -1,0 +1,86 @@
+#include "netlist/simulate.h"
+
+#include <algorithm>
+
+namespace nanomap {
+
+Simulator::Simulator(const LutNetwork& net) : net_(net) {
+  value_.assign(static_cast<std::size_t>(net.size()), 0);
+  ff_state_.assign(static_cast<std::size_t>(net.size()), 0);
+  for (int id = 0; id < net.size(); ++id) {
+    if (net.node(id).kind == NodeKind::kLut) {
+      NM_CHECK_MSG(net.node(id).level >= 1,
+                   "simulator requires compute_levels()");
+      lut_order_.push_back(id);
+    }
+  }
+  std::sort(lut_order_.begin(), lut_order_.end(), [&net](int a, int b) {
+    if (net.node(a).level != net.node(b).level)
+      return net.node(a).level < net.node(b).level;
+    return a < b;
+  });
+}
+
+void Simulator::reset(bool value) {
+  std::fill(ff_state_.begin(), ff_state_.end(), value ? 1 : 0);
+}
+
+void Simulator::set_input(int node, bool value) {
+  NM_CHECK(net_.node(node).kind == NodeKind::kInput);
+  value_[static_cast<std::size_t>(node)] = value ? 1 : 0;
+}
+
+void Simulator::set_input_bus(const std::vector<int>& bus,
+                              std::uint64_t value) {
+  for (std::size_t i = 0; i < bus.size() && i < 64; ++i) {
+    set_input(bus[i], (value >> i) & 1u);
+  }
+}
+
+void Simulator::evaluate() {
+  // Expose flip-flop Q values.
+  for (int id = 0; id < net_.size(); ++id) {
+    if (net_.node(id).kind == NodeKind::kFlipFlop)
+      value_[static_cast<std::size_t>(id)] =
+          ff_state_[static_cast<std::size_t>(id)];
+  }
+  std::vector<bool> fanin_values;
+  for (int id : lut_order_) {
+    const LutNode& n = net_.node(id);
+    fanin_values.clear();
+    for (int f : n.fanins)
+      fanin_values.push_back(value_[static_cast<std::size_t>(f)] != 0);
+    value_[static_cast<std::size_t>(id)] =
+        net_.eval_lut(id, fanin_values) ? 1 : 0;
+  }
+  for (int id = 0; id < net_.size(); ++id) {
+    const LutNode& n = net_.node(id);
+    if (n.kind == NodeKind::kOutput)
+      value_[static_cast<std::size_t>(id)] =
+          value_[static_cast<std::size_t>(n.fanins[0])];
+  }
+}
+
+void Simulator::step() {
+  evaluate();
+  for (int id = 0; id < net_.size(); ++id) {
+    const LutNode& n = net_.node(id);
+    if (n.kind == NodeKind::kFlipFlop)
+      ff_state_[static_cast<std::size_t>(id)] =
+          value_[static_cast<std::size_t>(n.fanins[0])];
+  }
+}
+
+bool Simulator::value(int node) const {
+  return value_[static_cast<std::size_t>(node)] != 0;
+}
+
+std::uint64_t Simulator::read_bus(const std::vector<int>& bus) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bus.size() && i < 64; ++i) {
+    if (value(bus[i])) v |= (std::uint64_t{1} << i);
+  }
+  return v;
+}
+
+}  // namespace nanomap

@@ -1,0 +1,46 @@
+// Cycle-accurate simulation of a LutNetwork.
+//
+// Planes are pipeline stages separated by flip-flops: one step() evaluates
+// every LUT combinationally (cross-plane dependencies only ever pass
+// through flip-flops, which hold their pre-step values) and then clocks all
+// flip-flops. Used by the tests to prove module expanders and FlowMap
+// produce functionally correct logic, and by examples to demo designs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/lut_network.h"
+
+namespace nanomap {
+
+class Simulator {
+ public:
+  explicit Simulator(const LutNetwork& net);
+
+  // Sets every flip-flop to `value`.
+  void reset(bool value = false);
+
+  void set_input(int node, bool value);
+  // LSB-first bus helper; bits beyond 64 are ignored.
+  void set_input_bus(const std::vector<int>& bus, std::uint64_t value);
+
+  // Evaluates all combinational logic with the current inputs and
+  // flip-flop states, then clocks the flip-flops.
+  void step();
+
+  // Evaluates combinationally only (no flip-flop update) — useful to probe
+  // outputs of the current cycle.
+  void evaluate();
+
+  bool value(int node) const;
+  std::uint64_t read_bus(const std::vector<int>& bus) const;
+
+ private:
+  const LutNetwork& net_;
+  std::vector<int> lut_order_;  // all LUTs in global level order
+  std::vector<char> value_;     // current node values
+  std::vector<char> ff_state_;  // flip-flop Q values (by node id)
+};
+
+}  // namespace nanomap

@@ -1,0 +1,174 @@
+#include "place/annealer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nanomap {
+
+Annealer::Annealer(const ClusteredDesign& cd, const Placement& initial,
+                   double timing_weight, Rng* rng)
+    : cd_(cd), placement_(initial), rng_(rng) {
+  NM_CHECK(rng != nullptr);
+  smb_at_site_.assign(static_cast<std::size_t>(placement_.grid.sites()), -1);
+  for (int m = 0; m < cd.num_smbs; ++m) {
+    int site = placement_.site_of_smb[static_cast<std::size_t>(m)];
+    NM_CHECK_MSG(smb_at_site_[static_cast<std::size_t>(site)] == -1,
+                 "two SMBs on site " << site);
+    smb_at_site_[static_cast<std::size_t>(site)] = m;
+  }
+  nets_of_.assign(static_cast<std::size_t>(cd.num_smbs), {});
+  net_weight_.reserve(cd.nets.size());
+  for (std::size_t i = 0; i < cd.nets.size(); ++i) {
+    const PlacedNet& pn = cd.nets[i];
+    net_weight_.push_back(1.0 + timing_weight * pn.criticality);
+    nets_of_[static_cast<std::size_t>(pn.driver_smb)].push_back(
+        static_cast<int>(i));
+    for (int s : pn.sink_smbs)
+      nets_of_[static_cast<std::size_t>(s)].push_back(static_cast<int>(i));
+  }
+  cost_ = 0.0;
+  for (std::size_t i = 0; i < cd_.nets.size(); ++i)
+    cost_ += net_cost(static_cast<int>(i));
+}
+
+double Annealer::net_cost(int net) const {
+  const PlacedNet& pn = cd_.nets[static_cast<std::size_t>(net)];
+  int xmin = placement_.x_of(pn.driver_smb);
+  int xmax = xmin;
+  int ymin = placement_.y_of(pn.driver_smb);
+  int ymax = ymin;
+  for (int s : pn.sink_smbs) {
+    xmin = std::min(xmin, placement_.x_of(s));
+    xmax = std::max(xmax, placement_.x_of(s));
+    ymin = std::min(ymin, placement_.y_of(s));
+    ymax = std::max(ymax, placement_.y_of(s));
+  }
+  return net_weight_[static_cast<std::size_t>(net)] *
+         static_cast<double>((xmax - xmin) + (ymax - ymin));
+}
+
+double Annealer::incident_cost(int smb) const {
+  double c = 0.0;
+  for (int n : nets_of_[static_cast<std::size_t>(smb)]) c += net_cost(n);
+  return c;
+}
+
+bool Annealer::try_move(double t, int rlim) {
+  ++moves_attempted_;
+  if (cd_.num_smbs == 0) return false;
+  int smb = static_cast<int>(rng_->next_below(
+      static_cast<std::uint64_t>(cd_.num_smbs)));
+  int from = placement_.site_of_smb[static_cast<std::size_t>(smb)];
+  int fx = from % placement_.grid.width;
+  int fy = from / placement_.grid.width;
+  int tx = std::clamp(fx + rng_->next_int(-rlim, rlim), 0,
+                      placement_.grid.width - 1);
+  int ty = std::clamp(fy + rng_->next_int(-rlim, rlim), 0,
+                      placement_.grid.height - 1);
+  int to = ty * placement_.grid.width + tx;
+  if (to == from) return false;
+  int other = smb_at_site_[static_cast<std::size_t>(to)];
+
+  double before = incident_cost(smb);
+  if (other >= 0) {
+    // Avoid double-counting nets incident to both.
+    before = 0.0;
+    std::vector<int> nets = nets_of_[static_cast<std::size_t>(smb)];
+    nets.insert(nets.end(), nets_of_[static_cast<std::size_t>(other)].begin(),
+                nets_of_[static_cast<std::size_t>(other)].end());
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+    for (int n : nets) before += net_cost(n);
+
+    placement_.site_of_smb[static_cast<std::size_t>(smb)] = to;
+    placement_.site_of_smb[static_cast<std::size_t>(other)] = from;
+    smb_at_site_[static_cast<std::size_t>(to)] = smb;
+    smb_at_site_[static_cast<std::size_t>(from)] = other;
+    double after = 0.0;
+    for (int n : nets) after += net_cost(n);
+    double delta = after - before;
+    if (delta <= 0.0 ||
+        (t > 0.0 && rng_->next_double() < std::exp(-delta / t))) {
+      cost_ += delta;
+      ++moves_accepted_;
+      return true;
+    }
+    placement_.site_of_smb[static_cast<std::size_t>(smb)] = from;
+    placement_.site_of_smb[static_cast<std::size_t>(other)] = to;
+    smb_at_site_[static_cast<std::size_t>(to)] = other;
+    smb_at_site_[static_cast<std::size_t>(from)] = smb;
+    return false;
+  }
+
+  placement_.site_of_smb[static_cast<std::size_t>(smb)] = to;
+  smb_at_site_[static_cast<std::size_t>(to)] = smb;
+  smb_at_site_[static_cast<std::size_t>(from)] = -1;
+  double after = incident_cost(smb);
+  double delta = after - before;
+  if (delta <= 0.0 ||
+      (t > 0.0 && rng_->next_double() < std::exp(-delta / t))) {
+    cost_ += delta;
+    ++moves_accepted_;
+    return true;
+  }
+  placement_.site_of_smb[static_cast<std::size_t>(smb)] = from;
+  smb_at_site_[static_cast<std::size_t>(from)] = smb;
+  smb_at_site_[static_cast<std::size_t>(to)] = -1;
+  return false;
+}
+
+void Annealer::run(double effort) {
+  if (cd_.num_smbs <= 1 || cd_.nets.empty()) return;
+
+  const int n = cd_.num_smbs;
+  const long moves_per_t = std::max<long>(
+      16, static_cast<long>(effort * std::pow(static_cast<double>(n),
+                                              4.0 / 3.0)));
+
+  // Initial temperature: 20 x std-dev of random move deltas (VPR).
+  double sum = 0.0, sum2 = 0.0;
+  const int samples = std::min(128, 8 * n);
+  double cost_before = cost_;
+  for (int i = 0; i < samples; ++i) {
+    double c0 = cost_;
+    try_move(1e18, placement_.grid.width);  // accept everything
+    double d = cost_ - c0;
+    sum += d;
+    sum2 += d * d;
+  }
+  double mean = sum / samples;
+  double var = std::max(0.0, sum2 / samples - mean * mean);
+  double t = 20.0 * std::sqrt(var) + 1e-6;
+  (void)cost_before;
+
+  int rlim = std::max(1, placement_.grid.width);
+  const double exit_t =
+      0.005 * std::max(1.0, cost_) / static_cast<double>(cd_.nets.size());
+
+  while (t > exit_t) {
+    long accepted = 0;
+    for (long i = 0; i < moves_per_t; ++i) {
+      if (try_move(t, rlim)) ++accepted;
+    }
+    double rate = static_cast<double>(accepted) /
+                  static_cast<double>(moves_per_t);
+    // VPR temperature update.
+    if (rate > 0.96) {
+      t *= 0.5;
+    } else if (rate > 0.8) {
+      t *= 0.9;
+    } else if (rate > 0.15 && rlim > 1) {
+      t *= 0.95;
+    } else {
+      t *= 0.8;
+    }
+    // Keep acceptance near 0.44 by shrinking the displacement window.
+    double factor = 1.0 - 0.44 + rate;
+    rlim = std::clamp(static_cast<int>(std::lround(rlim * factor)), 1,
+                      placement_.grid.width);
+  }
+  // Greedy cleanup at T = 0.
+  for (long i = 0; i < moves_per_t; ++i) try_move(0.0, 1);
+}
+
+}  // namespace nanomap

@@ -1,0 +1,46 @@
+// Simulated-annealing engine for SMB placement (VPR-like schedule).
+//
+// Internal to nm_place; place/placement.cc drives it for the fast and
+// detailed passes. Incremental cost evaluation touches only the nets
+// incident to the two swapped SMBs.
+#pragma once
+
+#include <vector>
+
+#include "place/placement.h"
+
+namespace nanomap {
+
+class Annealer {
+ public:
+  Annealer(const ClusteredDesign& cd, const Placement& initial,
+           double timing_weight, Rng* rng);
+
+  // Runs one full annealing schedule; `effort` scales moves per
+  // temperature. Returns the best placement found.
+  void run(double effort);
+
+  const Placement& placement() const { return placement_; }
+  double cost() const { return cost_; }
+  long moves_attempted() const { return moves_attempted_; }
+  long moves_accepted() const { return moves_accepted_; }
+
+ private:
+  double net_cost(int net) const;
+  double incident_cost(int smb) const;
+  // Attempts one swap/move at temperature t with displacement limit rlim;
+  // returns true if accepted.
+  bool try_move(double t, int rlim);
+
+  const ClusteredDesign& cd_;
+  Placement placement_;
+  std::vector<int> smb_at_site_;          // site -> smb (-1 empty)
+  std::vector<std::vector<int>> nets_of_; // smb -> incident net indices
+  std::vector<double> net_weight_;        // 1 + timing_weight * criticality
+  double cost_ = 0.0;
+  Rng* rng_;
+  long moves_attempted_ = 0;
+  long moves_accepted_ = 0;
+};
+
+}  // namespace nanomap

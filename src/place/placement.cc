@@ -1,0 +1,177 @@
+#include "place/placement.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "place/annealer.h"
+#include "util/log.h"
+
+namespace nanomap {
+namespace {
+
+Placement initial_placement(const ClusteredDesign& cd, Rng* rng) {
+  Placement p;
+  p.grid = size_grid_for(cd.num_smbs);
+  std::vector<int> sites(static_cast<std::size_t>(p.grid.sites()));
+  for (int i = 0; i < p.grid.sites(); ++i)
+    sites[static_cast<std::size_t>(i)] = i;
+  rng->shuffle(sites);
+  p.site_of_smb.assign(static_cast<std::size_t>(cd.num_smbs), -1);
+  for (int m = 0; m < cd.num_smbs; ++m)
+    p.site_of_smb[static_cast<std::size_t>(m)] =
+        sites[static_cast<std::size_t>(m)];
+  return p;
+}
+
+}  // namespace
+
+double placement_cost(const ClusteredDesign& cd, const Placement& placement,
+                      double timing_weight) {
+  double cost = 0.0;
+  for (const PlacedNet& pn : cd.nets) {
+    int xmin = placement.x_of(pn.driver_smb);
+    int xmax = xmin;
+    int ymin = placement.y_of(pn.driver_smb);
+    int ymax = ymin;
+    for (int s : pn.sink_smbs) {
+      xmin = std::min(xmin, placement.x_of(s));
+      xmax = std::max(xmax, placement.x_of(s));
+      ymin = std::min(ymin, placement.y_of(s));
+      ymax = std::max(ymax, placement.y_of(s));
+    }
+    cost += (1.0 + timing_weight * pn.criticality) *
+            static_cast<double>((xmax - xmin) + (ymax - ymin));
+  }
+  return cost;
+}
+
+RoutabilityEstimate estimate_routability(const ClusteredDesign& cd,
+                                         const Placement& placement,
+                                         const ArchParams& arch) {
+  RoutabilityEstimate est;
+  const int w = placement.grid.width;
+  const int h = placement.grid.height;
+  if (w < 1 || h < 1) return est;
+  // Demand accumulated per channel (one horizontal + one vertical channel
+  // per site), per folding cycle (wires are reconfigured per cycle, so
+  // congestion is per-cycle).
+  const std::size_t channels = static_cast<std::size_t>(w) *
+                               static_cast<std::size_t>(h) * 2;
+  std::vector<double> demand(channels, 0.0);
+  double peak = 0.0;
+  double total = 0.0;
+  long counted = 0;
+
+  int last_cycle = -1;
+  auto flush = [&]() {
+    for (double d : demand) {
+      peak = std::max(peak, d);
+      total += d;
+      ++counted;
+    }
+    std::fill(demand.begin(), demand.end(), 0.0);
+  };
+
+  // cd.nets is grouped by (driver, cycle) map order; cycles may interleave,
+  // so accumulate per cycle via bucketing.
+  std::vector<std::vector<const PlacedNet*>> per_cycle(
+      static_cast<std::size_t>(cd.num_cycles));
+  for (const PlacedNet& pn : cd.nets)
+    per_cycle[static_cast<std::size_t>(pn.cycle)].push_back(&pn);
+
+  for (int c = 0; c < cd.num_cycles; ++c) {
+    for (const PlacedNet* pn : per_cycle[static_cast<std::size_t>(c)]) {
+      int xmin = placement.x_of(pn->driver_smb);
+      int xmax = xmin;
+      int ymin = placement.y_of(pn->driver_smb);
+      int ymax = ymin;
+      for (int s : pn->sink_smbs) {
+        xmin = std::min(xmin, placement.x_of(s));
+        xmax = std::max(xmax, placement.x_of(s));
+        ymin = std::min(ymin, placement.y_of(s));
+        ymax = std::max(ymax, placement.y_of(s));
+      }
+      // RISA-style: spread the net's expected horizontal wiring (~bbox
+      // width) uniformly over the bbox rows, and vertical over columns.
+      double q = 1.0 + 0.3 * static_cast<double>(pn->sink_smbs.size() - 1);
+      double bw = static_cast<double>(xmax - xmin);
+      double bh = static_cast<double>(ymax - ymin);
+      double rows = bh + 1.0;
+      double cols = bw + 1.0;
+      for (int y = ymin; y <= ymax; ++y)
+        for (int x = xmin; x < xmax; ++x)
+          demand[static_cast<std::size_t>((y * w + x) * 2)] += q / rows;
+      for (int x = xmin; x <= xmax; ++x)
+        for (int y = ymin; y < ymax; ++y)
+          demand[static_cast<std::size_t>((y * w + x) * 2 + 1)] += q / cols;
+    }
+    flush();
+  }
+  (void)last_cycle;
+
+  // Channel capacity: length-1 tracks plus the per-SMB share of longer
+  // wires and direct links.
+  double capacity = arch.len1_tracks + arch.len4_tracks +
+                    arch.direct_links_per_side + arch.global_tracks;
+  est.peak_utilization = capacity > 0 ? peak / capacity : 1e9;
+  est.avg_utilization =
+      (capacity > 0 && counted > 0) ? (total / counted) / capacity : 0.0;
+  est.routable = est.peak_utilization <= 1.0;
+  return est;
+}
+
+PlacementResult place_design(const ClusteredDesign& cd,
+                             const ArchParams& arch,
+                             const PlacementOptions& options) {
+  Rng rng(options.seed);
+  PlacementResult result;
+  result.placement = initial_placement(cd, &rng);
+  if (cd.num_smbs == 0) return result;
+
+  // Step 1: fast low-precision placement.
+  Annealer fast(cd, result.placement, options.timing_weight, &rng);
+  fast.run(options.fast_effort);
+  result.placement = fast.placement();
+  result.moves_attempted = fast.moves_attempted();
+  result.moves_accepted = fast.moves_accepted();
+
+  // Step 2: routability + delay screen, with refinement attempts.
+  result.routability = estimate_routability(cd, result.placement, arch);
+  int attempts = 0;
+  while (result.routability.peak_utilization >
+             options.routable_threshold &&
+         attempts < options.max_refine_attempts) {
+    ++attempts;
+    Annealer refine(cd, result.placement, options.timing_weight, &rng);
+    refine.run(options.fast_effort * 2.0);
+    result.placement = refine.placement();
+    result.moves_attempted += refine.moves_attempted();
+    result.moves_accepted += refine.moves_accepted();
+    result.routability = estimate_routability(cd, result.placement, arch);
+  }
+  result.screen_passed =
+      result.routability.peak_utilization <= options.routable_threshold;
+
+  // Step 3: high-precision placement. The screen verdict is advisory for
+  // the flow (the router is the authoritative congestion check), so the
+  // detailed anneal runs either way — it usually improves routability too.
+  {
+    Annealer detailed(cd, result.placement, options.timing_weight, &rng);
+    detailed.run(options.detailed_effort);
+    result.placement = detailed.placement();
+    result.moves_attempted += detailed.moves_attempted();
+    result.moves_accepted += detailed.moves_accepted();
+    result.routability = estimate_routability(cd, result.placement, arch);
+    result.screen_passed =
+        result.routability.peak_utilization <= options.routable_threshold;
+  }
+
+  result.cost = placement_cost(cd, result.placement, options.timing_weight);
+  result.wirelength = placement_cost(cd, result.placement, 0.0);
+  NM_LOG(kDebug) << "placement: cost " << result.cost << " wl "
+                 << result.wirelength << " peak-util "
+                 << result.routability.peak_utilization;
+  return result;
+}
+
+}  // namespace nanomap

@@ -1,0 +1,77 @@
+// Temporal placement (paper §4.4, flow steps 9-14).
+//
+// SMBs are placed on a square grid of sites by simulated annealing, VPR
+// style. Folding makes this *temporal* placement: the cost of a candidate
+// placement sums, for every net, its half-perimeter bounding box in every
+// folding cycle in which it is live (plus a timing weight), so SMB pairs
+// that communicate in *any* cycle are pulled together — the generalization
+// of the paper's inter-folding-stage Manhattan-distance term.
+//
+// Placement runs in two steps: a fast low-precision anneal, screened by a
+// RISA-style routability estimate and a placement-based delay estimate;
+// only if the screen passes (possibly after refinement attempts) does the
+// high-precision anneal run. The screen verdict is reported upward so the
+// flow can fall back to another folding level (paper step 13).
+#pragma once
+
+#include <vector>
+
+#include "arch/nature.h"
+#include "core/temporal_cluster.h"
+#include "util/rng.h"
+
+namespace nanomap {
+
+struct Placement {
+  GridSize grid;
+  std::vector<int> site_of_smb;  // smb -> site index (y * width + x)
+
+  int x_of(int smb) const {
+    return site_of_smb[static_cast<std::size_t>(smb)] % grid.width;
+  }
+  int y_of(int smb) const {
+    return site_of_smb[static_cast<std::size_t>(smb)] / grid.width;
+  }
+};
+
+struct PlacementOptions {
+  std::uint64_t seed = 42;
+  double timing_weight = 0.8;  // weight of criticality in net cost
+  // Moves per block per temperature step = effort * N^(4/3).
+  double fast_effort = 1.0;
+  double detailed_effort = 10.0;
+  int max_refine_attempts = 2;   // fast-pass refinements before giving up
+  double routable_threshold = 1.0;  // peak channel utilization allowed
+};
+
+struct RoutabilityEstimate {
+  double peak_utilization = 0.0;  // demand / capacity on the worst channel
+  double avg_utilization = 0.0;
+  bool routable = true;
+};
+
+struct PlacementResult {
+  Placement placement;
+  double cost = 0.0;        // weighted multi-cycle HPWL
+  double wirelength = 0.0;  // unweighted HPWL sum
+  RoutabilityEstimate routability;
+  bool screen_passed = true;  // fast-placement screen verdict
+  long moves_attempted = 0;
+  long moves_accepted = 0;
+};
+
+// Weighted multi-cycle HPWL of a full placement (the SA objective).
+double placement_cost(const ClusteredDesign& cd, const Placement& placement,
+                      double timing_weight);
+
+// RISA-style channel-demand estimate for a placement.
+RoutabilityEstimate estimate_routability(const ClusteredDesign& cd,
+                                         const Placement& placement,
+                                         const ArchParams& arch);
+
+// Full two-step placement of a clustered design.
+PlacementResult place_design(const ClusteredDesign& cd,
+                             const ArchParams& arch,
+                             const PlacementOptions& options = {});
+
+}  // namespace nanomap

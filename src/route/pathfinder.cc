@@ -1,0 +1,263 @@
+#include "route/pathfinder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace nanomap {
+namespace {
+
+struct QueueEntry {
+  double cost;
+  int node;
+  bool operator>(const QueueEntry& other) const { return cost > other.cost; }
+};
+
+class CycleRouter {
+ public:
+  CycleRouter(const ClusteredDesign& cd, const Placement& placement,
+              const RrGraph& rr, const RouterOptions& options)
+      : cd_(cd), placement_(placement), rr_(rr), options_(options) {
+    occ_.assign(static_cast<std::size_t>(rr.size()), 0);
+    hist_.assign(static_cast<std::size_t>(rr.size()), 0.0);
+    parent_.assign(static_cast<std::size_t>(rr.size()), -1);
+    best_cost_.assign(static_cast<std::size_t>(rr.size()),
+                      std::numeric_limits<double>::infinity());
+    delay_at_.assign(static_cast<std::size_t>(rr.size()), 0.0);
+    in_tree_.assign(static_cast<std::size_t>(rr.size()), 0);
+  }
+
+  // Routes all nets of one folding cycle; returns residual overuse count.
+  long route_cycle(const std::vector<int>& net_indices,
+                   std::vector<NetRoute>* out, int* iterations_used) {
+    std::vector<std::vector<int>> trees(net_indices.size());
+    std::vector<NetRoute> routes(net_indices.size());
+
+    double pres_fac = options_.initial_pres_fac;
+    long overused = 0;
+    int iter = 0;
+    for (iter = 1; iter <= options_.max_iterations; ++iter) {
+      for (std::size_t ni = 0; ni < net_indices.size(); ++ni) {
+        rip_up(trees[ni]);
+        routes[ni] = route_net(net_indices[ni], pres_fac, &trees[ni]);
+      }
+      overused = 0;
+      for (int n = 0; n < rr_.size(); ++n) {
+        int over = occ_[static_cast<std::size_t>(n)] -
+                   rr_.node(n).capacity;
+        if (over > 0) {
+          ++overused;
+          hist_[static_cast<std::size_t>(n)] += options_.hist_fac * over;
+        }
+      }
+      if (overused == 0) break;
+      pres_fac *= options_.pres_fac_mult;
+    }
+    *iterations_used = std::min(iter, options_.max_iterations);
+    out->insert(out->end(), routes.begin(), routes.end());
+    return overused;
+  }
+
+ private:
+  // Congestion cost blended with the node's delay for critical nets
+  // (timing-driven routing). The present/history congestion terms always
+  // apply so legality is never traded away.
+  double node_cost(int n, double pres_fac, double crit) const {
+    const RrNode& node = rr_.node(n);
+    int over = occ_[static_cast<std::size_t>(n)] + 1 - node.capacity;
+    double pres = over > 0 ? 1.0 + pres_fac * over : 1.0;
+    double base = node.base_cost;
+    if (options_.timing_driven) {
+      base = (1.0 - crit) * node.base_cost +
+             crit * (node.delay_ps / options_.delay_norm_ps);
+    }
+    return (base + hist_[static_cast<std::size_t>(n)]) * pres;
+  }
+
+  void rip_up(std::vector<int>& tree) {
+    for (int n : tree) --occ_[static_cast<std::size_t>(n)];
+    tree.clear();
+  }
+
+  NetRoute route_net(int net_index, double pres_fac, std::vector<int>* tree) {
+    const PlacedNet& pn = cd_.nets[static_cast<std::size_t>(net_index)];
+    const double crit = pn.criticality;
+    NetRoute route;
+    route.net_index = net_index;
+
+    const int sx = placement_.x_of(pn.driver_smb);
+    const int sy = placement_.y_of(pn.driver_smb);
+    const int source = rr_.opin(sx, sy);
+
+    // Route farthest sinks first (classic heuristic).
+    std::vector<int> sinks = pn.sink_smbs;
+    std::sort(sinks.begin(), sinks.end(), [&](int a, int b) {
+      int da = std::abs(placement_.x_of(a) - sx) +
+               std::abs(placement_.y_of(a) - sy);
+      int db = std::abs(placement_.x_of(b) - sx) +
+               std::abs(placement_.y_of(b) - sy);
+      if (da != db) return da > db;
+      return a < b;
+    });
+
+    std::vector<int> tree_nodes{source};
+    delay_at_[static_cast<std::size_t>(source)] = 0.0;
+
+    for (int sink_smb : sinks) {
+      const int tx = placement_.x_of(sink_smb);
+      const int ty = placement_.y_of(sink_smb);
+      const int target = rr_.ipin(tx, ty);
+
+      // A* from the current tree to the sink IPIN.
+      std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                          std::greater<QueueEntry>>
+          pq;
+      std::vector<int> touched;
+      auto relax = [&](int n, double cost, int par) {
+        if (cost >= best_cost_[static_cast<std::size_t>(n)]) return;
+        if (best_cost_[static_cast<std::size_t>(n)] ==
+            std::numeric_limits<double>::infinity())
+          touched.push_back(n);
+        best_cost_[static_cast<std::size_t>(n)] = cost;
+        parent_[static_cast<std::size_t>(n)] = par;
+        const RrNode& node = rr_.node(n);
+        double est = options_.astar_weight *
+                     (std::abs(node.x - tx) + std::abs(node.y - ty));
+        pq.push({cost + est, n});
+      };
+      for (int n : tree_nodes) relax(n, 0.0, -1);
+
+      int found = -1;
+      while (!pq.empty()) {
+        auto [prio, n] = pq.top();
+        pq.pop();
+        const RrNode& node = rr_.node(n);
+        double est = options_.astar_weight *
+                     (std::abs(node.x - tx) + std::abs(node.y - ty));
+        if (prio - est > best_cost_[static_cast<std::size_t>(n)] + 1e-12)
+          continue;  // stale entry
+        if (n == target) {
+          found = n;
+          break;
+        }
+        for (int next : node.edges) {
+          relax(next,
+                best_cost_[static_cast<std::size_t>(n)] +
+                    node_cost(next, pres_fac, crit),
+                n);
+        }
+      }
+      NM_CHECK_MSG(found >= 0, "router: sink unreachable at ("
+                                   << tx << "," << ty << ")");
+
+      // Walk back to the tree, appending new nodes.
+      std::vector<int> path;
+      for (int n = found; n != -1 && !in_tree_[static_cast<std::size_t>(n)];
+           n = parent_[static_cast<std::size_t>(n)]) {
+        path.push_back(n);
+        if (parent_[static_cast<std::size_t>(n)] == -1) break;
+      }
+      // parent chain stops at a node already in the tree (or the seed with
+      // parent -1, which is in tree_nodes).
+      int join = parent_[static_cast<std::size_t>(path.back())];
+      double base_delay =
+          join >= 0 ? delay_at_[static_cast<std::size_t>(join)] : 0.0;
+      if (!in_tree_[static_cast<std::size_t>(path.back())] && join < 0) {
+        // Seed node itself: delay_at_ already set.
+        base_delay = 0.0;
+      }
+      for (auto it = path.rbegin(); it != path.rend(); ++it) {
+        base_delay += rr_.node(*it).delay_ps;
+        delay_at_[static_cast<std::size_t>(*it)] = base_delay;
+        tree_nodes.push_back(*it);
+        in_tree_[static_cast<std::size_t>(*it)] = 1;
+      }
+
+      route.sink_smbs.push_back(sink_smb);
+      route.sink_delay_ps.push_back(
+          delay_at_[static_cast<std::size_t>(target)]);
+
+      // Reset search state.
+      for (int n : touched) {
+        best_cost_[static_cast<std::size_t>(n)] =
+            std::numeric_limits<double>::infinity();
+        parent_[static_cast<std::size_t>(n)] = -1;
+      }
+      // Seeds were marked in_tree only after path walk; mark all.
+      for (int n : tree_nodes) in_tree_[static_cast<std::size_t>(n)] = 1;
+    }
+
+    // Commit occupancy once per node.
+    std::sort(tree_nodes.begin(), tree_nodes.end());
+    tree_nodes.erase(std::unique(tree_nodes.begin(), tree_nodes.end()),
+                     tree_nodes.end());
+    for (int n : tree_nodes) {
+      ++occ_[static_cast<std::size_t>(n)];
+      in_tree_[static_cast<std::size_t>(n)] = 0;
+      RrType t = rr_.node(n).type;
+      if (t != RrType::kOpin && t != RrType::kIpin)
+        route.wire_nodes.push_back(n);
+    }
+    *tree = tree_nodes;
+    return route;
+  }
+
+  const ClusteredDesign& cd_;
+  const Placement& placement_;
+  const RrGraph& rr_;
+  const RouterOptions& options_;
+
+  std::vector<int> occ_;
+  std::vector<double> hist_;
+  std::vector<int> parent_;
+  std::vector<double> best_cost_;
+  std::vector<double> delay_at_;
+  std::vector<char> in_tree_;
+};
+
+}  // namespace
+
+RoutingResult route_design(const ClusteredDesign& cd,
+                           const Placement& placement, const RrGraph& rr,
+                           const RouterOptions& options) {
+  RoutingResult result;
+  std::vector<std::vector<int>> per_cycle(
+      static_cast<std::size_t>(cd.num_cycles));
+  for (std::size_t i = 0; i < cd.nets.size(); ++i)
+    per_cycle[static_cast<std::size_t>(cd.nets[i].cycle)].push_back(
+        static_cast<int>(i));
+
+  for (int c = 0; c < cd.num_cycles; ++c) {
+    CycleRouter router(cd, placement, rr, options);
+    int iters = 0;
+    long overused =
+        router.route_cycle(per_cycle[static_cast<std::size_t>(c)],
+                           &result.nets, &iters);
+    result.worst_iterations = std::max(result.worst_iterations, iters);
+    result.overused_nodes += overused;
+    if (overused > 0) result.success = false;
+  }
+
+  for (const NetRoute& nr : result.nets) {
+    for (int n : nr.wire_nodes) {
+      switch (rr.node(n).type) {
+        case RrType::kDirect: ++result.usage.direct; break;
+        case RrType::kLen1: ++result.usage.len1; break;
+        case RrType::kLen4: ++result.usage.len4; break;
+        case RrType::kGlobal: ++result.usage.global; break;
+        default: break;
+      }
+    }
+  }
+  NM_LOG(kDebug) << "routing: " << result.nets.size() << " nets, usage d/1/4/g "
+                 << result.usage.direct << "/" << result.usage.len1 << "/"
+                 << result.usage.len4 << "/" << result.usage.global
+                 << (result.success ? "" : " [OVERUSED]");
+  return result;
+}
+
+}  // namespace nanomap

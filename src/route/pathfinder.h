@@ -1,0 +1,64 @@
+// PathFinder negotiated-congestion router over the NATURE RR graph
+// (paper §4.4, flow step 15; McMurchie & Ebeling's algorithm as used by
+// VPR's router).
+//
+// Temporal folding makes routing per-folding-cycle: the interconnect
+// reconfigures between cycles, so each global cycle is routed as an
+// independent congestion domain on the same RR graph, and a switch's k-set
+// NRAM holds one configuration per cycle. Within a cycle the router
+// iterates rip-up-and-reroute with growing present-congestion and
+// accumulated history costs until no node is over capacity.
+//
+// The hierarchical preference (direct links, then length-1, length-4,
+// global) emerges from the nodes' base costs and delays.
+#pragma once
+
+#include <vector>
+
+#include "place/placement.h"
+#include "route/rr_graph.h"
+
+namespace nanomap {
+
+struct RouterOptions {
+  int max_iterations = 60;       // per folding cycle
+  double initial_pres_fac = 0.6;
+  double pres_fac_mult = 1.8;
+  double hist_fac = 0.8;
+  double astar_weight = 1.0;     // distance-based lookahead scale
+  // Timing-driven cost blend (VPR-style): a net of criticality c pays
+  // (1-c)*congestion + c*delay/delay_norm_ps per node.
+  bool timing_driven = true;
+  double delay_norm_ps = 300.0;
+  std::uint64_t seed = 7;
+};
+
+// Routed path delays for one net (one entry per sink SMB).
+struct NetRoute {
+  int net_index = -1;  // index into ClusteredDesign::nets
+  std::vector<int> sink_smbs;
+  std::vector<double> sink_delay_ps;   // pin-to-pin routed delay
+  std::vector<int> wire_nodes;         // RR nodes used (deduplicated)
+};
+
+struct WireUsage {
+  long direct = 0;
+  long len1 = 0;
+  long len4 = 0;
+  long global = 0;
+  long total() const { return direct + len1 + len4 + global; }
+};
+
+struct RoutingResult {
+  bool success = true;     // all cycles legal (no overuse)
+  int worst_iterations = 0;
+  long overused_nodes = 0; // residual overuse across cycles (0 on success)
+  std::vector<NetRoute> nets;
+  WireUsage usage;         // wire-node occupancy summed over all cycles
+};
+
+RoutingResult route_design(const ClusteredDesign& cd,
+                           const Placement& placement, const RrGraph& rr,
+                           const RouterOptions& options = {});
+
+}  // namespace nanomap

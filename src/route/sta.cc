@@ -1,0 +1,168 @@
+#include "route/sta.h"
+
+#include <algorithm>
+#include <map>
+
+namespace nanomap {
+
+double manhattan_net_delay_ps(const ArchParams& arch, int dx, int dy) {
+  int d = std::abs(dx) + std::abs(dy);
+  if (d == 0) return arch.local_mux_delay_ps;
+  if (d == 1)
+    return arch.direct_link_delay_ps + arch.local_mux_delay_ps;
+  // Cheapest mix of length-4 and length-1 segments (a length-4 wire may
+  // overshoot: its taps exist at every spanned SMB) vs. one global line.
+  double seg = std::min({static_cast<double>(d) * arch.len1_wire_delay_ps,
+                         ((d + 3) / 4) * arch.len4_wire_delay_ps,
+                         (d / 4) * arch.len4_wire_delay_ps +
+                             (d % 4) * arch.len1_wire_delay_ps});
+  double glob = arch.global_wire_delay_ps;
+  return std::min(seg, glob) + arch.local_mux_delay_ps;
+}
+
+TimingReport analyze_timing(const Design& design,
+                            const DesignSchedule& schedule,
+                            const ClusteredDesign& cd,
+                            const Placement& placement,
+                            const RoutingResult* routing,
+                            const ArchParams& arch) {
+  const LutNetwork& net = design.net;
+  TimingReport report;
+  report.cycle_period_ps.assign(static_cast<std::size_t>(cd.num_cycles),
+                                0.0);
+
+  // Routed delays: (driver node, cycle, sink smb) -> ps.
+  std::map<std::tuple<int, int, int>, double> routed;
+  if (routing != nullptr) {
+    for (const NetRoute& nr : routing->nets) {
+      const PlacedNet& pn = cd.nets[static_cast<std::size_t>(nr.net_index)];
+      for (std::size_t i = 0; i < nr.sink_smbs.size(); ++i) {
+        routed[{pn.driver_node, pn.cycle, nr.sink_smbs[i]}] =
+            nr.sink_delay_ps[i];
+      }
+    }
+  }
+
+  // Intra-SMB hops are cheaper when both LEs sit in the same MB (the
+  // SMB's first-level cluster, paper section 2.1.1).
+  auto intra_smb_delay = [&](int driver, int sink_slot) {
+    int dslot = cd.place[static_cast<std::size_t>(driver)].slot;
+    if (dslot >= 0 && sink_slot >= 0 &&
+        dslot / arch.les_per_mb == sink_slot / arch.les_per_mb)
+      return arch.mb_mux_delay_ps;
+    return arch.local_mux_delay_ps;
+  };
+  auto net_delay = [&](int driver, int cycle, int sink_smb, int sink_slot) {
+    int driver_smb = cd.place[static_cast<std::size_t>(driver)].smb;
+    if (driver_smb == sink_smb || driver_smb < 0)
+      return intra_smb_delay(driver, sink_slot);
+    if (routing != nullptr) {
+      auto it = routed.find({driver, cycle, sink_smb});
+      if (it != routed.end()) return it->second;
+    }
+    int dx = placement.x_of(driver_smb) - placement.x_of(sink_smb);
+    int dy = placement.y_of(driver_smb) - placement.y_of(sink_smb);
+    return manhattan_net_delay_ps(arch, dx, dy);
+  };
+
+  // Arrival times per LUT within its cycle; LUTs are levelized, so a pass
+  // in level order per cycle suffices.
+  std::vector<double> arrival(static_cast<std::size_t>(net.size()), 0.0);
+  std::vector<std::vector<int>> cycle_luts(
+      static_cast<std::size_t>(cd.num_cycles));
+  for (int id = 0; id < net.size(); ++id) {
+    if (net.node(id).kind == NodeKind::kLut)
+      cycle_luts[static_cast<std::size_t>(
+                     cd.cycle_of[static_cast<std::size_t>(id)])]
+          .push_back(id);
+  }
+  for (auto& luts : cycle_luts) {
+    std::sort(luts.begin(), luts.end(), [&net](int a, int b) {
+      if (net.node(a).level != net.node(b).level)
+        return net.node(a).level < net.node(b).level;
+      return a < b;
+    });
+  }
+
+  std::vector<int> crit_pred(static_cast<std::size_t>(net.size()), -1);
+  int worst_endpoint = -1;
+  for (int c = 0; c < cd.num_cycles; ++c) {
+    double period = 0.0;
+    int endpoint = -1;
+    for (int id : cycle_luts[static_cast<std::size_t>(c)]) {
+      const LutNode& n = net.node(id);
+      int my_smb = cd.place[static_cast<std::size_t>(id)].smb;
+      double arr = 0.0;
+      int worst_fanin = -1;
+      for (int f : n.fanins) {
+        const LutNode& src = net.node(f);
+        double src_arr = 0.0;
+        if (src.kind == NodeKind::kLut &&
+            cd.cycle_of[static_cast<std::size_t>(f)] == c) {
+          src_arr = arrival[static_cast<std::size_t>(f)];
+        }
+        // Flip-flops, primary inputs and stored earlier-cycle values are
+        // available at the cycle start (src_arr 0) plus wire delay.
+        double wire =
+            (src.kind == NodeKind::kInput)
+                ? arch.local_mux_delay_ps  // I/O assumed adjacent
+                : net_delay(f, c, my_smb,
+                            cd.place[static_cast<std::size_t>(id)].slot);
+        if (src_arr + wire > arr) {
+          arr = src_arr + wire;
+          worst_fanin = f;
+        }
+      }
+      arr += arch.lut_delay_ps;
+      arrival[static_cast<std::size_t>(id)] = arr;
+      crit_pred[static_cast<std::size_t>(id)] = worst_fanin;
+      if (arr > period) {
+        period = arr;
+        endpoint = id;
+      }
+    }
+    period += arch.ff_setup_ps;
+    report.cycle_period_ps[static_cast<std::size_t>(c)] = period;
+    if (period >
+        report.cycle_period_ps[static_cast<std::size_t>(
+            report.critical_cycle)]) {
+      report.critical_cycle = c;
+      worst_endpoint = endpoint;
+    } else if (c == 0) {
+      worst_endpoint = endpoint;
+    }
+  }
+
+  // Trace the critical path backwards from the worst endpoint through the
+  // worst-fanin chain within the critical cycle.
+  for (int id = worst_endpoint; id >= 0;) {
+    report.critical_path.push_back(
+        {id, net.node(id).kind == NodeKind::kLut
+                 ? arrival[static_cast<std::size_t>(id)]
+                 : 0.0});
+    if (net.node(id).kind != NodeKind::kLut) break;
+    if (cd.cycle_of[static_cast<std::size_t>(id)] != report.critical_cycle)
+      break;  // stored value: the chain restarts in an earlier cycle
+    id = crit_pred[static_cast<std::size_t>(id)];
+  }
+  std::reverse(report.critical_path.begin(), report.critical_path.end());
+
+  double worst =
+      cd.num_cycles > 0
+          ? *std::max_element(report.cycle_period_ps.begin(),
+                              report.cycle_period_ps.end())
+          : 0.0;
+  const int num_plane = std::max(1, design.net.num_planes());
+  if (schedule.folding.no_folding()) {
+    report.folding_cycle_ns = worst / 1000.0;
+    report.circuit_delay_ns = num_plane * worst / 1000.0;
+  } else {
+    report.folding_cycle_ns = (worst + arch.reconf_time_ps) / 1000.0;
+    report.circuit_delay_ns = num_plane *
+                              schedule.folding.stages_per_plane *
+                              report.folding_cycle_ns;
+  }
+  return report;
+}
+
+}  // namespace nanomap

@@ -1,0 +1,294 @@
+#include "rtl/blif.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace nanomap {
+namespace {
+
+struct NamesBlock {
+  std::vector<std::string> inputs;  // fanin signal names
+  std::string output;
+  std::vector<std::string> cubes;   // "<input-plane> <output-bit>"
+  int line_no = 0;
+};
+
+struct LatchDecl {
+  std::string input;
+  std::string output;
+  int line_no = 0;
+};
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  throw InputError("blif line " + std::to_string(line_no) + ": " + msg);
+}
+
+// Expands a cover into a truth table over `arity` inputs.
+std::uint64_t cover_to_truth(const NamesBlock& block) {
+  const int arity = static_cast<int>(block.inputs.size());
+  NM_CHECK(arity >= 0 && arity <= kMaxLutInputs);
+  std::uint64_t on_set = 0;
+  bool saw_on = false, saw_off = false;
+  for (const std::string& cube : block.cubes) {
+    std::vector<std::string> parts = split(cube, ' ');
+    std::string plane, bit;
+    if (arity == 0) {
+      if (parts.size() != 1) fail(block.line_no, "bad constant cover line");
+      bit = parts[0];
+    } else {
+      if (parts.size() != 2) fail(block.line_no, "bad cover line: " + cube);
+      plane = parts[0];
+      bit = parts[1];
+      if (static_cast<int>(plane.size()) != arity)
+        fail(block.line_no, "cube width mismatch in: " + cube);
+    }
+    if (bit == "1")
+      saw_on = true;
+    else if (bit == "0")
+      saw_off = true;
+    else
+      fail(block.line_no, "output bit must be 0 or 1 in: " + cube);
+
+    // Enumerate the minterms the cube covers.
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << arity); ++m) {
+      bool match = true;
+      for (int i = 0; i < arity && match; ++i) {
+        char c = plane[static_cast<std::size_t>(i)];
+        bool v = (m >> i) & 1u;
+        if (c == '1' && !v) match = false;
+        if (c == '0' && v) match = false;
+        if (c != '0' && c != '1' && c != '-')
+          fail(block.line_no, "bad cube character in: " + cube);
+      }
+      if (match) on_set |= (std::uint64_t{1} << m);
+    }
+  }
+  if (saw_on && saw_off)
+    fail(block.line_no, "mixed-polarity cover for '" + block.output + "'");
+  if (block.cubes.empty()) return 0;  // empty cover = constant 0
+  // An all-"0" cover lists the OFF-set: complement it.
+  if (saw_off) {
+    std::uint64_t mask =
+        (arity >= 6) ? ~std::uint64_t{0}
+                     : ((std::uint64_t{1} << (std::uint64_t{1} << arity)) - 1);
+    return (~on_set) & mask;
+  }
+  return on_set;
+}
+
+}  // namespace
+
+Design parse_blif(const std::string& text) {
+  // Pass 1: tokenize into directives, folding '\' line continuations.
+  std::vector<std::pair<int, std::string>> lines;
+  {
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    std::string pending;
+    int pending_line = 0;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      std::string_view sv = trim(raw);
+      auto hash = sv.find('#');
+      if (hash != std::string_view::npos) sv = trim(sv.substr(0, hash));
+      if (sv.empty()) continue;
+      if (sv.back() == '\\') {
+        if (pending.empty()) pending_line = line_no;
+        pending += std::string(sv.substr(0, sv.size() - 1)) + " ";
+        continue;
+      }
+      if (!pending.empty()) {
+        lines.emplace_back(pending_line, pending + std::string(sv));
+        pending.clear();
+      } else {
+        lines.emplace_back(line_no, std::string(sv));
+      }
+    }
+    if (!pending.empty()) lines.emplace_back(pending_line, pending);
+  }
+
+  Design design;
+  std::vector<std::string> input_names, output_names;
+  std::vector<NamesBlock> blocks;
+  std::vector<LatchDecl> latches;
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    auto [line_no, line] = lines[li];
+    std::vector<std::string> tok = split(line, ' ');
+    const std::string& cmd = tok[0];
+    if (cmd == ".model") {
+      if (tok.size() >= 2) design.name = tok[1];
+    } else if (cmd == ".inputs") {
+      input_names.insert(input_names.end(), tok.begin() + 1, tok.end());
+    } else if (cmd == ".outputs") {
+      output_names.insert(output_names.end(), tok.begin() + 1, tok.end());
+    } else if (cmd == ".names") {
+      if (tok.size() < 2) fail(line_no, ".names needs an output");
+      NamesBlock block;
+      block.line_no = line_no;
+      block.output = tok.back();
+      block.inputs.assign(tok.begin() + 1, tok.end() - 1);
+      if (static_cast<int>(block.inputs.size()) > kMaxLutInputs)
+        fail(line_no, "'" + block.output + "' has more than " +
+                          std::to_string(kMaxLutInputs) + " inputs");
+      // Consume cover lines.
+      while (li + 1 < lines.size() && lines[li + 1].second[0] != '.') {
+        block.cubes.push_back(lines[++li].second);
+      }
+      blocks.push_back(std::move(block));
+    } else if (cmd == ".latch") {
+      if (tok.size() < 3) fail(line_no, ".latch needs input and output");
+      latches.push_back({tok[1], tok[2], line_no});
+    } else if (cmd == ".end") {
+      break;
+    } else if (cmd == ".clock" || cmd == ".wire_load_slope") {
+      // Ignored metadata.
+    } else {
+      fail(line_no, "unsupported directive '" + cmd + "'");
+    }
+  }
+  if (design.name.empty()) throw InputError("blif: missing .model");
+  if (input_names.empty() && latches.empty())
+    throw InputError("blif: no .inputs");
+
+  // Elaborate. Signals resolve to node ids; .names blocks may be in any
+  // order, so iterate until every block's fanins are available.
+  std::map<std::string, int> node_of;
+  for (const std::string& n : input_names) {
+    if (!node_of.emplace(n, design.net.add_input(n, 0)).second)
+      throw InputError("blif: duplicate input '" + n + "'");
+  }
+  for (const LatchDecl& l : latches) {
+    if (!node_of.emplace(l.output, design.net.add_flipflop(l.output, 0))
+             .second)
+      fail(l.line_no, "duplicate signal '" + l.output + "'");
+  }
+
+  std::vector<bool> done(blocks.size(), false);
+  std::size_t remaining = blocks.size();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (done[i]) continue;
+      const NamesBlock& b = blocks[i];
+      std::vector<int> fanins;
+      bool ready = true;
+      for (const std::string& in : b.inputs) {
+        auto it = node_of.find(in);
+        if (it == node_of.end()) {
+          ready = false;
+          break;
+        }
+        fanins.push_back(it->second);
+      }
+      if (!ready) continue;
+      std::uint64_t truth = cover_to_truth(b);
+      if (fanins.empty()) {
+        // Constant function: realize as a single-input LUT off any input.
+        if (node_of.empty()) fail(b.line_no, "constant with no signals");
+        fanins.push_back(node_of.begin()->second);
+        truth = (truth & 1u) ? 0x3 : 0x0;
+      }
+      int id = design.net.add_lut(b.output, std::move(fanins), truth, 0);
+      if (!node_of.emplace(b.output, id).second)
+        fail(b.line_no, "duplicate signal '" + b.output + "'");
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (!done[i])
+        fail(blocks[i].line_no,
+             "unresolved fanins (combinational cycle or undefined signal) "
+             "for '" +
+                 blocks[i].output + "'");
+    }
+  }
+
+  for (const LatchDecl& l : latches) {
+    auto it = node_of.find(l.input);
+    if (it == node_of.end())
+      fail(l.line_no, "latch input '" + l.input + "' undefined");
+    design.net.set_flipflop_input(node_of[l.output], it->second);
+  }
+  for (const std::string& out : output_names) {
+    auto it = node_of.find(out);
+    if (it == node_of.end())
+      throw InputError("blif: output '" + out + "' undefined");
+    design.net.add_output(out, it->second);
+  }
+
+  design.net.compute_levels();
+  design.net.validate();
+  return design;
+}
+
+Design parse_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open blif file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_blif(buf.str());
+}
+
+std::string write_blif(const Design& design) {
+  const LutNetwork& net = design.net;
+  std::ostringstream os;
+  os << ".model " << (design.name.empty() ? "nanomap" : design.name) << "\n";
+
+  auto signal_name = [&net](int id) {
+    const LutNode& n = net.node(id);
+    // BLIF identifiers must not contain whitespace; ours never do.
+    return n.name.empty() ? ("n" + std::to_string(id)) : n.name;
+  };
+
+  os << ".inputs";
+  for (int id = 0; id < net.size(); ++id)
+    if (net.node(id).kind == NodeKind::kInput) os << " " << signal_name(id);
+  os << "\n.outputs";
+  for (int id = 0; id < net.size(); ++id)
+    if (net.node(id).kind == NodeKind::kOutput) os << " " << signal_name(id);
+  os << "\n";
+
+  for (int id = 0; id < net.size(); ++id) {
+    const LutNode& n = net.node(id);
+    if (n.kind == NodeKind::kFlipFlop) {
+      os << ".latch " << signal_name(n.fanins[0]) << " " << signal_name(id)
+         << " 0\n";
+    }
+  }
+  for (int id = 0; id < net.size(); ++id) {
+    const LutNode& n = net.node(id);
+    if (n.kind != NodeKind::kLut) continue;
+    os << ".names";
+    for (int f : n.fanins) os << " " << signal_name(f);
+    os << " " << signal_name(id) << "\n";
+    const int arity = static_cast<int>(n.fanins.size());
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << arity); ++m) {
+      if ((n.truth >> m) & 1u) {
+        for (int i = 0; i < arity; ++i) os << (((m >> i) & 1u) ? '1' : '0');
+        os << " 1\n";
+      }
+    }
+  }
+  for (int id = 0; id < net.size(); ++id) {
+    const LutNode& n = net.node(id);
+    if (n.kind == NodeKind::kOutput &&
+        signal_name(id) != signal_name(n.fanins[0])) {
+      // Output alias: a buffer .names.
+      os << ".names " << signal_name(n.fanins[0]) << " " << signal_name(id)
+         << "\n1 1\n";
+    }
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace nanomap

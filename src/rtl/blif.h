@@ -1,0 +1,37 @@
+// BLIF (Berkeley Logic Interchange Format) front end and writer.
+//
+// BLIF is the lingua franca of academic LUT-level CAD (SIS/ABC/VPR emit
+// it); supporting it lets NanoMap consume externally synthesized netlists,
+// the same role FlowMap-produced networks play in the paper's flow.
+//
+// Supported subset (one model per file):
+//   .model <name>
+//   .inputs  <n...>        .outputs <n...>
+//   .names <in...> <out>   followed by single-output cover lines
+//                          ("1-0 1" style; '-' is don't-care; all lines
+//                          must share the same output polarity)
+//   .latch <in> <out> [<type> <ctrl>] [<init>]
+//   .end
+//
+// A BLIF netlist elaborates to a single-plane Design: every .names with
+// <= 6 inputs becomes one LUT (re-map through map/flowmap if a smaller
+// LUT size is required), every .latch a flip-flop feeding plane 0.
+// Constant functions are realized as single-input LUTs with constant
+// truth tables.
+#pragma once
+
+#include <string>
+
+#include "netlist/rtl_netlist.h"
+
+namespace nanomap {
+
+// Parses BLIF text; throws InputError with line diagnostics.
+Design parse_blif(const std::string& text);
+Design parse_blif_file(const std::string& path);
+
+// Serializes a LutNetwork back to BLIF (LUT truth tables become covers).
+// Inverse of parse_blif up to cover representation; round-trip tested.
+std::string write_blif(const Design& design);
+
+}  // namespace nanomap

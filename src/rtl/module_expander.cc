@@ -1,0 +1,589 @@
+#include "rtl/module_expander.h"
+
+namespace nanomap {
+namespace {
+
+// Common truth tables over the fanin order used below.
+// XOR of the first `n` inputs.
+std::uint64_t tt_xor(int n) {
+  return make_truth(n, [n](const bool* b) {
+    bool v = false;
+    for (int i = 0; i < n; ++i) v ^= b[i];
+    return v;
+  });
+}
+
+// Majority of three inputs.
+std::uint64_t tt_maj3() {
+  return make_truth(3, [](const bool* b) {
+    return (b[0] && b[1]) || (b[0] && b[2]) || (b[1] && b[2]);
+  });
+}
+
+std::uint64_t tt_and2() {
+  return make_truth(2, [](const bool* b) { return b[0] && b[1]; });
+}
+
+std::string bit_name(const std::string& base, std::size_t i,
+                     const char* suffix) {
+  return base + "_" + suffix + std::to_string(i);
+}
+
+}  // namespace
+
+ExpandedModule expand_adder(Design& design, const std::string& name,
+                            const SignalBus& a, const SignalBus& b,
+                            int plane) {
+  NM_CHECK(a.size() == b.size() && !a.empty());
+  ExpandedModule m;
+  m.module_id = design.add_module(name, ModuleType::kAdder,
+                                  static_cast<int>(a.size()), plane);
+  LutNetwork& net = design.net;
+  int carry = -1;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (carry < 0) {
+      m.out.push_back(net.add_lut(bit_name(name, i, "s"), {a[i], b[i]},
+                                  tt_xor(2), plane, m.module_id));
+      carry = net.add_lut(bit_name(name, i, "c"), {a[i], b[i]}, tt_and2(),
+                          plane, m.module_id);
+    } else {
+      m.out.push_back(net.add_lut(bit_name(name, i, "s"),
+                                  {a[i], b[i], carry}, tt_xor(3), plane,
+                                  m.module_id));
+      carry = net.add_lut(bit_name(name, i, "c"), {a[i], b[i], carry},
+                          tt_maj3(), plane, m.module_id);
+    }
+  }
+  m.carry_out = carry;
+  return m;
+}
+
+ExpandedModule expand_subtractor(Design& design, const std::string& name,
+                                 const SignalBus& a, const SignalBus& b,
+                                 int plane) {
+  NM_CHECK(a.size() == b.size() && !a.empty());
+  ExpandedModule m;
+  m.module_id = design.add_module(name, ModuleType::kSubtractor,
+                                  static_cast<int>(a.size()), plane);
+  LutNetwork& net = design.net;
+  // Borrow: borrow_out = (!a & b) | (!(a ^ b) & borrow_in).
+  const std::uint64_t tt_borrow0 =
+      make_truth(2, [](const bool* v) { return !v[0] && v[1]; });
+  const std::uint64_t tt_borrow =
+      make_truth(3, [](const bool* v) {
+        return (!v[0] && v[1]) || (!(v[0] != v[1]) && v[2]);
+      });
+  int borrow = -1;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (borrow < 0) {
+      m.out.push_back(net.add_lut(bit_name(name, i, "d"), {a[i], b[i]},
+                                  tt_xor(2), plane, m.module_id));
+      borrow = net.add_lut(bit_name(name, i, "bo"), {a[i], b[i]}, tt_borrow0,
+                           plane, m.module_id);
+    } else {
+      m.out.push_back(net.add_lut(bit_name(name, i, "d"),
+                                  {a[i], b[i], borrow}, tt_xor(3), plane,
+                                  m.module_id));
+      borrow = net.add_lut(bit_name(name, i, "bo"), {a[i], b[i], borrow},
+                           tt_borrow, plane, m.module_id);
+    }
+  }
+  m.carry_out = borrow;
+  return m;
+}
+
+namespace {
+
+// Kogge-Stone parallel-prefix addition of two equal-width buses, emitted
+// into `design` under module `module_id`. Returns width sum bits (carry-out
+// dropped). Depth is log2(width)+2 LUT levels — this is what makes the
+// "parallel multiplier" parallel.
+SignalBus emit_prefix_adder(Design& design, const std::string& name,
+                            const SignalBus& a, const SignalBus& b, int plane,
+                            int module_id, int* carry_out = nullptr) {
+  NM_CHECK(a.size() == b.size() && !a.empty());
+  LutNetwork& net = design.net;
+  const std::size_t n = a.size();
+  const std::uint64_t tt_g = make_truth(2, [](const bool* v) {
+    return v[0] && v[1];
+  });
+  const std::uint64_t tt_p = make_truth(2, [](const bool* v) {
+    return v[0] != v[1];
+  });
+  // Combine: g' = g | (p & g_prev); p' = p & p_prev.
+  const std::uint64_t tt_gc = make_truth(3, [](const bool* v) {
+    return v[0] || (v[1] && v[2]);
+  });
+  const std::uint64_t tt_pc = make_truth(2, [](const bool* v) {
+    return v[0] && v[1];
+  });
+  const std::uint64_t tt_sum = make_truth(3, [](const bool* v) {
+    return (v[0] != v[1]) != v[2];
+  });
+
+  SignalBus g(n), p(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] = net.add_lut(name + "_g" + std::to_string(i), {a[i], b[i]}, tt_g,
+                       plane, module_id);
+    p[i] = net.add_lut(name + "_p" + std::to_string(i), {a[i], b[i]}, tt_p,
+                       plane, module_id);
+  }
+  for (std::size_t dist = 1; dist < n; dist *= 2) {
+    SignalBus g2 = g, p2 = p;
+    for (std::size_t i = dist; i < n; ++i) {
+      std::string tag = name + "_d" + std::to_string(dist) + "_" +
+                        std::to_string(i);
+      g2[i] = net.add_lut(tag + "_g", {g[i], p[i], g[i - dist]}, tt_gc,
+                          plane, module_id);
+      if (i >= 2 * dist) {  // p[i] is only read again by combines at
+                            // distance 2*dist and beyond
+        p2[i] = net.add_lut(tag + "_p", {p[i], p[i - dist]}, tt_pc, plane,
+                            module_id);
+      }
+    }
+    g = g2;
+    p = p2;
+  }
+  if (carry_out != nullptr) *carry_out = g[n - 1];
+  // sum_i = a_i ^ b_i ^ carry_in_i, carry_in_i = g_{i-1} (prefix carry).
+  SignalBus sum(n);
+  sum[0] = net.add_lut(name + "_s0", {a[0], b[0]}, tt_p, plane, module_id);
+  for (std::size_t i = 1; i < n; ++i) {
+    sum[i] = net.add_lut(name + "_s" + std::to_string(i),
+                         {a[i], b[i], g[i - 1]}, tt_sum, plane, module_id);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ExpandedModule expand_multiplier(Design& design, const std::string& name,
+                                 const SignalBus& a, const SignalBus& b,
+                                 int plane, bool full_width) {
+  NM_CHECK(a.size() == b.size() && a.size() >= 2);
+  const std::size_t n = a.size();
+  ExpandedModule m;
+  m.module_id = design.add_module(name, ModuleType::kMultiplier,
+                                  static_cast<int>(n), plane);
+  LutNetwork& net = design.net;
+
+  // Carry-save array: after processing partial-product row j, sum[i] holds
+  // the accumulator bit of weight j+i and carry[i] the deferred carry of
+  // weight j+i+1; both feed row j+1 without any intra-row ripple, so each
+  // row adds a single LUT level ("parallel multiplier").
+  //   sum'   = (a_i & b_j) ^ s ^ c   with s = sum[i+1], c = carry[i]
+  //   carry' = maj(a_i & b_j, s, c)
+  const std::uint64_t tt_sum4 = make_truth(4, [](const bool* v) {
+    return ((v[0] && v[1]) != v[2]) != v[3];
+  });
+  const std::uint64_t tt_carry4 = make_truth(4, [](const bool* v) {
+    bool pp = v[0] && v[1];
+    return (pp && v[2]) || (pp && v[3]) || (v[2] && v[3]);
+  });
+  const std::uint64_t tt_sum3 =
+      make_truth(3, [](const bool* v) { return (v[0] && v[1]) != v[2]; });
+  const std::uint64_t tt_carry3 =
+      make_truth(3, [](const bool* v) { return v[0] && v[1] && v[2]; });
+
+  // Row 0: pure partial products.
+  SignalBus sum(n), carry(n, -1);  // -1 encodes constant 0
+  for (std::size_t i = 0; i < n; ++i) {
+    sum[i] = net.add_lut(name + "_pp0_" + std::to_string(i), {a[i], b[0]},
+                         tt_and2(), plane, m.module_id);
+  }
+  m.out.push_back(sum[0]);  // product bit 0
+
+  for (std::size_t j = 1; j < n; ++j) {
+    SignalBus nsum(n, -1), ncarry(n, -1);
+    // For the low-half product, cells whose outputs can never reach the
+    // low n bits are never generated (their logic would be dead).
+    std::size_t cells = full_width ? n : n - j + 1;
+    cells = std::min(cells, n);
+    for (std::size_t i = 0; i < cells; ++i) {
+      int s = (i + 1 < n) ? sum[i + 1] : -1;
+      int c = carry[i];
+      std::string tag =
+          name + "_r" + std::to_string(j) + "_" + std::to_string(i);
+      // The top generated cell's carry can never reach the low half; skip
+      // it in low-half mode (it would be dead logic).
+      bool need_carry = full_width || i + 1 < cells;
+      if (s < 0 && c < 0) {
+        nsum[i] = net.add_lut(tag + "_s", {a[i], b[j]}, tt_and2(), plane,
+                              m.module_id);
+      } else if (s < 0 || c < 0) {
+        int other = (s < 0) ? c : s;
+        nsum[i] = net.add_lut(tag + "_s", {a[i], b[j], other}, tt_sum3,
+                              plane, m.module_id);
+        if (need_carry)
+          ncarry[i] = net.add_lut(tag + "_c", {a[i], b[j], other}, tt_carry3,
+                                  plane, m.module_id);
+      } else {
+        nsum[i] = net.add_lut(tag + "_s", {a[i], b[j], s, c}, tt_sum4, plane,
+                              m.module_id);
+        if (need_carry)
+          ncarry[i] = net.add_lut(tag + "_c", {a[i], b[j], s, c}, tt_carry4,
+                                  plane, m.module_id);
+      }
+    }
+    sum = nsum;
+    carry = ncarry;
+    m.out.push_back(sum[0]);  // product bit j
+  }
+
+  if (full_width) {
+    // Resolve the outstanding sum/carry vectors (weights n..2n-1) with a
+    // parallel-prefix adder. Missing operand bits are constant 0: where one
+    // side is absent the bit passes through (handled by substituting the
+    // other side before the adder via 2-input identity cases).
+    SignalBus hi_a, hi_b;
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      int s = sum[k + 1];
+      int c = carry[k];
+      NM_CHECK(s >= 0 && c >= 0);
+      hi_a.push_back(s);
+      hi_b.push_back(c);
+    }
+    // Top bit: the top cell's deferred carry is provably constant 0 (it
+    // only ever adds pp+0+0), so bit 2n-1 is exactly the CPA carry-out.
+    NM_CHECK(carry[n - 1] == -1);
+    int cpa_cout = -1;
+    SignalBus hi = emit_prefix_adder(design, name + "_cpa", hi_a, hi_b,
+                                     plane, m.module_id, &cpa_cout);
+    for (int bit : hi) m.out.push_back(bit);
+    NM_CHECK(cpa_cout >= 0);
+    m.out.push_back(cpa_cout);
+  }
+  return m;
+}
+
+ExpandedModule expand_prefix_adder(Design& design, const std::string& name,
+                                   const SignalBus& a, const SignalBus& b,
+                                   int plane) {
+  NM_CHECK(a.size() == b.size() && !a.empty());
+  ExpandedModule m;
+  m.module_id = design.add_module(name, ModuleType::kAdder,
+                                  static_cast<int>(a.size()), plane);
+  m.out = emit_prefix_adder(design, name, a, b, plane, m.module_id,
+                            &m.carry_out);
+  return m;
+}
+
+ExpandedModule expand_booth_multiplier(Design& design,
+                                       const std::string& name,
+                                       const SignalBus& a,
+                                       const SignalBus& b, int plane,
+                                       bool full_width) {
+  NM_CHECK(a.size() == b.size() && a.size() >= 2);
+  const int n = static_cast<int>(a.size());
+  ExpandedModule m;
+  m.module_id = design.add_module(name, ModuleType::kMultiplier, n, plane);
+  LutNetwork& net = design.net;
+  const int w = full_width ? 2 * n : n;
+
+  // Shared constant-0 node for structurally absent bits.
+  int zero = net.add_lut(name + "_zero", {a[0]}, 0x0, plane, m.module_id);
+
+  // Radix-4 Booth recoding: digit i looks at b[2i+1], b[2i], b[2i-1]
+  // (bits beyond the operand are 0). one = |d|==1, two = |d|==2, neg = d<0.
+  auto b_at = [&](int idx) { return (idx >= 0 && idx < n) ? b[static_cast<std::size_t>(idx)] : -1; };
+  const int digits = n / 2 + 1;
+  std::vector<int> one(static_cast<std::size_t>(digits));
+  std::vector<int> two(static_cast<std::size_t>(digits));
+  std::vector<int> neg(static_cast<std::size_t>(digits));
+  for (int i = 0; i < digits; ++i) {
+    int lo = b_at(2 * i - 1);
+    int mid = b_at(2 * i);
+    int hi = b_at(2 * i + 1);
+    std::string tag = name + "_rc" + std::to_string(i);
+    auto recode = [&](const char* suffix, auto fn) {
+      std::vector<int> fanins;
+      for (int bit : {hi, mid, lo})
+        if (bit >= 0) fanins.push_back(bit);
+      if (fanins.empty()) return zero;
+      int arity = static_cast<int>(fanins.size());
+      std::uint64_t tt = make_truth(arity, [&](const bool* v) {
+        // Reconstruct (hi, mid, lo) with absent bits = 0, in fanin order.
+        bool vals[3] = {false, false, false};
+        int vi = 0;
+        if (hi >= 0) vals[0] = v[vi++];
+        if (mid >= 0) vals[1] = v[vi++];
+        if (lo >= 0) vals[2] = v[vi++];
+        return fn(vals[0], vals[1], vals[2]);
+      });
+      if (tt == 0) return zero;
+      return net.add_lut(tag + suffix, std::move(fanins), tt, plane,
+                         m.module_id);
+    };
+    one[static_cast<std::size_t>(i)] = recode("_one", [](bool, bool md, bool l) {
+      return md != l;
+    });
+    two[static_cast<std::size_t>(i)] = recode("_two", [](bool h, bool md, bool l) {
+      return (h && !md && !l) || (!h && md && l);
+    });
+    neg[static_cast<std::size_t>(i)] = recode("_neg", [](bool h, bool md, bool l) {
+      return h && !(md && l);
+    });
+  }
+
+  // Row construction: row_i[p] for p in [0, w). k = p - 2i selects
+  // (one ? a_k : two ? a_{k-1} : 0) ^ neg, with sign extension = neg.
+  const std::uint64_t tt_sel = make_truth(4, [](const bool* v) {
+    // v = {a_k, a_km1, one, two}
+    return (v[2] && v[0]) || (v[3] && v[1]);
+  });
+  const std::uint64_t tt_and2v = make_truth(2, [](const bool* v) {
+    return v[0] && v[1];
+  });
+  const std::uint64_t tt_xor2 = make_truth(2, [](const bool* v) {
+    return v[0] != v[1];
+  });
+
+  auto make_row = [&](int i) {
+    SignalBus row(static_cast<std::size_t>(w), zero);
+    int o = one[static_cast<std::size_t>(i)];
+    int t = two[static_cast<std::size_t>(i)];
+    int g = neg[static_cast<std::size_t>(i)];
+    for (int p = 0; p < w; ++p) {
+      int k = p - 2 * i;
+      if (k < 0) continue;  // below the shift: zero
+      std::string tag =
+          name + "_r" + std::to_string(i) + "_" + std::to_string(p);
+      int sel;
+      if (k > n) {
+        row[static_cast<std::size_t>(p)] = g;  // pure sign extension
+        continue;
+      } else if (k == 0) {
+        sel = (o == zero) ? zero
+                          : net.add_lut(tag + "_s", {o, a[0]}, tt_and2v,
+                                        plane, m.module_id);
+      } else if (k == n) {
+        sel = (t == zero) ? zero
+                          : net.add_lut(tag + "_s",
+                                        {t, a[static_cast<std::size_t>(n - 1)]},
+                                        tt_and2v, plane, m.module_id);
+      } else if (o == zero && t == zero) {
+        sel = zero;
+      } else {
+        sel = net.add_lut(tag + "_s",
+                          {a[static_cast<std::size_t>(k)],
+                           a[static_cast<std::size_t>(k - 1)], o, t},
+                          tt_sel, plane, m.module_id);
+      }
+      if (g == zero) {
+        row[static_cast<std::size_t>(p)] = sel;
+      } else if (sel == zero) {
+        row[static_cast<std::size_t>(p)] = g;
+      } else {
+        row[static_cast<std::size_t>(p)] = net.add_lut(
+            tag, {sel, g}, tt_xor2, plane, m.module_id);
+      }
+    }
+    return row;
+  };
+
+  // Two's-complement corrections: +neg_i at position 2i (disjoint, so one
+  // bus carries all of them).
+  SignalBus corrections(static_cast<std::size_t>(w), zero);
+  for (int i = 0; i < digits; ++i) {
+    if (2 * i < w)
+      corrections[static_cast<std::size_t>(2 * i)] =
+          neg[static_cast<std::size_t>(i)];
+  }
+
+  // Carry-save accumulation of all rows (sum/carry vectors, carries stored
+  // pre-shifted), then one parallel-prefix add.
+  const std::uint64_t tt_xor3v = make_truth(3, [](const bool* v) {
+    return (v[0] != v[1]) != v[2];
+  });
+  const std::uint64_t tt_maj3v = make_truth(3, [](const bool* v) {
+    return (v[0] && v[1]) || (v[0] && v[2]) || (v[1] && v[2]);
+  });
+  SignalBus acc_s = make_row(0);
+  SignalBus acc_c = corrections;
+  for (int i = 1; i < digits; ++i) {
+    SignalBus row = make_row(i);
+    SignalBus ns(static_cast<std::size_t>(w), zero);
+    SignalBus nc(static_cast<std::size_t>(w), zero);
+    for (int p = 0; p < w; ++p) {
+      std::vector<int> ops;
+      for (int x : {acc_s[static_cast<std::size_t>(p)],
+                    acc_c[static_cast<std::size_t>(p)],
+                    row[static_cast<std::size_t>(p)]}) {
+        if (x != zero) ops.push_back(x);
+      }
+      std::string tag =
+          name + "_csa" + std::to_string(i) + "_" + std::to_string(p);
+      if (ops.empty()) {
+        // both stay zero
+      } else if (ops.size() == 1) {
+        ns[static_cast<std::size_t>(p)] = ops[0];
+      } else if (ops.size() == 2) {
+        ns[static_cast<std::size_t>(p)] = net.add_lut(
+            tag + "_s", {ops[0], ops[1]}, tt_xor2, plane, m.module_id);
+        if (p + 1 < w)
+          nc[static_cast<std::size_t>(p + 1)] = net.add_lut(
+              tag + "_c", {ops[0], ops[1]}, tt_and2v, plane, m.module_id);
+      } else {
+        ns[static_cast<std::size_t>(p)] = net.add_lut(
+            tag + "_s", ops, tt_xor3v, plane, m.module_id);
+        if (p + 1 < w)
+          nc[static_cast<std::size_t>(p + 1)] = net.add_lut(
+              tag + "_c", ops, tt_maj3v, plane, m.module_id);
+      }
+    }
+    acc_s = std::move(ns);
+    acc_c = std::move(nc);
+  }
+
+  // Final carry-propagate add (mod 2^w), skipping positions where the
+  // carry vector is structurally zero would not help the prefix network;
+  // feed it whole.
+  m.out = emit_prefix_adder(design, name + "_cpa", acc_s, acc_c, plane,
+                            m.module_id);
+  return m;
+}
+
+ExpandedModule expand_comparator(Design& design, const std::string& name,
+                                 const SignalBus& a, const SignalBus& b,
+                                 int plane) {
+  NM_CHECK(a.size() == b.size() && !a.empty());
+  ExpandedModule m;
+  m.module_id = design.add_module(name, ModuleType::kComparator,
+                                  static_cast<int>(a.size()), plane);
+  LutNetwork& net = design.net;
+  // Bit-serial from LSB: lt = (!a & b) | ((a == b) & lt_prev),
+  //                      eq = (a == b) & eq_prev.
+  const std::uint64_t tt_lt0 =
+      make_truth(2, [](const bool* v) { return !v[0] && v[1]; });
+  const std::uint64_t tt_eq0 =
+      make_truth(2, [](const bool* v) { return v[0] == v[1]; });
+  const std::uint64_t tt_lt = make_truth(3, [](const bool* v) {
+    return (!v[0] && v[1]) || ((v[0] == v[1]) && v[2]);
+  });
+  const std::uint64_t tt_eq =
+      make_truth(3, [](const bool* v) { return (v[0] == v[1]) && v[2]; });
+  int lt = net.add_lut(name + "_lt0", {a[0], b[0]}, tt_lt0, plane,
+                       m.module_id);
+  int eq = net.add_lut(name + "_eq0", {a[0], b[0]}, tt_eq0, plane,
+                       m.module_id);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    lt = net.add_lut(bit_name(name, i, "lt"), {a[i], b[i], lt}, tt_lt, plane,
+                     m.module_id);
+    eq = net.add_lut(bit_name(name, i, "eq"), {a[i], b[i], eq}, tt_eq, plane,
+                     m.module_id);
+  }
+  m.out = {lt, eq};
+  return m;
+}
+
+ExpandedModule expand_mux2(Design& design, const std::string& name, int select,
+                           const SignalBus& a, const SignalBus& b, int plane) {
+  NM_CHECK(a.size() == b.size() && !a.empty());
+  ExpandedModule m;
+  m.module_id = design.add_module(name, ModuleType::kMux,
+                                  static_cast<int>(a.size()), plane);
+  LutNetwork& net = design.net;
+  const std::uint64_t tt_mux =
+      make_truth(3, [](const bool* v) { return v[0] ? v[2] : v[1]; });
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m.out.push_back(net.add_lut(bit_name(name, i, "m"),
+                                {select, a[i], b[i]}, tt_mux, plane,
+                                m.module_id));
+  }
+  return m;
+}
+
+ExpandedModule expand_alu(Design& design, const std::string& name,
+                          const SignalBus& sel, const SignalBus& a,
+                          const SignalBus& b, int plane) {
+  NM_CHECK(sel.size() == 2);
+  NM_CHECK(a.size() == b.size() && !a.empty());
+  ExpandedModule m;
+  m.module_id = design.add_module(name, ModuleType::kAluSlice,
+                                  static_cast<int>(a.size()), plane);
+  LutNetwork& net = design.net;
+  // Stage 1 (per bit): p = half-result, g = carry-generate term, both
+  // functions of (a, b, s0, s1):
+  //   00 add: p = a^b, g = a&b      01 sub: p = a^b, g = !a&b
+  //   10 and: p = a&b, g = 0        11 xor: p = a^b, g = 0
+  const std::uint64_t tt_p = make_truth(4, [](const bool* v) {
+    bool s0 = v[2], s1 = v[3];
+    if (!s1) return v[0] != v[1];          // add/sub
+    return s0 ? (v[0] != v[1]) : (v[0] && v[1]);  // xor : and
+  });
+  const std::uint64_t tt_g = make_truth(4, [](const bool* v) {
+    bool s0 = v[2], s1 = v[3];
+    if (s1) return false;                  // logic ops generate no carry
+    return s0 ? (!v[0] && v[1]) : (v[0] && v[1]);  // sub borrow : add carry
+  });
+  // Stage 2 (per bit): out = p ^ cin (cin = 0 for bit 0 / logic ops — g of
+  // logic ops is 0 so the chain naturally carries 0). The chain propagate
+  // term is p for addition but !p for the borrow chain of subtraction:
+  //   cout = g | ((s0 ? !p : p) & cin).
+  const std::uint64_t tt_out =
+      make_truth(2, [](const bool* v) { return v[0] != v[1]; });
+  const std::uint64_t tt_cout = make_truth(4, [](const bool* v) {
+    bool prop = v[3] ? !v[1] : v[1];
+    return v[0] || (prop && v[2]);
+  });
+
+  int carry = -1;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    int p = net.add_lut(bit_name(name, i, "p"), {a[i], b[i], sel[0], sel[1]},
+                        tt_p, plane, m.module_id);
+    int g = net.add_lut(bit_name(name, i, "g"), {a[i], b[i], sel[0], sel[1]},
+                        tt_g, plane, m.module_id);
+    if (carry < 0) {
+      m.out.push_back(p);
+      carry = g;
+    } else {
+      m.out.push_back(net.add_lut(bit_name(name, i, "o"), {p, carry}, tt_out,
+                                  plane, m.module_id));
+      carry = net.add_lut(bit_name(name, i, "co"), {g, p, carry, sel[0]},
+                          tt_cout, plane, m.module_id);
+    }
+  }
+  m.carry_out = carry;
+  return m;
+}
+
+SignalBus add_input_bus(Design& design, const std::string& name, int width,
+                        int plane) {
+  NM_CHECK(width >= 1);
+  SignalBus bus;
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(
+        design.net.add_input(name + "[" + std::to_string(i) + "]", plane));
+  }
+  return bus;
+}
+
+SignalBus add_register_bank(Design& design, const std::string& name, int width,
+                            int plane) {
+  NM_CHECK(width >= 1);
+  SignalBus bus;
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(
+        design.net.add_flipflop(name + "[" + std::to_string(i) + "]", plane));
+  }
+  return bus;
+}
+
+void drive_register_bank(Design& design, const SignalBus& regs,
+                         const SignalBus& data) {
+  NM_CHECK_MSG(regs.size() == data.size(),
+               "register width " << regs.size() << " vs data width "
+                                 << data.size());
+  for (std::size_t i = 0; i < regs.size(); ++i) {
+    design.net.set_flipflop_input(regs[i], data[i]);
+  }
+}
+
+void add_output_bus(Design& design, const std::string& name,
+                    const SignalBus& data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    design.net.add_output(name + "[" + std::to_string(i) + "]", data[i]);
+  }
+}
+
+}  // namespace nanomap

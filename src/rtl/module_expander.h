@@ -1,0 +1,105 @@
+// Word-level RTL operators elaborated directly into 4-LUT networks.
+//
+// The benchmark generators and the .nmap front end describe designs as
+// registers + word-level modules (adder, multiplier, ALU, ...). This file
+// bit-blasts each module into LUTs inside a Design's LutNetwork, tagging
+// every LUT with the owning module id so the folding partitioner can later
+// cut the module into LUT clusters by depth range (paper §3).
+//
+// The generated structures are the classic ripple/array forms the paper
+// quotes (4-bit ripple adder = 8 LUTs, depth 4; n-bit array multiplier =
+// Θ(n²) LUTs, depth ≈ 2n): sums are XOR3 LUTs, carries are MAJ3 LUTs, and
+// multiplier rows embed the partial product in the 4-input cell LUTs.
+// All truth tables are real, so the elaborated network simulates correctly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/rtl_netlist.h"
+
+namespace nanomap {
+
+// Ordered list of LutNetwork node ids, LSB first.
+using SignalBus = std::vector<int>;
+
+// Builds a truth table by enumerating all minterms of `arity` inputs.
+// fn receives the input bits (bit i = fanin i).
+template <typename Fn>
+std::uint64_t make_truth(int arity, Fn fn) {
+  NM_CHECK(arity >= 1 && arity <= kMaxLutInputs);
+  std::uint64_t t = 0;
+  for (std::uint64_t m = 0; m < (std::uint64_t{1} << arity); ++m) {
+    bool bits[kMaxLutInputs] = {};
+    for (int i = 0; i < arity; ++i) bits[i] = (m >> i) & 1u;
+    if (fn(bits)) t |= (std::uint64_t{1} << m);
+  }
+  return t;
+}
+
+struct ExpandedModule {
+  int module_id = -1;
+  SignalBus out;       // primary result bus
+  int carry_out = -1;  // adder/subtractor carry (or -1)
+};
+
+// a + b (equal widths). Result has the same width; carry-out reported.
+ExpandedModule expand_adder(Design& design, const std::string& name,
+                            const SignalBus& a, const SignalBus& b, int plane);
+
+// a + b via a Kogge-Stone parallel-prefix network: O(log n) LUT depth at
+// ~2.5x the ripple adder's LUT count (the architecture choice inside the
+// "parallel multiplier"; exposed for designs that need fast addition).
+ExpandedModule expand_prefix_adder(Design& design, const std::string& name,
+                                   const SignalBus& a, const SignalBus& b,
+                                   int plane);
+
+// a - b (two's complement borrow chain).
+ExpandedModule expand_subtractor(Design& design, const std::string& name,
+                                 const SignalBus& a, const SignalBus& b,
+                                 int plane);
+
+// a * b array multiplier. If full_width, result is 2n bits, else the low n.
+ExpandedModule expand_multiplier(Design& design, const std::string& name,
+                                 const SignalBus& a, const SignalBus& b,
+                                 int plane, bool full_width = false);
+
+// a * b with radix-4 Booth recoding: about half the partial-product rows
+// of the plain array (depth ~n/2 + log n), at the price of wider recoding
+// cells. Unsigned semantics, low-half or full 2n-bit product.
+ExpandedModule expand_booth_multiplier(Design& design,
+                                       const std::string& name,
+                                       const SignalBus& a,
+                                       const SignalBus& b, int plane,
+                                       bool full_width = false);
+
+// Magnitude comparison; out = {a_lt_b, a_eq_b}.
+ExpandedModule expand_comparator(Design& design, const std::string& name,
+                                 const SignalBus& a, const SignalBus& b,
+                                 int plane);
+
+// out = select ? b : a, one 3-input LUT per bit.
+ExpandedModule expand_mux2(Design& design, const std::string& name, int select,
+                           const SignalBus& a, const SignalBus& b, int plane);
+
+// Small 4-function ALU: sel = {s0, s1}; 00 -> a+b, 01 -> a-b, 10 -> a&b,
+// 11 -> a^b. Two LUTs per bit (propagate/generate stage + sum stage).
+ExpandedModule expand_alu(Design& design, const std::string& name,
+                          const SignalBus& sel, const SignalBus& a,
+                          const SignalBus& b, int plane);
+
+// --- non-module plumbing ----------------------------------------------------
+
+SignalBus add_input_bus(Design& design, const std::string& name, int width,
+                        int plane);
+// Flip-flop bank whose Q outputs feed `plane`; D inputs connected later.
+SignalBus add_register_bank(Design& design, const std::string& name, int width,
+                            int plane);
+// Connects register D inputs to `data` (width must match).
+void drive_register_bank(Design& design, const SignalBus& regs,
+                         const SignalBus& data);
+void add_output_bus(Design& design, const std::string& name,
+                    const SignalBus& data);
+
+}  // namespace nanomap

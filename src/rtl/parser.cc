@@ -1,0 +1,259 @@
+#include "rtl/parser.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "netlist/plane.h"
+#include "rtl/module_expander.h"
+#include "util/strings.h"
+
+namespace nanomap {
+namespace {
+
+struct ParserState {
+  Design design;
+  std::map<std::string, SignalBus> buses;
+  std::map<std::string, SignalBus> registers;  // subset of buses
+  int line_no = 0;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw InputError("nmap line " + std::to_string(line_no) + ": " + msg);
+  }
+
+  // Resolves "name" (whole bus) or "name[i]" (single bit).
+  SignalBus resolve(const std::string& ref) const {
+    auto bracket = ref.find('[');
+    if (bracket == std::string::npos) {
+      auto it = buses.find(ref);
+      if (it == buses.end()) fail("unknown signal '" + ref + "'");
+      return it->second;
+    }
+    if (ref.back() != ']') fail("malformed bit reference '" + ref + "'");
+    std::string base = ref.substr(0, bracket);
+    std::string idx_text = ref.substr(bracket + 1,
+                                      ref.size() - bracket - 2);
+    auto it = buses.find(base);
+    if (it == buses.end()) fail("unknown signal '" + base + "'");
+    int idx = parse_int(idx_text, "bit index of '" + ref + "'");
+    if (idx < 0 || idx >= static_cast<int>(it->second.size()))
+      fail("bit index out of range in '" + ref + "'");
+    return {it->second[static_cast<std::size_t>(idx)]};
+  }
+
+  void define(const std::string& name, SignalBus bus) {
+    if (buses.count(name) != 0) fail("redefinition of '" + name + "'");
+    buses[name] = std::move(bus);
+  }
+};
+
+// Extracts an optional "key=value" token; returns true and removes it.
+bool take_option(std::vector<std::string>& tokens, const std::string& key,
+                 std::string* value) {
+  const std::string prefix = key + "=";
+  for (auto it = tokens.begin(); it != tokens.end(); ++it) {
+    if (starts_with(*it, prefix)) {
+      *value = it->substr(prefix.size());
+      tokens.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+int take_plane(ParserState& st, std::vector<std::string>& tokens) {
+  std::string v;
+  if (!take_option(tokens, "plane", &v)) return 0;
+  int plane = parse_int(v, "plane option");
+  if (plane < 0) st.fail("negative plane");
+  return plane;
+}
+
+void handle_module(ParserState& st, std::vector<std::string> args) {
+  int plane = take_plane(st, args);
+  if (args.size() < 4) st.fail("module needs: <name> <type> <inputs...>");
+  const std::string& name = args[0];
+  const std::string& type = args[1];
+
+  auto expand2 = [&](auto&& fn) {
+    if (args.size() != 4) st.fail("module '" + name + "' needs 2 inputs");
+    SignalBus a = st.resolve(args[2]);
+    SignalBus b = st.resolve(args[3]);
+    if (a.size() != b.size())
+      st.fail("width mismatch in module '" + name + "'");
+    return fn(st.design, name, a, b, plane);
+  };
+
+  ExpandedModule m;
+  if (type == "adder") {
+    m = expand2([](Design& d, const std::string& n, const SignalBus& a,
+                   const SignalBus& b, int p) {
+      return expand_adder(d, n, a, b, p);
+    });
+  } else if (type == "sub") {
+    m = expand2([](Design& d, const std::string& n, const SignalBus& a,
+                   const SignalBus& b, int p) {
+      return expand_subtractor(d, n, a, b, p);
+    });
+  } else if (type == "mult" || type == "multfull") {
+    bool full = (type == "multfull");
+    m = expand2([full](Design& d, const std::string& n, const SignalBus& a,
+                       const SignalBus& b, int p) {
+      return expand_multiplier(d, n, a, b, p, full);
+    });
+  } else if (type == "comparator") {
+    m = expand2([](Design& d, const std::string& n, const SignalBus& a,
+                   const SignalBus& b, int p) {
+      return expand_comparator(d, n, a, b, p);
+    });
+  } else if (type == "mux") {
+    if (args.size() != 5) st.fail("mux needs: <name> mux <sel> <a> <b>");
+    SignalBus sel = st.resolve(args[2]);
+    if (sel.size() != 1) st.fail("mux select must be 1 bit");
+    SignalBus a = st.resolve(args[3]);
+    SignalBus b = st.resolve(args[4]);
+    if (a.size() != b.size()) st.fail("mux operand width mismatch");
+    m = expand_mux2(st.design, name, sel[0], a, b, plane);
+  } else if (type == "alu") {
+    if (args.size() != 5) st.fail("alu needs: <name> alu <sel2> <a> <b>");
+    SignalBus sel = st.resolve(args[2]);
+    if (sel.size() != 2) st.fail("alu select must be 2 bits");
+    SignalBus a = st.resolve(args[3]);
+    SignalBus b = st.resolve(args[4]);
+    if (a.size() != b.size()) st.fail("alu operand width mismatch");
+    m = expand_alu(st.design, name, sel, a, b, plane);
+  } else {
+    st.fail("unknown module type '" + type + "'");
+  }
+
+  st.define(name, m.out);
+  if (m.carry_out >= 0) st.define(name + ".cout", {m.carry_out});
+}
+
+void handle_lut(ParserState& st, std::vector<std::string> args) {
+  int plane = take_plane(st, args);
+  std::string truth_text;
+  bool has_truth = take_option(args, "truth", &truth_text);
+  if (args.size() < 2 ||
+      args.size() > 1 + static_cast<std::size_t>(kMaxLutInputs))
+    st.fail("lut needs: <name> <in1> [... <in" +
+            std::to_string(kMaxLutInputs) + ">]");
+  const std::string& name = args[0];
+  std::vector<int> fanins;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    SignalBus bit = st.resolve(args[i]);
+    if (bit.size() != 1)
+      st.fail("lut input '" + args[i] + "' must be 1 bit (use name[i])");
+    fanins.push_back(bit[0]);
+  }
+  std::uint64_t truth;
+  if (has_truth) {
+    truth = std::stoull(truth_text, nullptr, 16);
+  } else {
+    // Default: odd parity of the inputs.
+    int n = static_cast<int>(fanins.size());
+    truth = make_truth(n, [n](const bool* b) {
+      bool v = false;
+      for (int i = 0; i < n; ++i) v ^= b[i];
+      return v;
+    });
+  }
+  int id = st.design.net.add_lut(name, std::move(fanins), truth, plane);
+  st.define(name, {id});
+}
+
+}  // namespace
+
+Design parse_nmap(const std::string& text) {
+  ParserState st;
+  bool saw_circuit = false;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++st.line_no;
+    std::string_view line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tokens = split(line, ' ');
+    const std::string cmd = tokens.front();
+    std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+
+    if (cmd == "circuit") {
+      if (args.size() != 1) st.fail("circuit needs a name");
+      st.design.name = args[0];
+      saw_circuit = true;
+    } else if (cmd == "input") {
+      std::vector<std::string> a = args;
+      int plane = take_plane(st, a);
+      if (a.size() != 2) st.fail("input needs: <name> <width>");
+      int width = parse_int(a[1], "input width");
+      if (width < 1) st.fail("input width must be >= 1");
+      st.define(a[0], add_input_bus(st.design, a[0], width, plane));
+    } else if (cmd == "reg") {
+      std::vector<std::string> a = args;
+      int plane = take_plane(st, a);
+      if (a.size() != 2) st.fail("reg needs: <name> <width>");
+      int width = parse_int(a[1], "reg width");
+      if (width < 1) st.fail("reg width must be >= 1");
+      SignalBus bank = add_register_bank(st.design, a[0], width, plane);
+      st.define(a[0], bank);
+      st.registers[a[0]] = bank;
+    } else if (cmd == "module") {
+      handle_module(st, args);
+    } else if (cmd == "lut") {
+      handle_lut(st, args);
+    } else if (cmd == "connect") {
+      if (args.size() != 2) st.fail("connect needs: <reg> <signal>");
+      auto it = st.registers.find(args[0]);
+      if (it == st.registers.end())
+        st.fail("'" + args[0] + "' is not a register bank");
+      SignalBus data = st.resolve(args[1]);
+      if (data.size() != it->second.size())
+        st.fail("connect width mismatch for '" + args[0] + "'");
+      drive_register_bank(st.design, it->second, data);
+    } else if (cmd == "output") {
+      if (args.size() != 2) st.fail("output needs: <name> <signal>");
+      add_output_bus(st.design, args[0], st.resolve(args[1]));
+    } else {
+      st.fail("unknown directive '" + cmd + "'");
+    }
+  }
+  if (!saw_circuit) throw InputError("nmap input has no 'circuit' directive");
+
+  // Every declared register bank must have been connected.
+  for (const auto& [name, bank] : st.registers) {
+    for (int ff : bank) {
+      if (st.design.net.node(ff).fanins.empty())
+        throw InputError("nmap: register '" + name +
+                         "' is never connected (missing 'connect')");
+    }
+  }
+
+  st.design.net.compute_levels();
+  st.design.net.validate();
+  st.design.refresh_module_stats();
+  return st.design;
+}
+
+Design parse_nmap_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open nmap file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_nmap(buf.str());
+}
+
+std::string design_summary(const Design& design) {
+  CircuitParams p = extract_circuit_params(design.net);
+  std::ostringstream os;
+  os << "design '" << design.name << "': " << p.num_plane << " plane(s), "
+     << p.total_luts << " LUTs, " << p.total_flipflops << " FFs, depth_max "
+     << p.depth_max << "\n";
+  for (const RtlModuleInfo& m : design.modules) {
+    os << "  module " << m.name << " (" << module_type_name(m.type) << ", w="
+       << m.width << ", plane " << m.plane << "): " << m.num_luts
+       << " LUTs, depth " << m.depth << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nanomap

@@ -1,0 +1,42 @@
+// Structural netlist front end (.nmap format).
+//
+// The paper's front end consumes RTL/gate-level VHDL via commercial tools;
+// NanoMap proper only ever sees the elaborated module/LUT network. This
+// parser provides an equivalent open front end: a small line-oriented
+// structural language that elaborates straight into a Design via
+// rtl/module_expander.
+//
+//   # comment
+//   circuit <name>
+//   input  <bus> <width> [plane=<p>]
+//   reg    <bus> <width> [plane=<p>]        # flip-flop bank feeding plane p
+//   module <bus> <type> <in1> <in2> [<in3>] [plane=<p>]
+//          types: adder sub mult multfull comparator mux alu
+//          (mux: <sel> <a> <b>; alu: <sel2> <a> <b>)
+//   lut    <bus> <in1> [... <in4>] [truth=<hex>] [plane=<p>]
+//   connect <reg-bus> <signal>              # drive register D inputs
+//   output <name> <signal>
+//
+// Signals are referenced by bus name; `name[i]` selects one bit. A module's
+// result bus is registered under the module's name (comparator: bit 0 = lt,
+// bit 1 = eq; adder/sub: carry/borrow available as `name.cout`).
+#pragma once
+
+#include <string>
+
+#include "netlist/rtl_netlist.h"
+
+namespace nanomap {
+
+// Parses .nmap text. Throws InputError with line diagnostics on malformed
+// input. The returned design is levelized and validated.
+Design parse_nmap(const std::string& text);
+
+// Convenience: reads the file and parses it.
+Design parse_nmap_file(const std::string& path);
+
+// Serializes a design summary (not a round-trippable netlist — used by the
+// examples to show what was elaborated).
+std::string design_summary(const Design& design);
+
+}  // namespace nanomap

@@ -1,0 +1,573 @@
+#include "rtl/verilog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "rtl/module_expander.h"
+#include "util/strings.h"
+
+namespace nanomap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer (Verilog is case-sensitive; keywords are lower-case already).
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+};
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  auto peek = [&](std::size_t k) {
+    return i + k < text.size() ? text[i + k] : '\0';
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      i += 2;
+      while (i + 1 < text.size() && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      i += 2;
+      continue;
+    }
+    if (c == '<' && peek(1) == '=') {
+      out.push_back({"<=", line});
+      i += 2;
+      continue;
+    }
+    if (c == '@') {
+      out.push_back({"@", line});
+      ++i;
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '$') {
+      std::size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_' || text[j] == '$'))
+        ++j;
+      out.push_back({text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    static const std::string kPunct = "()[];:,=+-*&|^?";
+    if (kPunct.find(c) != std::string::npos) {
+      out.push_back({std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    throw InputError("verilog line " + std::to_string(line) +
+                     ": unexpected character '" + std::string(1, c) + "'");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser / elaborator
+// ---------------------------------------------------------------------------
+
+struct Operand {
+  std::string name;
+  int bit = -1;
+  int line = 0;
+};
+
+struct Expr {
+  enum class Kind { kCopy, kBinary, kTernary } kind = Kind::kCopy;
+  Operand a, b, sel;
+  std::string op;  // for kBinary: + - * & | ^
+};
+
+struct Statement {
+  enum class Kind { kAssign, kGate, kRegAssign } kind = Statement::Kind::kAssign;
+  std::string target;
+  Expr expr;                       // kAssign / kRegAssign
+  std::string gate_op;             // kGate
+  std::vector<Operand> gate_args;  // kGate: output first
+  int line = 0;
+};
+
+class VerilogParser {
+ public:
+  explicit VerilogParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Design run() {
+    parse_module();
+    return elaborate();
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    int line = pos_ < tokens_.size() ? tokens_[pos_].line
+               : (tokens_.empty() ? 0 : tokens_.back().line);
+    throw InputError("verilog line " + std::to_string(line) + ": " + msg);
+  }
+  const Token& cur() {
+    if (pos_ >= tokens_.size()) fail("unexpected end of input");
+    return tokens_[pos_];
+  }
+  bool at(const std::string& t) {
+    return pos_ < tokens_.size() && tokens_[pos_].text == t;
+  }
+  std::string take() {
+    std::string t = cur().text;
+    ++pos_;
+    return t;
+  }
+  void expect(const std::string& t) {
+    if (!at(t)) fail("expected '" + t + "', got '" + cur().text + "'");
+    ++pos_;
+  }
+  std::string take_identifier(const char* what) {
+    const std::string& t = cur().text;
+    if (t.empty() || !(std::isalpha(static_cast<unsigned char>(t[0])) ||
+                       t[0] == '_'))
+      fail(std::string("expected ") + what + ", got '" + t + "'");
+    return take();
+  }
+  int take_number(const char* what) {
+    const std::string& t = cur().text;
+    for (char c : t)
+      if (!std::isdigit(static_cast<unsigned char>(c)))
+        fail(std::string("expected ") + what + ", got '" + t + "'");
+    return parse_int(take(), what);
+  }
+
+  // [N:0] range; returns width (1 if absent).
+  int parse_range() {
+    if (!at("[")) return 1;
+    expect("[");
+    int hi = take_number("range high bound");
+    expect(":");
+    int lo = take_number("range low bound");
+    expect("]");
+    if (lo != 0 || hi < 0) fail("ranges must be [N:0]");
+    return hi + 1;
+  }
+
+  void declare(const std::string& name, int width, bool is_reg) {
+    if (!widths_.emplace(name, width).second)
+      fail("duplicate declaration of '" + name + "'");
+    if (is_reg) regs_.insert(name);
+  }
+
+  Operand parse_operand() {
+    Operand op;
+    op.line = cur().line;
+    op.name = take_identifier("signal name");
+    if (at("[")) {
+      ++pos_;
+      op.bit = take_number("bit index");
+      expect("]");
+    }
+    return op;
+  }
+
+  Expr parse_expr() {
+    Expr e;
+    Operand first = parse_operand();
+    if (at("?")) {
+      ++pos_;
+      e.kind = Expr::Kind::kTernary;
+      e.sel = first;
+      e.a = parse_operand();
+      expect(":");
+      e.b = parse_operand();
+      return e;
+    }
+    if (at("+") || at("-") || at("*") || at("&") || at("|") || at("^")) {
+      e.kind = Expr::Kind::kBinary;
+      e.a = first;
+      e.op = take();
+      e.b = parse_operand();
+      return e;
+    }
+    e.kind = Expr::Kind::kCopy;
+    e.a = first;
+    return e;
+  }
+
+  bool is_gate_primitive(const std::string& t) {
+    return t == "and" || t == "or" || t == "nand" || t == "nor" ||
+           t == "xor" || t == "xnor" || t == "not" || t == "buf";
+  }
+
+  void parse_module() {
+    expect("module");
+    module_name_ = take_identifier("module name");
+    expect("(");
+    std::vector<std::string> port_order;
+    while (!at(")")) {
+      port_order.push_back(take_identifier("port name"));
+      if (at(",")) ++pos_;
+    }
+    expect(")");
+    expect(";");
+
+    while (!at("endmodule")) {
+      if (at("input") || at("output") || at("wire") || at("reg")) {
+        std::string kind = take();
+        int width = parse_range();
+        while (true) {
+          std::string name = take_identifier("signal name");
+          declare(name, width, kind == "reg");
+          if (kind == "input") inputs_.push_back(name);
+          if (kind == "output") outputs_.push_back(name);
+          if (at(",")) {
+            ++pos_;
+            continue;
+          }
+          break;
+        }
+        expect(";");
+      } else if (at("assign")) {
+        ++pos_;
+        Statement st;
+        st.kind = Statement::Kind::kAssign;
+        st.line = cur().line;
+        st.target = take_identifier("assign target");
+        expect("=");
+        st.expr = parse_expr();
+        expect(";");
+        statements_.push_back(std::move(st));
+      } else if (at("always")) {
+        ++pos_;
+        expect("@");
+        expect("(");
+        std::string edge = take_identifier("posedge");
+        if (edge != "posedge") fail("only posedge clocking is supported");
+        take_identifier("clock name");
+        expect(")");
+        auto parse_reg_assign = [&]() {
+          Statement st;
+          st.kind = Statement::Kind::kRegAssign;
+          st.line = cur().line;
+          st.target = take_identifier("register name");
+          expect("<=");
+          st.expr = parse_expr();
+          expect(";");
+          statements_.push_back(std::move(st));
+        };
+        if (at("begin")) {
+          ++pos_;
+          while (!at("end")) parse_reg_assign();
+          expect("end");
+        } else {
+          parse_reg_assign();
+        }
+      } else if (is_gate_primitive(cur().text)) {
+        Statement st;
+        st.kind = Statement::Kind::kGate;
+        st.line = cur().line;
+        st.gate_op = take();
+        take_identifier("instance name");
+        expect("(");
+        while (!at(")")) {
+          st.gate_args.push_back(parse_operand());
+          if (at(",")) ++pos_;
+        }
+        expect(")");
+        expect(";");
+        if (st.gate_args.size() < 2)
+          fail("gate needs an output and at least one input");
+        st.target = st.gate_args[0].name;
+        statements_.push_back(std::move(st));
+      } else {
+        fail("unexpected token '" + cur().text + "'");
+      }
+    }
+    expect("endmodule");
+
+    for (const std::string& p : port_order) {
+      if (widths_.find(p) == widths_.end())
+        throw InputError("verilog: port '" + p + "' never declared");
+    }
+  }
+
+  // --- elaboration ------------------------------------------------------------
+  int width_of(const std::string& name, int line) {
+    auto it = widths_.find(name);
+    if (it == widths_.end())
+      throw InputError("verilog line " + std::to_string(line) +
+                       ": undeclared signal '" + name + "'");
+    return it->second;
+  }
+
+  SignalBus resolve(const Operand& op) {
+    auto it = buses_.find(op.name);
+    if (it == buses_.end() || it->second.empty()) return {};
+    if (op.bit < 0) return it->second;
+    if (op.bit >= static_cast<int>(it->second.size()))
+      throw InputError("verilog line " + std::to_string(op.line) +
+                       ": bit index out of range on '" + op.name + "'");
+    return {it->second[static_cast<std::size_t>(op.bit)]};
+  }
+
+  bool expr_ready(const Expr& e) {
+    if (resolve(e.a).empty()) return false;
+    if (e.kind == Expr::Kind::kBinary && resolve(e.b).empty()) return false;
+    if (e.kind == Expr::Kind::kTernary &&
+        (resolve(e.b).empty() || resolve(e.sel).empty()))
+      return false;
+    return true;
+  }
+
+  SignalBus build_expr(Design& d, const Expr& e, int target_width,
+                       int line) {
+    SignalBus a = resolve(e.a);
+    auto check_width = [&](const SignalBus& bus, int w) {
+      if (static_cast<int>(bus.size()) != w)
+        throw InputError("verilog line " + std::to_string(line) +
+                         ": width mismatch");
+    };
+    if (e.kind == Expr::Kind::kCopy) {
+      check_width(a, target_width);
+      return a;
+    }
+    if (e.kind == Expr::Kind::kTernary) {
+      SignalBus b = resolve(e.b);
+      SignalBus sel = resolve(e.sel);
+      check_width(a, target_width);
+      check_width(b, target_width);
+      if (sel.size() != 1)
+        throw InputError("verilog line " + std::to_string(line) +
+                         ": ternary condition must be one bit");
+      // sel ? a : b.
+      ExpandedModule m = expand_mux2(
+          d, "mux" + std::to_string(++op_counter_), sel[0], b, a, 0);
+      return m.out;
+    }
+    SignalBus b = resolve(e.b);
+    if (a.size() != b.size())
+      throw InputError("verilog line " + std::to_string(line) +
+                       ": operand width mismatch");
+    std::string mod = "op" + std::to_string(++op_counter_);
+    if (e.op == "+" || e.op == "-") {
+      ExpandedModule m = (e.op == "+") ? expand_adder(d, mod, a, b, 0)
+                                       : expand_subtractor(d, mod, a, b, 0);
+      check_width(m.out, target_width);
+      return m.out;
+    }
+    if (e.op == "*") {
+      bool full = target_width == 2 * static_cast<int>(a.size());
+      if (!full && target_width != static_cast<int>(a.size()))
+        throw InputError("verilog line " + std::to_string(line) +
+                         ": product width must be n or 2n");
+      return expand_multiplier(d, mod, a, b, 0, full).out;
+    }
+    // Bitwise & | ^.
+    check_width(a, target_width);
+    std::uint64_t tt;
+    if (e.op == "&")
+      tt = make_truth(2, [](const bool* v) { return v[0] && v[1]; });
+    else if (e.op == "|")
+      tt = make_truth(2, [](const bool* v) { return v[0] || v[1]; });
+    else
+      tt = make_truth(2, [](const bool* v) { return v[0] != v[1]; });
+    int mid = d.add_module(mod, ModuleType::kGeneric,
+                           static_cast<int>(a.size()), 0);
+    SignalBus out;
+    for (std::size_t i = 0; i < a.size(); ++i)
+      out.push_back(d.net.add_lut(mod + "_" + std::to_string(i),
+                                  {a[i], b[i]}, tt, 0, mid));
+    return out;
+  }
+
+  SignalBus build_gate(Design& d, const Statement& st) {
+    // All operands are single bits; n-ary reduction, inversion at root.
+    std::vector<int> ins;
+    for (std::size_t i = 1; i < st.gate_args.size(); ++i) {
+      SignalBus bit = resolve(st.gate_args[i]);
+      if (bit.size() != 1)
+        throw InputError("verilog line " + std::to_string(st.line) +
+                         ": gate operands must be single bits");
+      ins.push_back(bit[0]);
+    }
+    const std::string& g = st.gate_op;
+    bool invert = (g == "nand" || g == "nor" || g == "xnor" || g == "not");
+    char base = (g == "and" || g == "nand") ? '&'
+                : (g == "or" || g == "nor") ? '|'
+                : (g == "xor" || g == "xnor") ? '^'
+                                              : 'b';  // buf/not
+    if (base == 'b' && ins.size() != 1)
+      throw InputError("verilog line " + std::to_string(st.line) + ": '" +
+                       g + "' takes one input");
+    // Reduce up to 4 inputs per LUT.
+    auto emit = [&](std::vector<int> fanins, bool inv) {
+      int arity = static_cast<int>(fanins.size());
+      std::uint64_t tt = make_truth(arity, [&](const bool* v) {
+        bool acc = base == '&';
+        for (int i = 0; i < arity; ++i) {
+          if (base == '&') acc = acc && v[i];
+          else if (base == '|') acc = acc || v[i];
+          else if (base == '^') acc = (i == 0) ? v[0] : (acc != v[i]);
+          else acc = v[0];
+        }
+        return inv ? !acc : acc;
+      });
+      return d.net.add_lut(st.target + "$g" + std::to_string(++op_counter_),
+                           std::move(fanins), tt, 0);
+    };
+    std::vector<int> layer = ins;
+    while (static_cast<int>(layer.size()) > kMaxLutInputs) {
+      std::vector<int> next;
+      for (std::size_t i = 0; i < layer.size(); i += 4) {
+        std::vector<int> chunk(layer.begin() + static_cast<long>(i),
+                               layer.begin() +
+                                   static_cast<long>(std::min(i + 4,
+                                                              layer.size())));
+        if (chunk.size() == 1)
+          next.push_back(chunk[0]);
+        else
+          next.push_back(emit(chunk, false));
+      }
+      layer = next;
+    }
+    return {emit(layer, invert)};
+  }
+
+  Design elaborate() {
+    Design d;
+    d.name = module_name_;
+    for (const std::string& in : inputs_) {
+      buses_[in] = add_input_bus(d, in, widths_[in], 0);
+    }
+    // Register banks first (their Q is immediately available).
+    for (const std::string& r : regs_) {
+      buses_[r] = add_register_bank(d, r, widths_[r], 0);
+    }
+
+    std::vector<bool> done(statements_.size(), false);
+    std::size_t remaining = statements_.size();
+    bool progress = true;
+    while (remaining > 0 && progress) {
+      progress = false;
+      for (std::size_t i = 0; i < statements_.size(); ++i) {
+        if (done[i]) continue;
+        const Statement& st = statements_[i];
+        bool ready = st.kind == Statement::Kind::kGate
+                         ? [&] {
+                             for (std::size_t k = 1; k < st.gate_args.size();
+                                  ++k)
+                               if (resolve(st.gate_args[k]).empty())
+                                 return false;
+                             return true;
+                           }()
+                         : expr_ready(st.expr);
+        if (!ready) continue;
+
+        int w = width_of(st.target, st.line);
+        SignalBus value;
+        if (st.kind == Statement::Kind::kGate) {
+          if (w != 1)
+            throw InputError("verilog line " + std::to_string(st.line) +
+                             ": gate output '" + st.target +
+                             "' must be one bit");
+          value = build_gate(d, st);
+        } else {
+          value = build_expr(d, st.expr, w, st.line);
+        }
+
+        if (st.kind == Statement::Kind::kRegAssign) {
+          if (regs_.count(st.target) == 0)
+            throw InputError("verilog line " + std::to_string(st.line) +
+                             ": '" + st.target + "' is not a reg");
+          if (reg_driven_.count(st.target) != 0)
+            throw InputError("verilog line " + std::to_string(st.line) +
+                             ": reg '" + st.target + "' driven twice");
+          drive_register_bank(d, buses_[st.target], value);
+          reg_driven_.insert(st.target);
+        } else {
+          if (regs_.count(st.target) != 0)
+            throw InputError("verilog line " + std::to_string(st.line) +
+                             ": reg '" + st.target +
+                             "' assigned outside an always block");
+          if (buses_.count(st.target) != 0 && !buses_[st.target].empty())
+            throw InputError("verilog line " + std::to_string(st.line) +
+                             ": '" + st.target + "' driven twice");
+          buses_[st.target] = value;
+        }
+        done[i] = true;
+        --remaining;
+        progress = true;
+      }
+    }
+    if (remaining > 0) {
+      for (std::size_t i = 0; i < statements_.size(); ++i) {
+        if (!done[i])
+          throw InputError("verilog line " +
+                           std::to_string(statements_[i].line) +
+                           ": unresolved operands (cycle or undriven "
+                           "signal) for '" +
+                           statements_[i].target + "'");
+      }
+    }
+    for (const std::string& r : regs_) {
+      if (reg_driven_.count(r) == 0)
+        throw InputError("verilog: reg '" + r + "' is never driven");
+    }
+    for (const std::string& o : outputs_) {
+      auto it = buses_.find(o);
+      if (it == buses_.end() || it->second.empty())
+        throw InputError("verilog: output '" + o + "' is undriven");
+      add_output_bus(d, o, it->second);
+    }
+    d.net.compute_levels();
+    d.net.validate();
+    d.refresh_module_stats();
+    return d;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+
+  std::string module_name_;
+  std::vector<std::string> inputs_, outputs_;
+  std::vector<Statement> statements_;
+  std::map<std::string, int> widths_;
+  std::set<std::string> regs_;
+  std::set<std::string> reg_driven_;
+  std::map<std::string, SignalBus> buses_;
+  int op_counter_ = 0;
+};
+
+}  // namespace
+
+Design parse_verilog(const std::string& text) {
+  return VerilogParser(tokenize(text)).run();
+}
+
+Design parse_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open verilog file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_verilog(buf.str());
+}
+
+}  // namespace nanomap

@@ -1,0 +1,37 @@
+// Structural Verilog front end (subset).
+//
+// Accepts the synthesizable structural core that covers netlist-style RTL:
+//
+//   module mac(clk, x, w, r);
+//     input clk;
+//     input [7:0] x, w;
+//     output [7:0] r;
+//     wire [7:0] p, nxt;
+//     reg  [7:0] acc;
+//     assign p = x * w;                 // + - * & | ^, or plain copy
+//     assign nxt = p + acc;
+//     assign r = s ? acc : nxt;         // ternary = 2:1 mux
+//     and g1(t, a, b);                  // gate primitives, n-ary
+//     always @(posedge clk) acc <= nxt; // or begin ... end of <=
+//   endmodule
+//
+// Operands are identifiers or single-bit selects `sig[i]`. Gate
+// primitives: and or nand nor xor xnor not buf. `reg` targets must be
+// assigned in an always block, `wire`/outputs in assigns/gates.
+// Multiplication follows the VHDL front end's width rule (equal-width
+// target = low half, double-width = full product). Everything elaborates
+// through rtl/module_expander, so adders/multipliers are tagged modules
+// the folding partitioner can slice.
+#pragma once
+
+#include <string>
+
+#include "netlist/rtl_netlist.h"
+
+namespace nanomap {
+
+// Parses Verilog text; throws InputError with line diagnostics.
+Design parse_verilog(const std::string& text);
+Design parse_verilog_file(const std::string& path);
+
+}  // namespace nanomap

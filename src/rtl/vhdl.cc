@@ -1,0 +1,543 @@
+#include "rtl/vhdl.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "rtl/module_expander.h"
+#include "util/strings.h"
+
+namespace nanomap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;  // lower-cased except character literals
+  int line = 0;
+};
+
+std::vector<Token> tokenize(const std::string& text) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  auto peek = [&](std::size_t k) {
+    return i + k < text.size() ? text[i + k] : '\0';
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && peek(1) == '-') {  // comment to end of line
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '<' && peek(1) == '=') {
+      out.push_back({"<=", line});
+      i += 2;
+      continue;
+    }
+    if (c == '\'') {  // character literal '0' / '1'
+      if (i + 2 < text.size() && text[i + 2] == '\'') {
+        out.push_back({std::string("'") + text[i + 1] + "'", line});
+        i += 3;
+        continue;
+      }
+      throw InputError("vhdl line " + std::to_string(line) +
+                       ": bad character literal");
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_'))
+        ++j;
+      std::string word = text.substr(i, j - i);
+      std::transform(word.begin(), word.end(), word.begin(), [](char ch) {
+        return static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch)));
+      });
+      out.push_back({word, line});
+      i = j;
+      continue;
+    }
+    // Single-character punctuation.
+    static const std::string kPunct = "();:,=+-*";
+    if (kPunct.find(c) != std::string::npos) {
+      out.push_back({std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    throw InputError("vhdl line " + std::to_string(line) +
+                     ": unexpected character '" + std::string(1, c) + "'");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser / elaborator
+// ---------------------------------------------------------------------------
+
+struct PortDecl {
+  std::string name;
+  bool is_input = true;
+  int width = 1;
+};
+
+struct SignalDecl {
+  std::string name;
+  int width = 1;
+};
+
+// One operand of an expression: a declared bus, optionally bit-indexed.
+struct Operand {
+  std::string name;
+  int bit = -1;  // -1 = whole bus
+  int line = 0;
+};
+
+struct Expr {
+  Operand lhs;
+  std::string op;  // empty, "+", "-", "*", "and", "or", "xor"
+  Operand rhs;
+};
+
+std::string op_label(const std::string& op) {
+  if (op == "+") return "add";
+  if (op == "-") return "sub";
+  if (op == "*") return "mul";
+  return op;
+}
+
+struct Condition {
+  Operand bit;
+  bool expect_true = true;  // = '1' vs = '0'
+};
+
+struct Assignment {
+  std::string target;
+  Expr expr;
+  bool has_mux = false;
+  Condition cond;
+  Expr else_expr;
+  bool registered = false;
+  int line = 0;
+};
+
+class VhdlParser {
+ public:
+  explicit VhdlParser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Design run() {
+    parse_entity();
+    parse_architecture();
+    return elaborate();
+  }
+
+ private:
+  // --- token helpers --------------------------------------------------------
+  [[noreturn]] void fail(const std::string& msg) {
+    int line = pos_ < tokens_.size() ? tokens_[pos_].line
+               : (tokens_.empty() ? 0 : tokens_.back().line);
+    throw InputError("vhdl line " + std::to_string(line) + ": " + msg);
+  }
+  const Token& cur() {
+    if (pos_ >= tokens_.size()) fail("unexpected end of input");
+    return tokens_[pos_];
+  }
+  bool at(const std::string& t) {
+    return pos_ < tokens_.size() && tokens_[pos_].text == t;
+  }
+  std::string take() {
+    std::string t = cur().text;
+    ++pos_;
+    return t;
+  }
+  void expect(const std::string& t) {
+    if (!at(t)) fail("expected '" + t + "', got '" + cur().text + "'");
+    ++pos_;
+  }
+  std::string take_identifier(const char* what) {
+    const std::string& t = cur().text;
+    if (t.empty() || !(std::isalpha(static_cast<unsigned char>(t[0])) ||
+                       t[0] == '_'))
+      fail(std::string("expected ") + what + ", got '" + t + "'");
+    return take();
+  }
+  int take_number(const char* what) {
+    const std::string& t = cur().text;
+    for (char c : t)
+      if (!std::isdigit(static_cast<unsigned char>(c)))
+        fail(std::string("expected ") + what + ", got '" + t + "'");
+    return parse_int(take(), what);
+  }
+
+  // --- grammar --------------------------------------------------------------
+  int parse_type() {  // returns width
+    std::string t = take_identifier("type");
+    if (t == "std_logic") return 1;
+    if (t != "std_logic_vector") fail("unsupported type '" + t + "'");
+    expect("(");
+    int hi = take_number("vector high bound");
+    std::string dir = take_identifier("'downto'");
+    if (dir != "downto") fail("only 'downto' ranges are supported");
+    int lo = take_number("vector low bound");
+    expect(")");
+    if (lo != 0 || hi < lo) fail("vector range must be (N downto 0)");
+    return hi + 1;
+  }
+
+  void parse_entity() {
+    expect("entity");
+    entity_name_ = take_identifier("entity name");
+    expect("is");
+    expect("port");
+    expect("(");
+    while (true) {
+      PortDecl port;
+      port.name = take_identifier("port name");
+      expect(":");
+      std::string dir = take_identifier("port direction");
+      if (dir == "in")
+        port.is_input = true;
+      else if (dir == "out")
+        port.is_input = false;
+      else
+        fail("port direction must be in/out, got '" + dir + "'");
+      port.width = parse_type();
+      ports_.push_back(port);
+      if (at(";")) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    expect(")");
+    expect(";");
+    expect("end");
+    if (at("entity")) ++pos_;
+    if (!at(";")) take();  // optional entity name
+    expect(";");
+  }
+
+  Operand parse_operand() {
+    Operand op;
+    op.line = cur().line;
+    op.name = take_identifier("signal name");
+    if (at("(")) {
+      ++pos_;
+      op.bit = take_number("bit index");
+      expect(")");
+    }
+    return op;
+  }
+
+  Expr parse_expr() {
+    Expr e;
+    e.lhs = parse_operand();
+    if (at("+") || at("-") || at("*") || at("and") || at("or") || at("xor")) {
+      e.op = take();
+      e.rhs = parse_operand();
+    }
+    return e;
+  }
+
+  Condition parse_condition() {
+    Condition c;
+    c.bit = parse_operand();
+    expect("=");
+    std::string lit = take();
+    if (lit == "'1'")
+      c.expect_true = true;
+    else if (lit == "'0'")
+      c.expect_true = false;
+    else
+      fail("condition literal must be '0' or '1'");
+    return c;
+  }
+
+  Assignment parse_assignment(bool registered) {
+    Assignment a;
+    a.registered = registered;
+    a.line = cur().line;
+    a.target = take_identifier("assignment target");
+    expect("<=");
+    a.expr = parse_expr();
+    if (at("when")) {
+      ++pos_;
+      a.has_mux = true;
+      a.cond = parse_condition();
+      expect("else");
+      a.else_expr = parse_expr();
+    }
+    expect(";");
+    return a;
+  }
+
+  void parse_process() {
+    expect("process");
+    expect("(");
+    take_identifier("clock name");
+    expect(")");
+    expect("begin");
+    expect("if");
+    std::string fn = take_identifier("rising_edge");
+    if (fn != "rising_edge") fail("only rising_edge processes supported");
+    expect("(");
+    take_identifier("clock name");
+    expect(")");
+    expect("then");
+    while (!at("end")) assignments_.push_back(parse_assignment(true));
+    expect("end");
+    expect("if");
+    expect(";");
+    expect("end");
+    expect("process");
+    expect(";");
+  }
+
+  void parse_architecture() {
+    expect("architecture");
+    take_identifier("architecture name");
+    expect("of");
+    std::string of = take_identifier("entity name");
+    if (of != entity_name_)
+      fail("architecture is of '" + of + "', entity is '" + entity_name_ +
+           "'");
+    expect("is");
+    while (at("signal")) {
+      ++pos_;
+      SignalDecl s;
+      s.name = take_identifier("signal name");
+      expect(":");
+      s.width = parse_type();
+      expect(";");
+      signals_.push_back(s);
+    }
+    expect("begin");
+    while (!at("end")) {
+      if (at("process"))
+        parse_process();
+      else
+        assignments_.push_back(parse_assignment(false));
+    }
+    expect("end");
+    if (at("architecture")) ++pos_;
+    if (!at(";")) take();  // optional architecture name
+    expect(";");
+  }
+
+  // --- elaboration ------------------------------------------------------------
+  int width_of(const std::string& name, int line) {
+    auto it = widths_.find(name);
+    if (it == widths_.end())
+      throw InputError("vhdl line " + std::to_string(line) +
+                       ": undeclared signal '" + name + "'");
+    return it->second;
+  }
+
+  // Resolved operand bus; empty if the operand's driver is not yet built.
+  SignalBus resolve(const Operand& op) {
+    auto it = buses_.find(op.name);
+    if (it == buses_.end() || it->second.empty()) return {};
+    if (op.bit < 0) return it->second;
+    if (op.bit >= static_cast<int>(it->second.size()))
+      throw InputError("vhdl line " + std::to_string(op.line) +
+                       ": bit index out of range on '" + op.name + "'");
+    return {it->second[static_cast<std::size_t>(op.bit)]};
+  }
+
+  bool operands_ready(const Expr& e) {
+    if (resolve(e.lhs).empty()) return false;
+    if (!e.op.empty() && resolve(e.rhs).empty()) return false;
+    return true;
+  }
+
+  SignalBus build_expr(Design& d, const Expr& e, int target_width,
+                       int line) {
+    SignalBus a = resolve(e.lhs);
+    if (e.op.empty()) {
+      if (static_cast<int>(a.size()) != target_width)
+        throw InputError("vhdl line " + std::to_string(line) +
+                         ": width mismatch assigning '" + e.lhs.name + "'");
+      return a;
+    }
+    SignalBus b = resolve(e.rhs);
+    if (a.size() != b.size())
+      throw InputError("vhdl line " + std::to_string(line) +
+                       ": operand width mismatch");
+    std::string mod_name =
+        "op" + std::to_string(++op_counter_) + "_" + op_label(e.op);
+    if (e.op == "+" || e.op == "-") {
+      ExpandedModule m = (e.op == "+")
+                             ? expand_adder(d, mod_name, a, b, 0)
+                             : expand_subtractor(d, mod_name, a, b, 0);
+      if (static_cast<int>(m.out.size()) != target_width)
+        throw InputError("vhdl line " + std::to_string(line) +
+                         ": width mismatch on arithmetic result");
+      return m.out;
+    }
+    if (e.op == "*") {
+      bool full = target_width == 2 * static_cast<int>(a.size());
+      if (!full && target_width != static_cast<int>(a.size()))
+        throw InputError("vhdl line " + std::to_string(line) +
+                         ": product width must be n or 2n");
+      ExpandedModule m = expand_multiplier(d, mod_name, a, b, 0, full);
+      return m.out;
+    }
+    // Bitwise and/or/xor: one 2-input LUT per bit, tagged generic.
+    if (static_cast<int>(a.size()) != target_width)
+      throw InputError("vhdl line " + std::to_string(line) +
+                       ": width mismatch on bitwise result");
+    std::uint64_t tt;
+    if (e.op == "and")
+      tt = make_truth(2, [](const bool* v) { return v[0] && v[1]; });
+    else if (e.op == "or")
+      tt = make_truth(2, [](const bool* v) { return v[0] || v[1]; });
+    else
+      tt = make_truth(2, [](const bool* v) { return v[0] != v[1]; });
+    int mod = d.add_module(mod_name, ModuleType::kGeneric,
+                           static_cast<int>(a.size()), 0);
+    SignalBus out;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      out.push_back(d.net.add_lut(mod_name + "_" + std::to_string(i),
+                                  {a[i], b[i]}, tt, 0, mod));
+    }
+    return out;
+  }
+
+  Design elaborate() {
+    Design d;
+    d.name = entity_name_;
+
+    for (const PortDecl& p : ports_) {
+      if (!widths_.emplace(p.name, p.width).second)
+        throw InputError("vhdl: duplicate port '" + p.name + "'");
+      if (p.is_input) buses_[p.name] = add_input_bus(d, p.name, p.width, 0);
+    }
+    for (const SignalDecl& s : signals_) {
+      if (!widths_.emplace(s.name, s.width).second)
+        throw InputError("vhdl: duplicate signal '" + s.name + "'");
+    }
+
+    // Registered targets become flip-flop banks (their Q is available
+    // immediately; D connects after the driving expression resolves).
+    for (const Assignment& a : assignments_) {
+      if (!a.registered) continue;
+      int w = width_of(a.target, a.line);
+      if (buses_.count(a.target) != 0)
+        throw InputError("vhdl line " + std::to_string(a.line) +
+                         ": '" + a.target + "' driven twice");
+      buses_[a.target] = add_register_bank(d, a.target, w, 0);
+    }
+
+    // Resolve assignments in dependency order (BLIF-style fixpoint).
+    std::vector<bool> done(assignments_.size(), false);
+    std::size_t remaining = assignments_.size();
+    bool progress = true;
+    while (remaining > 0 && progress) {
+      progress = false;
+      for (std::size_t i = 0; i < assignments_.size(); ++i) {
+        if (done[i]) continue;
+        const Assignment& a = assignments_[i];
+        if (!operands_ready(a.expr)) continue;
+        if (a.has_mux &&
+            (!operands_ready(a.else_expr) || resolve(a.cond.bit).empty()))
+          continue;
+
+        int w = width_of(a.target, a.line);
+        SignalBus value = build_expr(d, a.expr, w, a.line);
+        if (a.has_mux) {
+          SignalBus other = build_expr(d, a.else_expr, w, a.line);
+          SignalBus sel_bus = resolve(a.cond.bit);
+          if (sel_bus.size() != 1)
+            throw InputError("vhdl line " + std::to_string(a.line) +
+                             ": condition must be a single bit");
+          int sel = sel_bus[0];
+          // "expr when cond='1' else other": mux picks expr when sel.
+          ExpandedModule m =
+              a.cond.expect_true
+                  ? expand_mux2(d, "mux" + std::to_string(++op_counter_),
+                                sel, other, value, 0)
+                  : expand_mux2(d, "mux" + std::to_string(++op_counter_),
+                                sel, value, other, 0);
+          value = m.out;
+        }
+
+        if (a.registered) {
+          drive_register_bank(d, buses_[a.target], value);
+        } else {
+          if (buses_.count(a.target) != 0 && !buses_[a.target].empty())
+            throw InputError("vhdl line " + std::to_string(a.line) + ": '" +
+                             a.target + "' driven twice");
+          buses_[a.target] = value;
+        }
+        done[i] = true;
+        --remaining;
+        progress = true;
+      }
+    }
+    if (remaining > 0) {
+      for (std::size_t i = 0; i < assignments_.size(); ++i) {
+        if (!done[i])
+          throw InputError(
+              "vhdl line " + std::to_string(assignments_[i].line) +
+              ": unresolved operands (cycle or undriven signal) for '" +
+              assignments_[i].target + "'");
+      }
+    }
+
+    for (const PortDecl& p : ports_) {
+      if (p.is_input) continue;
+      auto it = buses_.find(p.name);
+      if (it == buses_.end() || it->second.empty())
+        throw InputError("vhdl: output port '" + p.name + "' is undriven");
+      add_output_bus(d, p.name, it->second);
+    }
+
+    d.net.compute_levels();
+    d.net.validate();
+    d.refresh_module_stats();
+    return d;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+
+  std::string entity_name_;
+  std::vector<PortDecl> ports_;
+  std::vector<SignalDecl> signals_;
+  std::vector<Assignment> assignments_;
+
+  std::map<std::string, int> widths_;
+  std::map<std::string, SignalBus> buses_;
+  int op_counter_ = 0;
+};
+
+}  // namespace
+
+Design parse_vhdl(const std::string& text) {
+  return VhdlParser(tokenize(text)).run();
+}
+
+Design parse_vhdl_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open vhdl file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_vhdl(buf.str());
+}
+
+}  // namespace nanomap

@@ -1,0 +1,46 @@
+// Structural VHDL front end (subset).
+//
+// The paper's input is "RTL and/or gate-level VHDL" elaborated via
+// commercial tools; this parser accepts the structural RTL subset that
+// covers the paper's benchmark style directly:
+//
+//   entity <name> is
+//     port ( <id> : in|out std_logic;
+//            <id> : in|out std_logic_vector(<hi> downto 0); ... );
+//   end [entity] [<name>];
+//
+//   architecture <arch> of <name> is
+//     signal <id> : std_logic | std_logic_vector(<hi> downto 0);
+//   begin
+//     <sig> <= <expr>;                         -- concurrent assignment
+//     <sig> <= <expr> when <cond> else <expr>; -- 2:1 mux
+//     process(clk) begin                       -- registers
+//       if rising_edge(clk) then
+//         <reg> <= <expr>;                     -- (one or more)
+//       end if;
+//     end process;
+//   end [architecture] [<arch>];
+//
+// Expressions: <operand> or <operand> <op> <operand> with op in
+// { +, -, *, and, or, xor }; operands are signal/port names or single-bit
+// indexing <id>(<n>). Conditions: <bit-operand> = '0'|'1'.
+// Multiplication produces the target's width: equal-width targets get the
+// low half, double-width targets the full product.
+//
+// Arithmetic elaborates through rtl/module_expander (tagged modules, so
+// the folding partitioner sees adders/multipliers exactly as with the
+// .nmap front end); everything is case-insensitive and '--' comments are
+// stripped.
+#pragma once
+
+#include <string>
+
+#include "netlist/rtl_netlist.h"
+
+namespace nanomap {
+
+// Parses VHDL text; throws InputError with line diagnostics.
+Design parse_vhdl(const std::string& text);
+Design parse_vhdl_file(const std::string& path);
+
+}  // namespace nanomap

@@ -1,0 +1,54 @@
+// Invariant checking for the NanoMap libraries.
+//
+// NM_CHECK enforces preconditions/invariants that indicate a programming
+// error or malformed input; violations throw nanomap::CheckError so tests
+// can assert on them and the CLI tools can report a clean diagnostic
+// instead of aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nanomap {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+// Input/environment problems (bad netlist file, infeasible constraint set)
+// as opposed to internal logic errors.
+class InputError : public std::runtime_error {
+ public:
+  explicit InputError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "NM_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace internal
+}  // namespace nanomap
+
+#define NM_CHECK(cond)                                                       \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::nanomap::internal::check_failed(#cond, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define NM_CHECK_MSG(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream nm_check_os_;                                       \
+      nm_check_os_ << msg;                                                   \
+      ::nanomap::internal::check_failed(#cond, __FILE__, __LINE__,           \
+                                        nm_check_os_.str());                 \
+    }                                                                        \
+  } while (0)

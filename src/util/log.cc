@@ -1,0 +1,34 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace nanomap {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "[error]";
+    case LogLevel::kWarn:  return "[warn ]";
+    case LogLevel::kInfo:  return "[info ]";
+    case LogLevel::kDebug: return "[debug]";
+  }
+  return "[?]";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+  std::FILE* out = (level == LogLevel::kError || level == LogLevel::kWarn)
+                       ? stderr
+                       : stdout;
+  std::fprintf(out, "%s %s\n", level_tag(level), msg.c_str());
+}
+
+}  // namespace nanomap

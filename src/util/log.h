@@ -1,0 +1,52 @@
+// Lightweight leveled logger for the NanoMap flow.
+//
+// The flow is a batch CAD tool: logging is line-oriented, synchronous and
+// deterministic (no timestamps by default so golden-output tests stay
+// stable). Verbosity is a process-wide knob set once by the driver.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nanomap {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+// Sets / reads the global verbosity. Messages above the level are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emits one formatted line to stderr (error/warn) or stdout (info/debug).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+// Stream-style message builder used by the NM_LOG macro; emits on
+// destruction so `NM_LOG(kInfo) << "x=" << x;` works naturally.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace nanomap
+
+#define NM_LOG(level) ::nanomap::internal::LogMessage(::nanomap::LogLevel::level)

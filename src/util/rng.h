@@ -1,0 +1,82 @@
+// Deterministic xorshift64* RNG.
+//
+// All stochastic stages of the flow (simulated-annealing placer, router
+// tie-breaking, random benchmark generation) draw from an explicitly seeded
+// Rng instance passed down from the flow options, so a given (input, seed)
+// pair always produces the same mapping. std::mt19937 is avoided only to
+// keep reseeding cheap and state tiny; the quality of xorshift64* is ample
+// for annealing.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nanomap {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // Avoid the all-zero fixed point.
+    state_ = seed ? seed : 0x9e3779b97f4a7c15ull;
+    // Decorrelate close seeds.
+    for (int i = 0; i < 4; ++i) next_u64();
+  }
+
+  std::uint64_t next_u64() {
+    std::uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dull;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    NM_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % bound);
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return v % bound;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int next_int(int lo, int hi) {
+    NM_CHECK(lo <= hi);
+    return lo + static_cast<int>(next_below(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool next_bool(double p_true = 0.5) { return next_double() < p_true; }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    NM_CHECK(!v.empty());
+    return v[static_cast<std::size_t>(next_below(v.size()))];
+  }
+
+ private:
+  std::uint64_t state_ = 0;
+};
+
+}  // namespace nanomap

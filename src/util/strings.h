@@ -1,0 +1,27 @@
+// Small string helpers shared by the .nmap parser and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nanomap {
+
+// Splits on any run of the given delimiter; no empty tokens are produced.
+std::vector<std::string> split(std::string_view text, char delim);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+// Parses a non-negative integer; throws InputError with `context` on failure.
+int parse_int(std::string_view text, std::string_view context);
+
+// Parses a double; throws InputError with `context` on failure.
+double parse_double(std::string_view text, std::string_view context);
+
+// printf-style helper returning std::string (used for table rows).
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace nanomap

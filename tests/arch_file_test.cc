@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "arch/arch_file.h"
+
+namespace nanomap {
+namespace {
+
+TEST(ArchFile, OverridesOnTopOfDefaults) {
+  ArchParams a = parse_arch(R"(
+# custom instance
+num_reconf = 32
+ff_per_le = 3
+lut_delay_ps = 400.5
+len1_tracks = 10
+)");
+  EXPECT_EQ(a.num_reconf, 32);
+  EXPECT_EQ(a.ff_per_le, 3);
+  EXPECT_DOUBLE_EQ(a.lut_delay_ps, 400.5);
+  EXPECT_EQ(a.len1_tracks, 10);
+  // Untouched fields keep the paper instance.
+  EXPECT_EQ(a.lut_size, 4);
+  EXPECT_EQ(a.les_per_mb, 4);
+}
+
+TEST(ArchFile, EmptyFileIsPaperInstance) {
+  ArchParams a = parse_arch("");
+  EXPECT_EQ(a.num_reconf, ArchParams::paper_instance().num_reconf);
+  EXPECT_EQ(a.lut_size, 4);
+}
+
+TEST(ArchFile, RoundTrip) {
+  ArchParams original = ArchParams::paper_instance();
+  original.num_reconf = 24;
+  original.global_wire_delay_ps = 612.0;
+  original.nram_overhead = 0.2;
+  ArchParams reparsed = parse_arch(write_arch(original));
+  EXPECT_EQ(reparsed.num_reconf, 24);
+  EXPECT_DOUBLE_EQ(reparsed.global_wire_delay_ps, 612.0);
+  EXPECT_DOUBLE_EQ(reparsed.nram_overhead, 0.2);
+  EXPECT_EQ(reparsed.les_per_smb(), original.les_per_smb());
+}
+
+TEST(ArchFile, Diagnostics) {
+  EXPECT_THROW(parse_arch("frobnicate = 3\n"), InputError);
+  EXPECT_THROW(parse_arch("lut_size 4\n"), InputError);
+  EXPECT_THROW(parse_arch("lut_size = four\n"), InputError);
+  // Structurally invalid architectures are rejected with InputError.
+  EXPECT_THROW(parse_arch("lut_size = 9\n"), InputError);
+  EXPECT_THROW(parse_arch(R"(
+direct_links_per_side = 0
+len1_tracks = 0
+len4_tracks = 0
+global_tracks = 0
+)"),
+               InputError);
+}
+
+TEST(ArchFile, MissingFileThrows) {
+  EXPECT_THROW(parse_arch_file("/no/such/file.arch"), InputError);
+}
+
+}  // namespace
+}  // namespace nanomap

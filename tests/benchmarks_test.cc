@@ -1,0 +1,159 @@
+// Structural checks that the benchmark generators reproduce the paper's
+// Table 1 circuit parameters within tolerance (they are reconstructions;
+// see DESIGN.md §2).
+#include <gtest/gtest.h>
+
+#include "circuits/benchmarks.h"
+#include "circuits/random_dag.h"
+#include "netlist/plane.h"
+#include "netlist/simulate.h"
+
+namespace nanomap {
+namespace {
+
+class BenchmarkStructure : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkStructure, ValidNetwork) {
+  Design d = make_benchmark(GetParam());
+  EXPECT_NO_THROW(d.net.validate());
+  EXPECT_EQ(d.name, GetParam());
+}
+
+TEST_P(BenchmarkStructure, PlaneCountMatchesPaperExactly) {
+  Design d = make_benchmark(GetParam());
+  EXPECT_EQ(d.net.num_planes(), paper_row(GetParam()).planes);
+}
+
+TEST_P(BenchmarkStructure, LutCountWithinThirtyPercentOfPaper) {
+  Design d = make_benchmark(GetParam());
+  CircuitParams p = extract_circuit_params(d.net);
+  const PaperCircuitRow& row = paper_row(GetParam());
+  EXPECT_GE(p.total_luts, row.luts * 7 / 10) << GetParam();
+  EXPECT_LE(p.total_luts, row.luts * 13 / 10) << GetParam();
+}
+
+TEST_P(BenchmarkStructure, DepthSameOrderAsPaper) {
+  Design d = make_benchmark(GetParam());
+  CircuitParams p = extract_circuit_params(d.net);
+  const PaperCircuitRow& row = paper_row(GetParam());
+  EXPECT_GE(p.depth_max, row.max_depth / 2) << GetParam();
+  EXPECT_LE(p.depth_max, row.max_depth * 2) << GetParam();
+}
+
+TEST_P(BenchmarkStructure, DeterministicConstruction) {
+  Design d1 = make_benchmark(GetParam());
+  Design d2 = make_benchmark(GetParam());
+  ASSERT_EQ(d1.net.size(), d2.net.size());
+  for (int i = 0; i < d1.net.size(); ++i) {
+    EXPECT_EQ(d1.net.node(i).truth, d2.net.node(i).truth);
+    EXPECT_EQ(d1.net.node(i).fanins, d2.net.node(i).fanins);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BenchmarkStructure,
+                         ::testing::ValuesIn(benchmark_names()));
+
+TEST(Benchmarks, Ex1FlipFlopCountMatchesPaperExactly) {
+  // 3 x 16-bit registers + 2 state FFs = 50, as in Table 1.
+  Design d = make_ex1();
+  EXPECT_EQ(d.net.num_flipflops(), 50);
+}
+
+TEST(Benchmarks, Ex1MotivationalHasAdderAndMultiplier) {
+  Design d = make_ex1_motivational();
+  ASSERT_EQ(d.modules.size(), 2u);
+  EXPECT_EQ(d.module(0).type, ModuleType::kAdder);
+  EXPECT_EQ(d.module(1).type, ModuleType::kMultiplier);
+  // Paper §3: adder 8 LUTs depth 4.
+  EXPECT_EQ(d.module(0).num_luts, 8);
+  EXPECT_EQ(d.module(0).depth, 4);
+  EXPECT_EQ(d.net.num_flipflops(), 14);
+}
+
+TEST(Benchmarks, C5315IsPurelyCombinational) {
+  Design d = make_c5315();
+  EXPECT_EQ(d.net.num_flipflops(), 0);
+  EXPECT_EQ(d.net.num_planes(), 1);
+}
+
+TEST(Benchmarks, FirDatapathComputesConvolutionStep) {
+  // Drive the FIR with an impulse and check tap propagation through the
+  // registered delay line (coefficients hold 0 -> output stays 0).
+  Design d = make_fir(3, 6);
+  Simulator sim(d.net);
+  sim.reset(false);
+  std::vector<int> x_bus;
+  for (int id = 0; id < d.net.size(); ++id) {
+    const LutNode& n = d.net.node(id);
+    if (n.kind == NodeKind::kInput) {
+      x_bus.push_back(id);
+    }
+  }
+  sim.set_input_bus(x_bus, 5);
+  for (int c = 0; c < 4; ++c) sim.step();
+  sim.evaluate();
+  // With all coefficients 0, every product and thus y must be 0.
+  for (int id = 0; id < d.net.size(); ++id) {
+    if (d.net.node(id).kind == NodeKind::kOutput) {
+      EXPECT_FALSE(sim.value(id));
+    }
+  }
+}
+
+TEST(Benchmarks, Ex2HasThreeConnectedPlanes) {
+  Design d = make_ex2(8);
+  CircuitParams p = extract_circuit_params(d.net);
+  EXPECT_EQ(p.num_plane, 3);
+  for (int plane = 0; plane < 3; ++plane) {
+    EXPECT_GT(p.num_lut[static_cast<std::size_t>(plane)], 0);
+    EXPECT_GT(p.num_regs[static_cast<std::size_t>(plane)], 0);
+  }
+}
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW(make_benchmark("nope"), InputError);
+  EXPECT_THROW(paper_row("nope"), InputError);
+}
+
+TEST(RandomDag, SpecRespected) {
+  RandomDagSpec spec;
+  spec.num_planes = 2;
+  spec.luts_per_plane = 40;
+  spec.depth = 6;
+  spec.seed = 3;
+  Design d = make_random_design(spec);
+  CircuitParams p = extract_circuit_params(d.net);
+  EXPECT_EQ(p.num_plane, 2);
+  EXPECT_EQ(p.num_lut[0], 40);
+  EXPECT_EQ(p.num_lut[1], 40);
+  EXPECT_EQ(p.depth[0], 6);
+  EXPECT_EQ(p.depth[1], 6);
+  EXPECT_NO_THROW(d.net.validate());
+}
+
+TEST(RandomDag, DeterministicBySeed) {
+  RandomDagSpec spec;
+  spec.seed = 77;
+  Design a = make_random_design(spec);
+  Design b = make_random_design(spec);
+  ASSERT_EQ(a.net.size(), b.net.size());
+  for (int i = 0; i < a.net.size(); ++i)
+    EXPECT_EQ(a.net.node(i).fanins, b.net.node(i).fanins);
+  spec.seed = 78;
+  Design c = make_random_design(spec);
+  bool different = c.net.size() != a.net.size();
+  for (int i = 0; !different && i < a.net.size(); ++i)
+    different = a.net.node(i).fanins != c.net.node(i).fanins;
+  EXPECT_TRUE(different);
+}
+
+TEST(RandomDag, GateGeneratorProducesValidNetwork) {
+  GateNetwork g = make_random_gates(8, 100, 4, 11);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_EQ(g.num_inputs(), 8);
+  EXPECT_EQ(g.num_outputs(), 4);
+  EXPECT_GT(g.depth(), 2);
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "bitstream/bitmap.h"
+#include "circuits/benchmarks.h"
+#include "netlist/plane.h"
+
+namespace nanomap {
+namespace {
+
+struct Mapped {
+  Design d;
+  DesignSchedule sched;
+  ClusteredDesign cd;
+};
+
+Mapped map_design(Design design, int level, const ArchParams& arch) {
+  Mapped m;
+  m.d = std::move(design);
+  CircuitParams p = extract_circuit_params(m.d.net);
+  m.sched.folding = make_folding_config(p, level);
+  m.sched.planes_share = !m.sched.folding.no_folding();
+  for (int plane = 0; plane < p.num_plane; ++plane) {
+    PlaneScheduleGraph g = build_schedule_graph(m.d, plane, m.sched.folding);
+    m.sched.plane_results.push_back(schedule_plane(g, arch));
+    m.sched.graphs.push_back(std::move(g));
+  }
+  m.cd = temporal_cluster(m.d, m.sched, arch);
+  return m;
+}
+
+TEST(Bitmap, EveryLutGetsItsTruthTable) {
+  ArchParams arch = ArchParams::paper_instance();
+  Mapped m = map_design(make_ex1(4), 2, arch);
+  ConfigBitmap bm = generate_bitmap(m.d, m.sched, m.cd, nullptr, arch);
+  ASSERT_EQ(bm.num_cycles, m.cd.num_cycles);
+  int configured = 0;
+  for (const CycleConfig& cc : bm.cycles)
+    for (const SmbConfig& smb : cc.smbs)
+      for (const LeConfig& le : smb.les)
+        if (le.lut_used) ++configured;
+  EXPECT_EQ(configured, m.d.net.num_luts());
+
+  // Spot-check one LUT's truth and input codes.
+  for (int id = 0; id < m.d.net.size(); ++id) {
+    const LutNode& n = m.d.net.node(id);
+    if (n.kind != NodeKind::kLut) continue;
+    int c = m.cd.cycle_of[static_cast<std::size_t>(id)];
+    const LutPlacement& p = m.cd.place[static_cast<std::size_t>(id)];
+    const LeConfig& le = bm.cycles[static_cast<std::size_t>(c)]
+                             .smbs[static_cast<std::size_t>(p.smb)]
+                             .les[static_cast<std::size_t>(p.slot)];
+    ASSERT_TRUE(le.lut_used);
+    EXPECT_EQ(le.truth, n.truth);
+    ASSERT_EQ(le.input_sel.size(), n.fanins.size());
+    for (std::size_t i = 0; i < n.fanins.size(); ++i)
+      EXPECT_EQ(le.input_sel[i],
+                static_cast<std::uint32_t>(n.fanins[i]) + 1);
+  }
+}
+
+TEST(Bitmap, FfWriteMaskSetForStoredValues) {
+  ArchParams arch = ArchParams::paper_instance();
+  Mapped m = map_design(make_ex1(4), 1, arch);
+  ConfigBitmap bm = generate_bitmap(m.d, m.sched, m.cd, nullptr, arch);
+  int writes = 0;
+  for (const CycleConfig& cc : bm.cycles)
+    for (const SmbConfig& smb : cc.smbs)
+      for (const LeConfig& le : smb.les)
+        if (le.ff_write_mask != 0) ++writes;
+  EXPECT_GT(writes, 0);
+}
+
+TEST(Bitmap, FitsNramRespectsK) {
+  ArchParams arch = ArchParams::paper_instance();  // k = 16
+  Mapped m = map_design(make_ex1(4), 1, arch);
+  ConfigBitmap bm = generate_bitmap(m.d, m.sched, m.cd, nullptr, arch);
+  // ex1(4) depth 10ish at level 1 -> ~10 cycles <= 16.
+  EXPECT_TRUE(bm.fits_nram(arch));
+  ArchParams tiny = arch;
+  tiny.num_reconf = 2;
+  EXPECT_FALSE(bm.fits_nram(tiny));
+  EXPECT_TRUE(bm.fits_nram(ArchParams::paper_instance_unbounded_k()));
+}
+
+TEST(Bitmap, BitAccountingGrowsWithCycles) {
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  Mapped flat = map_design(make_ex1(4), 0, arch);
+  Mapped folded = map_design(make_ex1(4), 1, arch);
+  ConfigBitmap bm_flat =
+      generate_bitmap(flat.d, flat.sched, flat.cd, nullptr, arch);
+  ConfigBitmap bm_folded =
+      generate_bitmap(folded.d, folded.sched, folded.cd, nullptr, arch);
+  EXPECT_EQ(bm_flat.num_cycles, 1);
+  EXPECT_GT(bm_folded.num_cycles, 1);
+  EXPECT_GT(bm_flat.total_bits, 0u);
+  EXPECT_GT(bm_folded.total_bits, 0u);
+}
+
+TEST(Bitmap, SerializationHeaderAndDeterminism) {
+  ArchParams arch = ArchParams::paper_instance();
+  Mapped m = map_design(make_ex1(4), 2, arch);
+  ConfigBitmap bm = generate_bitmap(m.d, m.sched, m.cd, nullptr, arch);
+  std::vector<std::uint8_t> bytes = serialize_bitmap(bm);
+  ASSERT_GE(bytes.size(), 12u);
+  // Magic "NMAP" little-endian.
+  EXPECT_EQ(bytes[0], 0x50);  // 'P'
+  EXPECT_EQ(bytes[1], 0x41);  // 'A'
+  EXPECT_EQ(bytes[2], 0x4d);  // 'M'
+  EXPECT_EQ(bytes[3], 0x4e);  // 'N'
+  EXPECT_EQ(bytes[4], static_cast<std::uint8_t>(bm.num_cycles));
+  std::vector<std::uint8_t> again = serialize_bitmap(bm);
+  EXPECT_EQ(bytes, again);
+}
+
+}  // namespace
+}  // namespace nanomap

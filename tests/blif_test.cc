@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "circuits/benchmarks.h"
+#include "netlist/simulate.h"
+#include "rtl/blif.h"
+#include "util/rng.h"
+
+namespace nanomap {
+namespace {
+
+TEST(Blif, ParsesMinimalCombinational) {
+  Design d = parse_blif(R"(
+.model tiny
+.inputs a b
+.outputs y
+.names a b y
+11 1
+.end
+)");
+  EXPECT_EQ(d.name, "tiny");
+  EXPECT_EQ(d.net.num_inputs(), 2);
+  EXPECT_EQ(d.net.num_luts(), 1);
+  EXPECT_EQ(d.net.num_outputs(), 1);
+  Simulator sim(d.net);
+  sim.set_input(0, true);
+  sim.set_input(1, true);
+  sim.evaluate();
+  EXPECT_TRUE(sim.value(2));
+  sim.set_input(1, false);
+  sim.evaluate();
+  EXPECT_FALSE(sim.value(2));
+}
+
+TEST(Blif, DontCareCubes) {
+  Design d = parse_blif(R"(
+.model dc
+.inputs a b c
+.outputs y
+.names a b c y
+1-- 1
+-11 1
+.end
+)");
+  // y = a | (b & c)
+  Simulator sim(d.net);
+  for (int m = 0; m < 8; ++m) {
+    sim.set_input(0, m & 1);
+    sim.set_input(1, m & 2);
+    sim.set_input(2, m & 4);
+    sim.evaluate();
+    bool expect = (m & 1) || ((m & 2) && (m & 4));
+    EXPECT_EQ(sim.value(3), expect) << m;
+  }
+}
+
+TEST(Blif, OffSetCoverComplemented) {
+  Design d = parse_blif(R"(
+.model off
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+)");
+  // OFF-set {11} -> y = NAND(a, b)
+  Simulator sim(d.net);
+  sim.set_input(0, true);
+  sim.set_input(1, true);
+  sim.evaluate();
+  EXPECT_FALSE(sim.value(2));
+  sim.set_input(1, false);
+  sim.evaluate();
+  EXPECT_TRUE(sim.value(2));
+}
+
+TEST(Blif, LatchesMakeSequentialDesign) {
+  Design d = parse_blif(R"(
+.model seq
+.inputs x
+.outputs q
+.names x d
+1 1
+.latch d q 0
+.end
+)");
+  EXPECT_EQ(d.net.num_flipflops(), 1);
+  Simulator sim(d.net);
+  sim.reset(false);
+  sim.set_input(0, true);
+  sim.step();
+  sim.evaluate();
+  // q holds x after one clock.
+  int q = -1;
+  for (int id = 0; id < d.net.size(); ++id)
+    if (d.net.node(id).kind == NodeKind::kFlipFlop) q = id;
+  EXPECT_TRUE(sim.value(q));
+}
+
+TEST(Blif, OutOfOrderNamesBlocksResolve) {
+  Design d = parse_blif(R"(
+.model order
+.inputs a b
+.outputs y
+.names t a y
+11 1
+.names a b t
+10 1
+.end
+)");
+  EXPECT_EQ(d.net.num_luts(), 2);
+}
+
+TEST(Blif, ConstantFunctions) {
+  Design d = parse_blif(R"(
+.model consts
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+)");
+  Simulator sim(d.net);
+  sim.set_input(0, false);
+  sim.evaluate();
+  int one = -1, zero = -1;
+  for (int id = 0; id < d.net.size(); ++id) {
+    if (d.net.node(id).kind == NodeKind::kLut) {
+      if (d.net.node(id).name == "one") one = id;
+      if (d.net.node(id).name == "zero") zero = id;
+    }
+  }
+  ASSERT_GE(one, 0);
+  ASSERT_GE(zero, 0);
+  EXPECT_TRUE(sim.value(one));
+  EXPECT_FALSE(sim.value(zero));
+}
+
+TEST(Blif, LineContinuations) {
+  Design d = parse_blif(
+      ".model cont\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n");
+  EXPECT_EQ(d.net.num_inputs(), 2);
+}
+
+TEST(Blif, CommentsStripped) {
+  Design d = parse_blif(R"(
+# full-line comment
+.model c  # trailing comment
+.inputs a
+.outputs y
+.names a y   # buffer
+1 1
+.end
+)");
+  EXPECT_EQ(d.net.num_luts(), 1);
+}
+
+TEST(BlifErrors, Diagnostics) {
+  EXPECT_THROW(parse_blif(".inputs a\n"), InputError);          // no .model
+  EXPECT_THROW(parse_blif(".model m\n.frob x\n"), InputError);  // directive
+  EXPECT_THROW(parse_blif(R"(
+.model m
+.inputs a
+.outputs y
+.names a nosuch y
+11 1
+.end
+)"),
+               InputError);  // undefined fanin
+  EXPECT_THROW(parse_blif(R"(
+.model m
+.inputs a b
+.outputs y
+.names a b y
+11 1
+00 0
+.end
+)"),
+               InputError);  // mixed polarity
+  EXPECT_THROW(parse_blif(R"(
+.model m
+.inputs a b
+.outputs y
+.names a b y
+111 1
+.end
+)"),
+               InputError);  // cube width
+}
+
+TEST(Blif, CombinationalCycleRejected) {
+  EXPECT_THROW(parse_blif(R"(
+.model cyc
+.inputs a
+.outputs y
+.names a u y
+11 1
+.names a y u
+11 1
+.end
+)"),
+               InputError);
+}
+
+TEST(Blif, RoundTripPreservesFunction) {
+  Design original = make_ex1(4);
+  std::string text = write_blif(original);
+  Design reparsed = parse_blif(text);
+  // Output aliases become buffer LUTs in BLIF, so the reparsed netlist may
+  // gain up to one LUT per primary output.
+  EXPECT_GE(reparsed.net.num_luts(), original.net.num_luts());
+  EXPECT_LE(reparsed.net.num_luts(),
+            original.net.num_luts() + original.net.num_outputs());
+  EXPECT_EQ(reparsed.net.num_flipflops(), original.net.num_flipflops());
+  EXPECT_EQ(reparsed.net.num_inputs(), original.net.num_inputs());
+  EXPECT_EQ(reparsed.net.num_outputs(), original.net.num_outputs());
+
+  // Same outputs for random input sequences (both are sequential).
+  Simulator a(original.net), b(reparsed.net);
+  a.reset(false);
+  b.reset(false);
+  std::vector<int> ia, ib, oa, ob;
+  for (int id = 0; id < original.net.size(); ++id) {
+    if (original.net.node(id).kind == NodeKind::kInput) ia.push_back(id);
+    if (original.net.node(id).kind == NodeKind::kOutput) oa.push_back(id);
+  }
+  for (int id = 0; id < reparsed.net.size(); ++id) {
+    if (reparsed.net.node(id).kind == NodeKind::kInput) ib.push_back(id);
+    if (reparsed.net.node(id).kind == NodeKind::kOutput) ob.push_back(id);
+  }
+  ASSERT_EQ(ia.size(), ib.size());
+  ASSERT_EQ(oa.size(), ob.size());
+  Rng rng(5);
+  for (int s = 0; s < 10; ++s) {
+    std::uint64_t v = rng.next_u64();
+    a.set_input_bus(ia, v);
+    b.set_input_bus(ib, v);
+    a.step();
+    b.step();
+    a.evaluate();
+    b.evaluate();
+    for (std::size_t i = 0; i < oa.size(); ++i)
+      ASSERT_EQ(a.value(oa[i]), b.value(ob[i])) << "step " << s;
+  }
+}
+
+TEST(Blif, WriterEmitsValidStructure) {
+  Design d = make_fir(2, 4);
+  std::string text = write_blif(d);
+  EXPECT_NE(text.find(".model FIR"), std::string::npos);
+  EXPECT_NE(text.find(".latch"), std::string::npos);
+  EXPECT_NE(text.find(".end"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "circuits/benchmarks.h"
+#include "flow/nanomap_flow.h"
+
+namespace nanomap {
+namespace {
+
+FlowResult run_level(const Design& d, int level) {
+  FlowOptions opts;
+  opts.arch = ArchParams::paper_instance_unbounded_k();
+  opts.forced_folding_level = level;
+  return run_nanomap(d, opts);
+}
+
+TEST(CriticalPath, EndsAtTheWorstArrival) {
+  Design d = make_ex1(8);
+  FlowResult r = run_level(d, 2);
+  ASSERT_TRUE(r.feasible) << r.message;
+  ASSERT_FALSE(r.timing.critical_path.empty());
+  double worst =
+      r.timing.cycle_period_ps[static_cast<std::size_t>(
+          r.timing.critical_cycle)];
+  const PathElement& last = r.timing.critical_path.back();
+  // The endpoint's arrival plus FF setup is the period.
+  EXPECT_NEAR(last.arrival_ps + ArchParams::paper_instance().ff_setup_ps,
+              worst, 1e-6);
+}
+
+TEST(CriticalPath, ArrivalsAreMonotone) {
+  Design d = make_fir(3, 8);
+  FlowResult r = run_level(d, 1);
+  ASSERT_TRUE(r.feasible) << r.message;
+  const auto& path = r.timing.critical_path;
+  ASSERT_GE(path.size(), 2u);
+  for (std::size_t i = 1; i < path.size(); ++i)
+    EXPECT_GT(path[i].arrival_ps, path[i - 1].arrival_ps - 1e-9);
+}
+
+TEST(CriticalPath, FollowsRealFaninEdges) {
+  Design d = make_ex1(6);
+  FlowResult r = run_level(d, 0);
+  ASSERT_TRUE(r.feasible) << r.message;
+  const auto& path = r.timing.critical_path;
+  ASSERT_GE(path.size(), 2u);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const LutNode& n = d.net.node(path[i].node);
+    ASSERT_EQ(n.kind, NodeKind::kLut);
+    bool is_fanin = false;
+    for (int f : n.fanins) is_fanin |= (f == path[i - 1].node);
+    EXPECT_TRUE(is_fanin) << "hop " << i;
+  }
+}
+
+TEST(CriticalPath, LengthBoundedByFoldingLevel) {
+  // Within one folding cycle the combinational chain has at most p LUTs
+  // (plus the starting source element).
+  Design d = make_ex1(8);
+  for (int level : {1, 2, 4}) {
+    FlowResult r = run_level(d, level);
+    ASSERT_TRUE(r.feasible) << r.message;
+    int luts_on_path = 0;
+    for (const PathElement& e : r.timing.critical_path) {
+      if (d.net.node(e.node).kind == NodeKind::kLut &&
+          r.clustered.cycle_of[static_cast<std::size_t>(e.node)] ==
+              r.timing.critical_cycle)
+        ++luts_on_path;  // the path may *start* at an earlier-cycle source
+    }
+    EXPECT_LE(luts_on_path, level) << "level " << level;
+    EXPECT_GE(luts_on_path, 1);
+  }
+}
+
+}  // namespace
+}  // namespace nanomap

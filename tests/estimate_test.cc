@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "circuits/benchmarks.h"
+#include "core/estimate.h"
+#include "flow/nanomap_flow.h"
+
+namespace nanomap {
+namespace {
+
+TEST(Estimate, LevelDelayCombinesLutAndRouting) {
+  ArchParams arch = ArchParams::paper_instance();
+  double d = estimated_level_delay_ps(arch);
+  EXPECT_GT(d, arch.lut_delay_ps);
+  EXPECT_LT(d, arch.lut_delay_ps + arch.local_mux_delay_ps +
+                   arch.len1_wire_delay_ps);
+}
+
+TEST(Estimate, FoldingCycleScalesWithLevel) {
+  ArchParams arch = ArchParams::paper_instance();
+  double c1 = estimated_folding_cycle_ps(arch, 1);
+  double c2 = estimated_folding_cycle_ps(arch, 2);
+  double c4 = estimated_folding_cycle_ps(arch, 4);
+  // Each extra level adds one level delay; reconfig is charged once.
+  EXPECT_NEAR(c2 - c1, estimated_level_delay_ps(arch), 1e-9);
+  EXPECT_NEAR(c4 - c2, 2 * estimated_level_delay_ps(arch), 1e-9);
+  EXPECT_THROW(estimated_folding_cycle_ps(arch, 0), CheckError);
+}
+
+TEST(Estimate, CircuitDelayFormulas) {
+  ArchParams arch = ArchParams::paper_instance();
+  CircuitParams p;
+  p.num_plane = 2;
+  p.depth_max = 12;
+  p.lut_max = 100;
+  p.total_luts = 180;
+
+  FoldingConfig nofold = make_folding_config(p, 0);
+  EXPECT_NEAR(estimated_circuit_delay_ns(p, nofold, arch),
+              2 * 12 * estimated_level_delay_ps(arch) / 1000.0, 1e-9);
+
+  FoldingConfig l3 = make_folding_config(p, 3);  // 4 stages
+  EXPECT_NEAR(estimated_circuit_delay_ns(p, l3, arch),
+              2 * 4 * estimated_folding_cycle_ps(arch, 3) / 1000.0, 1e-9);
+}
+
+TEST(Estimate, WithinFactorOfMeasuredSta) {
+  // The pre-placement estimate steers the folding-level search; it must
+  // stay within a small factor of the routed STA for the flow to make
+  // sensible choices.
+  for (const char* name : {"ex1", "FIR"}) {
+    Design d = make_benchmark(name);
+    for (int level : {0, 1, 2}) {
+      FlowOptions opts;
+      opts.arch = ArchParams::paper_instance_unbounded_k();
+      opts.forced_folding_level = level;
+      FlowResult r = run_nanomap(d, opts);
+      ASSERT_TRUE(r.feasible) << r.message;
+      EXPECT_LT(r.estimated_delay_ns, r.delay_ns * 2.5) << name << level;
+      EXPECT_GT(r.estimated_delay_ns, r.delay_ns / 2.5) << name << level;
+    }
+  }
+}
+
+TEST(Estimate, MoreFoldingNeverEstimatesFaster) {
+  ArchParams arch = ArchParams::paper_instance();
+  CircuitParams p;
+  p.num_plane = 1;
+  p.depth_max = 24;
+  p.lut_max = 500;
+  p.total_luts = 500;
+  double prev = 0.0;
+  for (int level : {24, 12, 8, 6, 4, 3, 2, 1}) {
+    double est = estimated_circuit_delay_ns(
+        p, make_folding_config(p, level), arch);
+    EXPECT_GE(est, prev - 1e-9) << "level " << level;
+    prev = est;
+  }
+}
+
+}  // namespace
+}  // namespace nanomap

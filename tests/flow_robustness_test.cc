@@ -1,0 +1,108 @@
+// End-to-end robustness: the full physical flow over randomly generated
+// sequential designs of varying shape, checking the invariants that must
+// hold for *any* input — not just the paper benchmarks.
+#include <gtest/gtest.h>
+
+#include "circuits/random_dag.h"
+#include "flow/nanomap_flow.h"
+
+namespace nanomap {
+namespace {
+
+class FlowRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowRobustness, InvariantsHoldOnRandomDesigns) {
+  RandomDagSpec spec;
+  spec.num_planes = 1 + GetParam() % 3;
+  spec.luts_per_plane = 50 + (GetParam() * 37) % 150;
+  spec.depth = 5 + GetParam() % 9;
+  spec.regs_per_plane = 4 + GetParam() % 10;
+  spec.seed = static_cast<std::uint64_t>(GetParam()) * 7919 + 3;
+  Design d = make_random_design(spec);
+
+  FlowOptions opts;
+  opts.arch = ArchParams::paper_instance_unbounded_k();
+  opts.objective = static_cast<Objective>(GetParam() % 2 == 0
+                                              ? 0   // AT product
+                                              : 2); // min area
+  opts.seed = spec.seed;
+  FlowResult r = run_nanomap(d, opts);
+  ASSERT_TRUE(r.feasible) << r.message;
+
+  // Routing legal, timing positive, bitmap consistent.
+  EXPECT_TRUE(r.routing.success);
+  EXPECT_GT(r.delay_ns, 0.0);
+  EXPECT_EQ(r.bitmap.num_cycles, r.clustered.num_cycles);
+  EXPECT_TRUE(r.bitmap.fits_nram(opts.arch));
+
+  // Area accounting: clustering's LE count is the reported area and fits
+  // the SMB capacity; every FDS stage is within it.
+  EXPECT_EQ(r.num_les, r.clustered.les_used);
+  EXPECT_LE(r.num_les, r.num_smbs * opts.arch.les_per_smb());
+  for (const FdsResult& fr : r.plane_schedules) {
+    for (std::size_t s = 1; s < fr.le_count.size(); ++s)
+      EXPECT_LE(fr.le_count[s], r.num_les + 1);
+  }
+
+  // The folding configuration is self-consistent.
+  if (!r.folding.no_folding()) {
+    EXPECT_EQ(r.folding.stages_per_plane,
+              (r.params.depth_max + r.folding.level - 1) / r.folding.level);
+  }
+
+  // Clustering invariants (throws on violation).
+  EXPECT_NO_THROW(
+      verify_clustering(d, r.schedule, opts.arch, r.clustered));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FlowRobustness, ::testing::Range(0, 10));
+
+TEST(FlowRobustness, TinyDesignsMapCleanly) {
+  // Degenerate shapes: single LUT, single register loop, two-node chain.
+  for (int variant = 0; variant < 3; ++variant) {
+    Design d;
+    int a = d.net.add_input("a", 0);
+    if (variant == 0) {
+      d.net.add_output("o", d.net.add_lut("l", {a, a}, 0x6, 0));
+    } else if (variant == 1) {
+      int ff = d.net.add_flipflop("r", 0);
+      int l = d.net.add_lut("l", {ff, a}, 0x6, 0);
+      d.net.set_flipflop_input(ff, l);
+      d.net.add_output("o", l);
+    } else {
+      int l1 = d.net.add_lut("l1", {a, a}, 0x8, 0);
+      int l2 = d.net.add_lut("l2", {l1, a}, 0x6, 0);
+      d.net.add_output("o", l2);
+    }
+    d.net.compute_levels();
+    FlowOptions opts;
+    opts.arch = ArchParams::paper_instance();
+    FlowResult r = run_nanomap(d, opts);
+    ASSERT_TRUE(r.feasible) << "variant " << variant << ": " << r.message;
+    EXPECT_TRUE(r.routing.success);
+  }
+}
+
+TEST(FlowRobustness, WideShallowAndNarrowDeepExtremes) {
+  // Wide-shallow: 300 LUTs at depth 2; narrow-deep: 40 LUTs at depth 20.
+  RandomDagSpec wide;
+  wide.luts_per_plane = 300;
+  wide.depth = 2;
+  wide.num_inputs = 40;
+  wide.seed = 11;
+  RandomDagSpec deep;
+  deep.luts_per_plane = 40;
+  deep.depth = 20;
+  deep.seed = 12;
+  for (const RandomDagSpec& spec : {wide, deep}) {
+    Design d = make_random_design(spec);
+    FlowOptions opts;
+    opts.arch = ArchParams::paper_instance_unbounded_k();
+    FlowResult r = run_nanomap(d, opts);
+    ASSERT_TRUE(r.feasible) << r.message;
+    EXPECT_TRUE(r.routing.success);
+  }
+}
+
+}  // namespace
+}  // namespace nanomap

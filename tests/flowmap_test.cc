@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "circuits/random_dag.h"
+#include "map/flowmap.h"
+#include "netlist/simulate.h"
+#include "util/rng.h"
+
+namespace nanomap {
+namespace {
+
+// Verifies the mapped LUT network computes the same outputs as the gate
+// network on the given number of input vectors (exhaustive when the input
+// count allows, pseudo-random otherwise).
+void expect_equivalent(const GateNetwork& g, const FlowMapResult& mapped,
+                       int max_vectors = 256) {
+  Simulator sim(mapped.net);
+  std::vector<int> lut_inputs;
+  std::vector<int> lut_outputs;
+  for (int id = 0; id < mapped.net.size(); ++id) {
+    if (mapped.net.node(id).kind == NodeKind::kInput)
+      lut_inputs.push_back(id);
+    if (mapped.net.node(id).kind == NodeKind::kOutput)
+      lut_outputs.push_back(id);
+  }
+  ASSERT_EQ(static_cast<int>(lut_inputs.size()), g.num_inputs());
+  ASSERT_EQ(static_cast<int>(lut_outputs.size()), g.num_outputs());
+
+  const int n = g.num_inputs();
+  const bool exhaustive = n <= 12 && (1 << n) <= max_vectors;
+  const int vectors = exhaustive ? (1 << n) : max_vectors;
+  Rng rng(99);
+  for (int v = 0; v < vectors; ++v) {
+    std::vector<bool> in(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      in[static_cast<std::size_t>(i)] =
+          exhaustive ? ((v >> i) & 1) != 0 : rng.next_bool();
+    }
+    std::vector<bool> gate_out = g.evaluate(in);
+    for (int i = 0; i < n; ++i)
+      sim.set_input(lut_inputs[static_cast<std::size_t>(i)],
+                    in[static_cast<std::size_t>(i)]);
+    sim.evaluate();
+    for (std::size_t o = 0; o < lut_outputs.size(); ++o) {
+      ASSERT_EQ(sim.value(lut_outputs[o]), gate_out[o])
+          << "vector " << v << " output " << o;
+    }
+  }
+}
+
+TEST(FlowMap, SingleGate) {
+  GateNetwork g;
+  int a = g.add_input("a");
+  int b = g.add_input("b");
+  g.add_output("o", g.add_gate(GateOp::kNand, "g", {a, b}));
+  FlowMapResult r = flowmap(g, 4);
+  EXPECT_EQ(r.num_luts, 1);
+  EXPECT_EQ(r.depth, 1);
+  expect_equivalent(g, r);
+}
+
+TEST(FlowMap, CollapsesSmallConeIntoOneLut) {
+  // 3-input cone of 2-input gates fits a single 4-LUT.
+  GateNetwork g;
+  int a = g.add_input("a");
+  int b = g.add_input("b");
+  int c = g.add_input("c");
+  int t1 = g.add_gate(GateOp::kAnd, "t1", {a, b});
+  int t2 = g.add_gate(GateOp::kOr, "t2", {t1, c});
+  int t3 = g.add_gate(GateOp::kXor, "t3", {t2, a});
+  g.add_output("o", t3);
+  FlowMapResult r = flowmap(g, 4);
+  EXPECT_EQ(r.depth, 1);
+  EXPECT_EQ(r.num_luts, 1);
+  expect_equivalent(g, r);
+}
+
+TEST(FlowMap, DepthOptimalOnBalancedXorTree) {
+  // 16-input XOR tree: depth-optimal 4-LUT mapping has depth 2.
+  GateNetwork g;
+  std::vector<int> layer;
+  for (int i = 0; i < 16; ++i) layer.push_back(g.add_input("i"));
+  while (layer.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+      next.push_back(g.add_gate(GateOp::kXor, "x", {layer[i], layer[i + 1]}));
+    layer = next;
+  }
+  g.add_output("o", layer[0]);
+  FlowMapResult r = flowmap(g, 4);
+  EXPECT_EQ(r.depth, 2);
+  expect_equivalent(g, r, 512);
+}
+
+TEST(FlowMap, AdderChainEquivalence) {
+  GateNetwork g;
+  Bus a, b;
+  for (int i = 0; i < 4; ++i) a.push_back(g.add_input("a"));
+  for (int i = 0; i < 4; ++i) b.push_back(g.add_input("b"));
+  int cout = -1;
+  Bus sum = build_gate_adder(g, a, b, "add", &cout);
+  for (int bit : sum) g.add_output("s", bit);
+  g.add_output("c", cout);
+  FlowMapResult r = flowmap(g, 4);
+  expect_equivalent(g, r);
+  // A 4-bit ripple adder in 4-LUTs needs depth <= 4 and FlowMap should not
+  // exceed the trivial per-gate mapping depth.
+  EXPECT_LE(r.depth, 4);
+  EXPECT_GE(r.depth, 2);
+}
+
+TEST(FlowMap, LabelsAreMonotoneAlongEdges) {
+  GateNetwork g = make_random_gates(10, 120, 6, 42);
+  FlowMapResult r = flowmap(g, 4);
+  for (int id = 0; id < g.size(); ++id) {
+    const Gate& gate = g.gate(id);
+    if (gate.op == GateOp::kInput) {
+      EXPECT_EQ(r.labels[static_cast<std::size_t>(id)], 0);
+      continue;
+    }
+    for (int f : gate.fanins) {
+      EXPECT_GE(r.labels[static_cast<std::size_t>(id)],
+                r.labels[static_cast<std::size_t>(f)]);
+    }
+  }
+}
+
+TEST(FlowMap, MappedDepthEqualsMaxOutputLabel) {
+  GateNetwork g = make_random_gates(12, 150, 8, 7);
+  FlowMapResult r = flowmap(g, 4);
+  int max_label = 0;
+  for (int po : g.output_ids())
+    max_label = std::max(max_label, r.labels[static_cast<std::size_t>(po)]);
+  EXPECT_EQ(r.depth, max_label);
+}
+
+TEST(FlowMap, FaninBoundRespected) {
+  GateNetwork g = make_random_gates(14, 200, 8, 13);
+  for (int k = 2; k <= 6; ++k) {
+    FlowMapResult r = flowmap(g, k);
+    for (const LutNode& n : r.net.nodes()) {
+      if (n.kind == NodeKind::kLut) {
+        EXPECT_LE(static_cast<int>(n.fanins.size()), k);
+      }
+    }
+  }
+}
+
+TEST(FlowMap, LargerKNeverIncreasesDepth) {
+  GateNetwork g = make_random_gates(12, 180, 6, 21);
+  int prev_depth = 1 << 20;
+  for (int k = 2; k <= 6; ++k) {
+    FlowMapResult r = flowmap(g, k);
+    EXPECT_LE(r.depth, prev_depth) << "k=" << k;
+    prev_depth = r.depth;
+  }
+}
+
+class FlowMapRandomEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowMapRandomEquivalence, RandomNetworksMatch) {
+  std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  GateNetwork g = make_random_gates(10, 80 + GetParam() * 17, 5, seed);
+  FlowMapResult r = flowmap(g, 4);
+  expect_equivalent(g, r, 1024);
+  // Mapping never expands LUT count beyond gate count.
+  EXPECT_LE(r.num_luts, g.num_logic_gates());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowMapRandomEquivalence,
+                         ::testing::Range(1, 13));
+
+TEST(FlowMap, RejectsUnsupportedK) {
+  GateNetwork g;
+  int a = g.add_input("a");
+  g.add_output("o", g.add_gate(GateOp::kNot, "n", {a}));
+  EXPECT_THROW(flowmap(g, 1), CheckError);
+  EXPECT_THROW(flowmap(g, 7), CheckError);
+}
+
+TEST(FlowMap, PlaneParameterPropagates) {
+  GateNetwork g;
+  int a = g.add_input("a");
+  int b = g.add_input("b");
+  g.add_output("o", g.add_gate(GateOp::kAnd, "g", {a, b}));
+  FlowMapResult r = flowmap(g, 4, /*plane=*/2);
+  for (const LutNode& n : r.net.nodes()) {
+    if (n.kind == NodeKind::kLut) {
+      EXPECT_EQ(n.plane, 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nanomap

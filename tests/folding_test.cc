@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "core/folding.h"
+
+namespace nanomap {
+namespace {
+
+CircuitParams params_of(int planes, int lut_max, int depth_max, int total,
+                        int ffs) {
+  CircuitParams p;
+  p.num_plane = planes;
+  p.lut_max = lut_max;
+  p.depth_max = depth_max;
+  p.total_luts = total;
+  p.total_flipflops = ffs;
+  p.num_lut.assign(static_cast<std::size_t>(planes), lut_max);
+  p.depth.assign(static_cast<std::size_t>(planes), depth_max);
+  return p;
+}
+
+TEST(FoldingEquations, PaperWalkthroughEq1Eq2) {
+  // Paper §3: 50 LUTs, 32-LE constraint -> ceil(50/32) = 2 folding stages;
+  // depth 9 -> initial folding level ceil(9/2) = 5.
+  CircuitParams p = params_of(1, 50, 9, 50, 14);
+  EXPECT_EQ(min_folding_stages(p, 32), 2);
+  EXPECT_EQ(folding_level_for_stages(p, 2), 5);
+}
+
+TEST(FoldingEquations, Eq1RoundsUp) {
+  CircuitParams p = params_of(1, 100, 10, 100, 0);
+  EXPECT_EQ(min_folding_stages(p, 100), 1);
+  EXPECT_EQ(min_folding_stages(p, 99), 2);
+  EXPECT_EQ(min_folding_stages(p, 34), 3);
+  EXPECT_EQ(min_folding_stages(p, 1), 100);
+}
+
+TEST(FoldingEquations, Eq3MinLevelFromNramDepth) {
+  // min_level = ceil(depth_max * num_plane / k).
+  CircuitParams p = params_of(2, 300, 24, 600, 0);
+  ArchParams arch = ArchParams::paper_instance();  // k = 16
+  EXPECT_EQ(min_folding_level(p, arch), 3);        // ceil(48/16)
+  arch.num_reconf = 48;
+  EXPECT_EQ(min_folding_level(p, arch), 1);
+  arch.num_reconf = 47;
+  EXPECT_EQ(min_folding_level(p, arch), 2);
+}
+
+TEST(FoldingEquations, Eq3UnboundedKAllowsLevelOne) {
+  CircuitParams p = params_of(3, 300, 30, 900, 0);
+  EXPECT_EQ(min_folding_level(p, ArchParams::paper_instance_unbounded_k()),
+            1);
+}
+
+TEST(FoldingEquations, Eq4NoSharing) {
+  // level = ceil(depth_max * available / total).
+  CircuitParams p = params_of(2, 350, 20, 700, 0);
+  EXPECT_EQ(folding_level_no_sharing(p, 105), 3);
+  EXPECT_EQ(folding_level_no_sharing(p, 70), 2);
+  EXPECT_EQ(folding_level_no_sharing(p, 5), 1);
+}
+
+TEST(FoldingConfig, StagesFromLevel) {
+  CircuitParams p = params_of(1, 100, 9, 100, 0);
+  FoldingConfig c4 = make_folding_config(p, 4);
+  EXPECT_EQ(c4.level, 4);
+  EXPECT_EQ(c4.stages_per_plane, 3);  // ceil(9/4)
+  FoldingConfig c1 = make_folding_config(p, 1);
+  EXPECT_EQ(c1.stages_per_plane, 9);
+  FoldingConfig c9 = make_folding_config(p, 9);
+  EXPECT_EQ(c9.stages_per_plane, 1);
+}
+
+TEST(FoldingConfig, LevelClampedToDepth) {
+  CircuitParams p = params_of(1, 100, 9, 100, 0);
+  FoldingConfig c = make_folding_config(p, 40);
+  EXPECT_EQ(c.level, 9);
+  EXPECT_EQ(c.stages_per_plane, 1);
+}
+
+TEST(FoldingConfig, ZeroMeansNoFolding) {
+  CircuitParams p = params_of(2, 100, 9, 200, 0);
+  FoldingConfig c = make_folding_config(p, 0);
+  EXPECT_TRUE(c.no_folding());
+  EXPECT_EQ(c.stages_per_plane, 1);
+  EXPECT_EQ(c.total_configs(2), 1);
+}
+
+TEST(FoldingConfig, TotalConfigsCountsPlanes) {
+  CircuitParams p = params_of(3, 100, 12, 300, 0);
+  FoldingConfig c = make_folding_config(p, 4);  // 3 stages per plane
+  EXPECT_EQ(c.total_configs(3), 9);
+}
+
+TEST(FoldingEquations, InvalidArgumentsThrow) {
+  CircuitParams p = params_of(1, 10, 5, 10, 0);
+  EXPECT_THROW(min_folding_stages(p, 0), CheckError);
+  EXPECT_THROW(folding_level_for_stages(p, 0), CheckError);
+  EXPECT_THROW(folding_level_no_sharing(p, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,103 @@
+// Robustness: the front ends must reject arbitrary garbage with a clean
+// InputError (never crash, never CheckError, never accept structurally
+// broken netlists that fail validation later).
+#include <gtest/gtest.h>
+
+#include "map/bench_format.h"
+#include "rtl/blif.h"
+#include "rtl/parser.h"
+#include "rtl/vhdl.h"
+#include "util/rng.h"
+
+namespace nanomap {
+namespace {
+
+// Token soup built from each grammar's own vocabulary — much better at
+// reaching deep parser states than pure random bytes.
+std::string token_soup(Rng* rng, const std::vector<std::string>& vocab,
+                       int tokens) {
+  std::string out;
+  for (int i = 0; i < tokens; ++i) {
+    out += vocab[static_cast<std::size_t>(rng->next_below(vocab.size()))];
+    out += rng->next_bool(0.2) ? "\n" : " ";
+  }
+  return out;
+}
+
+template <typename ParseFn>
+void expect_no_crash(ParseFn parse, const std::vector<std::string>& vocab,
+                     std::uint64_t seed, int iterations) {
+  Rng rng(seed);
+  for (int i = 0; i < iterations; ++i) {
+    std::string text = token_soup(&rng, vocab, rng.next_int(3, 40));
+    try {
+      parse(text);  // accepting is fine if it really parsed
+    } catch (const InputError&) {
+      // expected rejection path
+    }
+    // Anything else (CheckError, segfault, std::bad_alloc) fails the test.
+  }
+}
+
+TEST(FuzzParsers, NmapSurvivesTokenSoup) {
+  expect_no_crash(
+      [](const std::string& t) { return parse_nmap(t); },
+      {"circuit", "input", "reg", "module", "lut", "connect", "output",
+       "adder", "mult", "mux", "alu", "a", "b", "c", "x", "4", "16", "-1",
+       "plane=0", "plane=9", "truth=ff", "a[0]", "a[99]", "s.cout", "#"},
+      101, 300);
+}
+
+TEST(FuzzParsers, BlifSurvivesTokenSoup) {
+  expect_no_crash(
+      [](const std::string& t) { return parse_blif(t); },
+      {".model", ".inputs", ".outputs", ".names", ".latch", ".end", "m",
+       "a", "b", "y", "q", "1", "0", "-", "11 1", "0- 1", "1 0", "\\"},
+      202, 300);
+}
+
+TEST(FuzzParsers, VhdlSurvivesTokenSoup) {
+  expect_no_crash(
+      [](const std::string& t) { return parse_vhdl(t); },
+      {"entity", "is", "port", "(", ")", ";", ":", "in", "out",
+       "std_logic", "std_logic_vector", "downto", "0", "7", "end",
+       "architecture", "of", "signal", "begin", "process", "rising_edge",
+       "if", "then", "<=", "+", "*", "and", "when", "else", "'1'", "a",
+       "b", "clk", "--"},
+      303, 300);
+}
+
+TEST(FuzzParsers, BenchSurvivesTokenSoup) {
+  expect_no_crash(
+      [](const std::string& t) { return parse_bench(t); },
+      {"INPUT(a)", "OUTPUT(z)", "z", "=", "AND(a, b)", "NAND(a,b,c)",
+       "DFF(a)", "NOT(a)", "G1", "G2", "(", ")", ",", "#", "="},
+      404, 300);
+}
+
+TEST(FuzzParsers, AcceptedNmapInputsAlwaysValidate) {
+  // Whenever the parser accepts, the resulting network must pass
+  // validate() (the parser already runs it; this pins the contract).
+  Rng rng(7);
+  const std::vector<std::string> vocab = {
+      "circuit c\n", "input a 4\n", "input b 4\n", "reg r 4\n",
+      "module m adder a b\n", "module p mult a b\n", "connect r a\n",
+      "output o a\n", "lut g a[0] b[1]\n"};
+  int accepted = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::string text;
+    int lines = rng.next_int(2, 8);
+    for (int l = 0; l < lines; ++l)
+      text += vocab[static_cast<std::size_t>(rng.next_below(vocab.size()))];
+    try {
+      Design d = parse_nmap(text);
+      EXPECT_NO_THROW(d.net.validate());
+      ++accepted;
+    } catch (const InputError&) {
+    }
+  }
+  EXPECT_GT(accepted, 0);  // the generator does produce valid programs
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "map/gate_network.h"
+
+namespace nanomap {
+namespace {
+
+TEST(GateOps, ArityTable) {
+  EXPECT_EQ(gate_op_arity(GateOp::kInput), 0);
+  EXPECT_EQ(gate_op_arity(GateOp::kNot), 1);
+  EXPECT_EQ(gate_op_arity(GateOp::kBuf), 1);
+  EXPECT_EQ(gate_op_arity(GateOp::kAnd), 2);
+  EXPECT_EQ(gate_op_arity(GateOp::kXnor), 2);
+}
+
+TEST(GateOps, EvalTruthTables) {
+  EXPECT_TRUE(gate_op_eval(GateOp::kAnd, true, true));
+  EXPECT_FALSE(gate_op_eval(GateOp::kAnd, true, false));
+  EXPECT_TRUE(gate_op_eval(GateOp::kOr, false, true));
+  EXPECT_TRUE(gate_op_eval(GateOp::kXor, true, false));
+  EXPECT_FALSE(gate_op_eval(GateOp::kXor, true, true));
+  EXPECT_TRUE(gate_op_eval(GateOp::kNand, false, false));
+  EXPECT_FALSE(gate_op_eval(GateOp::kNor, true, false));
+  EXPECT_TRUE(gate_op_eval(GateOp::kXnor, true, true));
+  EXPECT_FALSE(gate_op_eval(GateOp::kNot, true, false));
+  EXPECT_TRUE(gate_op_eval(GateOp::kBuf, true, false));
+}
+
+TEST(GateNetwork, EvaluateFullAdderCell) {
+  GateNetwork g;
+  int a = g.add_input("a");
+  int b = g.add_input("b");
+  int cin = g.add_input("cin");
+  int axb = g.add_gate(GateOp::kXor, "axb", {a, b});
+  int s = g.add_gate(GateOp::kXor, "s", {axb, cin});
+  int t1 = g.add_gate(GateOp::kAnd, "t1", {a, b});
+  int t2 = g.add_gate(GateOp::kAnd, "t2", {axb, cin});
+  int cout = g.add_gate(GateOp::kOr, "cout", {t1, t2});
+  g.add_output("s", s);
+  g.add_output("cout", cout);
+  g.validate();
+
+  for (int m = 0; m < 8; ++m) {
+    std::vector<bool> in{(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    std::vector<bool> out = g.evaluate(in);
+    int total = (in[0] ? 1 : 0) + (in[1] ? 1 : 0) + (in[2] ? 1 : 0);
+    EXPECT_EQ(out[0], (total & 1) != 0) << m;
+    EXPECT_EQ(out[1], total >= 2) << m;
+  }
+}
+
+TEST(GateNetwork, AdderBuilderMatchesIntegerAdd) {
+  GateNetwork g;
+  Bus a, b;
+  for (int i = 0; i < 5; ++i) a.push_back(g.add_input("a"));
+  for (int i = 0; i < 5; ++i) b.push_back(g.add_input("b"));
+  int cout = -1;
+  Bus sum = build_gate_adder(g, a, b, "add", &cout);
+  for (int bit : sum) g.add_output("s", bit);
+  g.add_output("c", cout);
+
+  for (int x = 0; x < 32; x += 3) {
+    for (int y = 0; y < 32; y += 5) {
+      std::vector<bool> in;
+      for (int i = 0; i < 5; ++i) in.push_back((x >> i) & 1);
+      for (int i = 0; i < 5; ++i) in.push_back((y >> i) & 1);
+      std::vector<bool> out = g.evaluate(in);
+      int got = 0;
+      for (int i = 0; i < 5; ++i) got |= (out[static_cast<std::size_t>(i)] ? 1 : 0) << i;
+      got |= (out[5] ? 1 : 0) << 5;
+      EXPECT_EQ(got, x + y) << x << "+" << y;
+    }
+  }
+}
+
+TEST(GateNetwork, MuxBuilderSelects) {
+  GateNetwork g;
+  int sel = g.add_input("sel");
+  Bus a{g.add_input("a0"), g.add_input("a1")};
+  Bus b{g.add_input("b0"), g.add_input("b1")};
+  Bus m = build_gate_mux(g, sel, a, b, "m");
+  for (int bit : m) g.add_output("o", bit);
+
+  // sel=0 -> a (=01), sel=1 -> b (=10)
+  std::vector<bool> out0 = g.evaluate({false, true, false, false, true});
+  EXPECT_TRUE(out0[0]);
+  EXPECT_FALSE(out0[1]);
+  std::vector<bool> out1 = g.evaluate({true, true, false, false, true});
+  EXPECT_FALSE(out1[0]);
+  EXPECT_TRUE(out1[1]);
+}
+
+TEST(GateNetwork, DepthOfChain) {
+  GateNetwork g;
+  int a = g.add_input("a");
+  int prev = a;
+  for (int i = 0; i < 6; ++i)
+    prev = g.add_gate(GateOp::kNot, "n", {prev});
+  g.add_output("o", prev);
+  EXPECT_EQ(g.depth(), 6);
+}
+
+TEST(GateNetwork, OutputCannotFeedGate) {
+  GateNetwork g;
+  int a = g.add_input("a");
+  int o = g.add_output("o", a);
+  EXPECT_THROW(g.add_gate(GateOp::kNot, "n", {o}), CheckError);
+}
+
+TEST(GateNetwork, ArityMismatchRejected) {
+  GateNetwork g;
+  int a = g.add_input("a");
+  EXPECT_THROW(g.add_gate(GateOp::kAnd, "bad", {a}), CheckError);
+  EXPECT_THROW(g.add_gate(GateOp::kNot, "bad", {a, a}), CheckError);
+}
+
+TEST(GateNetwork, CountsAndIds) {
+  GateNetwork g;
+  int a = g.add_input("a");
+  int b = g.add_input("b");
+  g.add_gate(GateOp::kAnd, "g", {a, b});
+  g.add_output("o", 2);
+  EXPECT_EQ(g.num_inputs(), 2);
+  EXPECT_EQ(g.num_outputs(), 1);
+  EXPECT_EQ(g.num_logic_gates(), 1);
+  EXPECT_EQ(g.input_ids(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(g.output_ids(), (std::vector<int>{3}));
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "netlist/lut_network.h"
+#include "netlist/plane.h"
+
+namespace nanomap {
+namespace {
+
+// a, b -> l1 = a&b -> l2 = l1^a -> output
+LutNetwork simple_net() {
+  LutNetwork net;
+  int a = net.add_input("a");
+  int b = net.add_input("b");
+  int l1 = net.add_lut("l1", {a, b}, 0x8, 0);          // AND
+  int l2 = net.add_lut("l2", {l1, a}, 0x6, 0);         // XOR
+  net.add_output("o", l2);
+  return net;
+}
+
+TEST(LutNetwork, CountsByKind) {
+  LutNetwork net = simple_net();
+  EXPECT_EQ(net.num_inputs(), 2);
+  EXPECT_EQ(net.num_luts(), 2);
+  EXPECT_EQ(net.num_outputs(), 1);
+  EXPECT_EQ(net.num_flipflops(), 0);
+  EXPECT_EQ(net.size(), 5);
+}
+
+TEST(LutNetwork, LevelsFollowLongestPath) {
+  LutNetwork net = simple_net();
+  net.compute_levels();
+  EXPECT_EQ(net.node(2).level, 1);  // l1
+  EXPECT_EQ(net.node(3).level, 2);  // l2
+  EXPECT_EQ(net.max_depth(), 2);
+}
+
+TEST(LutNetwork, FanoutsDerived) {
+  LutNetwork net = simple_net();
+  EXPECT_EQ(net.fanouts(0).size(), 2u);  // a feeds l1 and l2
+  EXPECT_EQ(net.fanouts(2).size(), 1u);  // l1 feeds l2
+}
+
+TEST(LutNetwork, PlaneStats) {
+  LutNetwork net = simple_net();
+  net.compute_levels();
+  PlaneStats s = net.plane_stats(0);
+  EXPECT_EQ(s.num_luts, 2);
+  EXPECT_EQ(s.depth, 2);
+  EXPECT_EQ(s.num_inputs, 2);
+}
+
+TEST(LutNetwork, FlipFlopConnectivity) {
+  LutNetwork net;
+  int a = net.add_input("a");
+  int ff = net.add_flipflop("r", 0);
+  int l = net.add_lut("l", {ff, a}, 0x6, 0);
+  net.set_flipflop_input(ff, l);
+  net.add_output("o", l);
+  net.compute_levels();
+  EXPECT_NO_THROW(net.validate());
+  EXPECT_EQ(net.node(l).level, 1);  // FF fanin enters at level 0
+}
+
+TEST(LutNetwork, UnconnectedFlipFlopFailsValidation) {
+  LutNetwork net;
+  net.add_input("a");
+  net.add_flipflop("r", 0);
+  EXPECT_THROW(net.validate(), CheckError);
+}
+
+TEST(LutNetwork, CrossPlaneCombinationalEdgeRejected) {
+  LutNetwork net;
+  int a = net.add_input("a", 0);
+  int b = net.add_input("b", 0);
+  int l0 = net.add_lut("l0", {a, b}, 0x8, 0);
+  // LUT in plane 1 fed directly (not through a FF) by a plane-0 LUT.
+  net.add_lut("l1", {l0, a}, 0x6, 1);
+  EXPECT_THROW(net.compute_levels(), CheckError);
+}
+
+TEST(LutNetwork, CombinationalCycleDetected) {
+  LutNetwork net;
+  int a = net.add_input("a");
+  int l1 = net.add_lut("l1", {a, a /*placeholder*/}, 0x6, 0);
+  int l2 = net.add_lut("l2", {l1, a}, 0x6, 0);
+  // Introduce the cycle by rewriting l1's fanin to l2.
+  net.mutable_node(l1).fanins[1] = l2;
+  EXPECT_THROW(net.compute_levels(), CheckError);
+}
+
+TEST(LutNetwork, TooManyFaninsRejected) {
+  LutNetwork net;
+  std::vector<int> ins;
+  for (int i = 0; i < 7; ++i) ins.push_back(net.add_input("i"));
+  EXPECT_THROW(net.add_lut("big", ins, 0, 0), CheckError);
+}
+
+TEST(LutNetwork, EvalLutUsesFaninOrderAsMintermBits) {
+  LutNetwork net;
+  int a = net.add_input("a");
+  int b = net.add_input("b");
+  // truth 0x8 = AND: output 1 only for minterm 3 (both inputs 1).
+  int l = net.add_lut("l", {a, b}, 0x8, 0);
+  EXPECT_FALSE(net.eval_lut(l, {false, false}));
+  EXPECT_FALSE(net.eval_lut(l, {true, false}));
+  EXPECT_FALSE(net.eval_lut(l, {false, true}));
+  EXPECT_TRUE(net.eval_lut(l, {true, true}));
+}
+
+TEST(LutNetwork, TopologicalOrderRespectsLevels) {
+  LutNetwork net = simple_net();
+  net.compute_levels();
+  std::vector<int> order = net.plane_luts_topological(0);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_LT(net.node(order[0]).level, net.node(order[1]).level);
+}
+
+TEST(LutNetwork, PlaneRegistersListed) {
+  LutNetwork net;
+  int a = net.add_input("a", 0);
+  int f0 = net.add_flipflop("f0", 0);
+  int f1 = net.add_flipflop("f1", 1);
+  int l = net.add_lut("l", {a, f0}, 0x6, 0);
+  net.set_flipflop_input(f0, a);
+  net.set_flipflop_input(f1, l);
+  EXPECT_EQ(net.plane_registers(0), std::vector<int>{f0});
+  EXPECT_EQ(net.plane_registers(1), std::vector<int>{f1});
+  EXPECT_EQ(net.num_planes(), 2);
+}
+
+TEST(CircuitParams, MultiPlaneExtraction) {
+  LutNetwork net;
+  int a = net.add_input("a", 0);
+  int f1 = net.add_flipflop("r1", 1);
+  int l0 = net.add_lut("l0", {a, a}, 0x6, 0);
+  int l0b = net.add_lut("l0b", {l0, a}, 0x6, 0);
+  int l1 = net.add_lut("l1", {f1, f1}, 0x6, 1);
+  net.set_flipflop_input(f1, l0b);
+  net.add_output("o", l1);
+  net.compute_levels();
+
+  CircuitParams p = extract_circuit_params(net);
+  EXPECT_EQ(p.num_plane, 2);
+  EXPECT_EQ(p.num_lut[0], 2);
+  EXPECT_EQ(p.num_lut[1], 1);
+  EXPECT_EQ(p.depth[0], 2);
+  EXPECT_EQ(p.depth[1], 1);
+  EXPECT_EQ(p.lut_max, 2);
+  EXPECT_EQ(p.depth_max, 2);
+  EXPECT_EQ(p.total_luts, 3);
+  EXPECT_EQ(p.total_flipflops, 1);
+  EXPECT_EQ(p.num_regs[1], 1);
+}
+
+TEST(LutNetwork, NodeKindNames) {
+  EXPECT_STREQ(node_kind_name(NodeKind::kInput), "input");
+  EXPECT_STREQ(node_kind_name(NodeKind::kLut), "lut");
+  EXPECT_STREQ(node_kind_name(NodeKind::kFlipFlop), "flipflop");
+  EXPECT_STREQ(node_kind_name(NodeKind::kOutput), "output");
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,231 @@
+// Functional correctness of the word-level RTL operators: every expander
+// is simulated against integer arithmetic.
+#include <gtest/gtest.h>
+
+#include "netlist/simulate.h"
+#include "rtl/module_expander.h"
+#include "util/rng.h"
+
+namespace nanomap {
+namespace {
+
+struct TwoInputFixture {
+  Design d;
+  SignalBus a, b;
+  TwoInputFixture(int width) {
+    a = add_input_bus(d, "a", width, 0);
+    b = add_input_bus(d, "b", width, 0);
+  }
+  void finish() {
+    d.net.compute_levels();
+    d.net.validate();
+    d.refresh_module_stats();
+  }
+};
+
+TEST(MakeTruth, BitOrdering) {
+  // fanin 0 is the least-significant minterm bit.
+  std::uint64_t tt = make_truth(2, [](const bool* v) { return v[0] && !v[1]; });
+  EXPECT_EQ(tt, 0x2u);  // only minterm 1 (v0=1, v1=0)
+}
+
+TEST(Adder, MatchesIntegerAddExhaustive4Bit) {
+  TwoInputFixture f(4);
+  ExpandedModule m = expand_adder(f.d, "add", f.a, f.b, 0);
+  f.finish();
+  Simulator sim(f.d.net);
+  for (int x = 0; x < 16; ++x) {
+    for (int y = 0; y < 16; ++y) {
+      sim.set_input_bus(f.a, static_cast<std::uint64_t>(x));
+      sim.set_input_bus(f.b, static_cast<std::uint64_t>(y));
+      sim.evaluate();
+      EXPECT_EQ(sim.read_bus(m.out), static_cast<std::uint64_t>((x + y) & 15));
+      EXPECT_EQ(sim.value(m.carry_out), (x + y) > 15);
+    }
+  }
+}
+
+TEST(Adder, PaperCountsFor4Bit) {
+  // Paper §3: a 4-bit ripple-carry adder is 8 LUTs with logic depth 4.
+  TwoInputFixture f(4);
+  expand_adder(f.d, "add", f.a, f.b, 0);
+  f.finish();
+  EXPECT_EQ(f.d.module(0).num_luts, 8);
+  EXPECT_EQ(f.d.module(0).depth, 4);
+}
+
+TEST(Subtractor, MatchesIntegerSubExhaustive4Bit) {
+  TwoInputFixture f(4);
+  ExpandedModule m = expand_subtractor(f.d, "sub", f.a, f.b, 0);
+  f.finish();
+  Simulator sim(f.d.net);
+  for (int x = 0; x < 16; ++x) {
+    for (int y = 0; y < 16; ++y) {
+      sim.set_input_bus(f.a, static_cast<std::uint64_t>(x));
+      sim.set_input_bus(f.b, static_cast<std::uint64_t>(y));
+      sim.evaluate();
+      EXPECT_EQ(sim.read_bus(m.out),
+                static_cast<std::uint64_t>((x - y) & 15));
+      EXPECT_EQ(sim.value(m.carry_out), x < y);  // borrow out
+    }
+  }
+}
+
+TEST(Multiplier, LowHalfExhaustive4Bit) {
+  TwoInputFixture f(4);
+  ExpandedModule m = expand_multiplier(f.d, "mul", f.a, f.b, 0);
+  f.finish();
+  ASSERT_EQ(m.out.size(), 4u);
+  Simulator sim(f.d.net);
+  for (int x = 0; x < 16; ++x) {
+    for (int y = 0; y < 16; ++y) {
+      sim.set_input_bus(f.a, static_cast<std::uint64_t>(x));
+      sim.set_input_bus(f.b, static_cast<std::uint64_t>(y));
+      sim.evaluate();
+      EXPECT_EQ(sim.read_bus(m.out), static_cast<std::uint64_t>((x * y) & 15))
+          << x << "*" << y;
+    }
+  }
+}
+
+TEST(Multiplier, FullWidthExhaustive4Bit) {
+  TwoInputFixture f(4);
+  ExpandedModule m = expand_multiplier(f.d, "mul", f.a, f.b, 0, true);
+  f.finish();
+  ASSERT_EQ(m.out.size(), 8u);
+  Simulator sim(f.d.net);
+  for (int x = 0; x < 16; ++x) {
+    for (int y = 0; y < 16; ++y) {
+      sim.set_input_bus(f.a, static_cast<std::uint64_t>(x));
+      sim.set_input_bus(f.b, static_cast<std::uint64_t>(y));
+      sim.evaluate();
+      EXPECT_EQ(sim.read_bus(m.out), static_cast<std::uint64_t>(x * y))
+          << x << "*" << y;
+    }
+  }
+}
+
+class MultiplierWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiplierWidths, RandomVectorsFullWidth) {
+  const int width = GetParam();
+  TwoInputFixture f(width);
+  ExpandedModule m = expand_multiplier(f.d, "mul", f.a, f.b, 0, true);
+  f.finish();
+  Simulator sim(f.d.net);
+  Rng rng(static_cast<std::uint64_t>(width));
+  const std::uint64_t mask = (width >= 64) ? ~0ull
+                                           : ((1ull << width) - 1);
+  for (int i = 0; i < 60; ++i) {
+    std::uint64_t x = rng.next_u64() & mask;
+    std::uint64_t y = rng.next_u64() & mask;
+    sim.set_input_bus(f.a, x);
+    sim.set_input_bus(f.b, y);
+    sim.evaluate();
+    EXPECT_EQ(sim.read_bus(m.out), x * y) << x << "*" << y;
+  }
+}
+
+TEST_P(MultiplierWidths, ParallelDepthScalesLinearly) {
+  const int width = GetParam();
+  TwoInputFixture f(width);
+  expand_multiplier(f.d, "mul", f.a, f.b, 0, true);
+  f.finish();
+  // Carry-save rows + prefix CPA: depth ~ n + log n + O(1), LUTs ~ 2n^2.
+  EXPECT_LE(f.d.module(0).depth, width + 10);
+  EXPECT_GE(f.d.module(0).depth, width - 1);
+  EXPECT_GE(f.d.module(0).num_luts, 2 * width * width - 4 * width);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MultiplierWidths,
+                         ::testing::Values(2, 3, 5, 8, 12, 16));
+
+TEST(Comparator, ExhaustiveLtEq4Bit) {
+  TwoInputFixture f(4);
+  ExpandedModule m = expand_comparator(f.d, "cmp", f.a, f.b, 0);
+  f.finish();
+  Simulator sim(f.d.net);
+  for (int x = 0; x < 16; ++x) {
+    for (int y = 0; y < 16; ++y) {
+      sim.set_input_bus(f.a, static_cast<std::uint64_t>(x));
+      sim.set_input_bus(f.b, static_cast<std::uint64_t>(y));
+      sim.evaluate();
+      EXPECT_EQ(sim.value(m.out[0]), x < y) << x << " " << y;
+      EXPECT_EQ(sim.value(m.out[1]), x == y) << x << " " << y;
+    }
+  }
+}
+
+TEST(Mux, SelectsOperand) {
+  Design d;
+  int sel = d.net.add_input("sel", 0);
+  SignalBus a = add_input_bus(d, "a", 6, 0);
+  SignalBus b = add_input_bus(d, "b", 6, 0);
+  ExpandedModule m = expand_mux2(d, "mux", sel, a, b, 0);
+  d.net.compute_levels();
+  Simulator sim(d.net);
+  sim.set_input_bus(a, 0x2a);
+  sim.set_input_bus(b, 0x15);
+  sim.set_input(sel, false);
+  sim.evaluate();
+  EXPECT_EQ(sim.read_bus(m.out), 0x2au);
+  sim.set_input(sel, true);
+  sim.evaluate();
+  EXPECT_EQ(sim.read_bus(m.out), 0x15u);
+}
+
+TEST(Alu, AllFourFunctions) {
+  Design d;
+  SignalBus sel = add_input_bus(d, "sel", 2, 0);
+  SignalBus a = add_input_bus(d, "a", 6, 0);
+  SignalBus b = add_input_bus(d, "b", 6, 0);
+  ExpandedModule m = expand_alu(d, "alu", sel, a, b, 0);
+  d.net.compute_levels();
+  Simulator sim(d.net);
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    std::uint64_t x = rng.next_below(64);
+    std::uint64_t y = rng.next_below(64);
+    for (int op = 0; op < 4; ++op) {
+      sim.set_input_bus(sel, static_cast<std::uint64_t>(op));
+      sim.set_input_bus(a, x);
+      sim.set_input_bus(b, y);
+      sim.evaluate();
+      std::uint64_t expect = 0;
+      switch (op) {
+        case 0: expect = (x + y) & 63; break;
+        case 1: expect = (x - y) & 63; break;
+        case 2: expect = x & y; break;
+        case 3: expect = x ^ y; break;
+      }
+      EXPECT_EQ(sim.read_bus(m.out), expect)
+          << "op " << op << ": " << x << "," << y;
+    }
+  }
+}
+
+TEST(RegisterBank, DriveAndWidthMismatch) {
+  Design d;
+  SignalBus in = add_input_bus(d, "in", 4, 0);
+  SignalBus regs = add_register_bank(d, "r", 4, 0);
+  drive_register_bank(d, regs, in);
+  SignalBus narrow = add_register_bank(d, "n", 2, 0);
+  EXPECT_THROW(drive_register_bank(d, narrow, in), CheckError);
+}
+
+TEST(ModuleStats, TaggedAndCounted) {
+  TwoInputFixture f(4);
+  expand_adder(f.d, "add", f.a, f.b, 0);
+  expand_multiplier(f.d, "mul", f.a, f.b, 0);
+  f.finish();
+  ASSERT_EQ(f.d.modules.size(), 2u);
+  EXPECT_EQ(f.d.module(0).type, ModuleType::kAdder);
+  EXPECT_EQ(f.d.module(1).type, ModuleType::kMultiplier);
+  int tagged = 0;
+  for (const LutNode& n : f.d.net.nodes())
+    if (n.kind == NodeKind::kLut && n.module_id >= 0) ++tagged;
+  EXPECT_EQ(tagged, f.d.module(0).num_luts + f.d.module(1).num_luts);
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "netlist/simulate.h"
+#include "rtl/parser.h"
+
+namespace nanomap {
+namespace {
+
+TEST(Parser, MinimalCircuit) {
+  Design d = parse_nmap(R"(
+circuit tiny
+input a 4
+input b 4
+module s adder a b
+output o s
+)");
+  EXPECT_EQ(d.name, "tiny");
+  EXPECT_EQ(d.net.num_inputs(), 8);
+  EXPECT_EQ(d.net.num_luts(), 8);
+  EXPECT_EQ(d.net.num_outputs(), 4);
+  ASSERT_EQ(d.modules.size(), 1u);
+  EXPECT_EQ(d.module(0).type, ModuleType::kAdder);
+}
+
+TEST(Parser, CommentsAndBlankLinesIgnored) {
+  Design d = parse_nmap(R"(
+# a comment
+circuit c
+
+  # indented comment
+input a 2
+input b 2
+module m adder a b
+output o m
+)");
+  EXPECT_EQ(d.net.num_luts(), 4);
+}
+
+TEST(Parser, RegistersAndConnect) {
+  Design d = parse_nmap(R"(
+circuit seq
+input x 4
+reg r 4
+module s adder r r
+connect r x
+output o s
+)");
+  EXPECT_EQ(d.net.num_flipflops(), 4);
+  d.net.validate();
+}
+
+TEST(Parser, BitIndexing) {
+  Design d = parse_nmap(R"(
+circuit bits
+input a 4
+input b 4
+lut t a[0] a[3] b[1]
+output o t
+)");
+  EXPECT_EQ(d.net.num_luts(), 1);
+}
+
+TEST(Parser, LutTruthOverrideIsHex) {
+  Design d = parse_nmap(R"(
+circuit t
+input a 2
+lut g a[0] a[1] truth=8
+output o g
+)");
+  Simulator sim(d.net);
+  // truth 0x8 = AND
+  int a0 = 0, a1 = 1;
+  sim.set_input(a0, true);
+  sim.set_input(a1, true);
+  sim.evaluate();
+  EXPECT_TRUE(sim.value(2));
+  sim.set_input(a1, false);
+  sim.evaluate();
+  EXPECT_FALSE(sim.value(2));
+}
+
+TEST(Parser, MuxAndAluForms) {
+  Design d = parse_nmap(R"(
+circuit forms
+input sel 1
+input op 2
+input a 4
+input b 4
+module m mux sel a b
+module u alu op a b
+output o1 m
+output o2 u
+)");
+  EXPECT_EQ(d.modules.size(), 2u);
+  EXPECT_EQ(d.module(0).type, ModuleType::kMux);
+  EXPECT_EQ(d.module(1).type, ModuleType::kAluSlice);
+}
+
+TEST(Parser, MultiPlane) {
+  Design d = parse_nmap(R"(
+circuit planes
+input a 4
+reg r0 4 plane=0
+module m0 adder r0 r0 plane=0
+reg r1 4 plane=1
+module m1 adder r1 r1 plane=1
+connect r0 a
+connect r1 m0
+output o m1
+)");
+  EXPECT_EQ(d.net.num_planes(), 2);
+  d.net.validate();
+}
+
+TEST(Parser, CarryOutExposed) {
+  Design d = parse_nmap(R"(
+circuit c
+input a 4
+input b 4
+module s adder a b
+output co s.cout
+)");
+  EXPECT_EQ(d.net.num_outputs(), 1);
+}
+
+TEST(Parser, FunctionalThroughParser) {
+  Design d = parse_nmap(R"(
+circuit func
+input a 6
+input b 6
+module p mult a b
+output o p
+)");
+  Simulator sim(d.net);
+  std::vector<int> a_bus, b_bus, o_bus;
+  for (int id = 0; id < d.net.size(); ++id) {
+    const LutNode& n = d.net.node(id);
+    if (n.kind == NodeKind::kInput) {
+      (n.name[0] == 'a' ? a_bus : b_bus).push_back(id);
+    } else if (n.kind == NodeKind::kOutput) {
+      o_bus.push_back(id);
+    }
+  }
+  sim.set_input_bus(a_bus, 7);
+  sim.set_input_bus(b_bus, 6);
+  sim.evaluate();
+  EXPECT_EQ(sim.read_bus(o_bus), (7u * 6u) & 63u);
+}
+
+// --- error diagnostics -------------------------------------------------------
+
+TEST(ParserErrors, UnknownSignal) {
+  EXPECT_THROW(parse_nmap("circuit c\nlut g nosuch\n"), InputError);
+}
+
+TEST(ParserErrors, MissingCircuitDirective) {
+  EXPECT_THROW(parse_nmap("input a 4\n"), InputError);
+}
+
+TEST(ParserErrors, WidthMismatch) {
+  EXPECT_THROW(parse_nmap(R"(
+circuit c
+input a 4
+input b 3
+module s adder a b
+)"),
+               InputError);
+}
+
+TEST(ParserErrors, RedefinitionRejected) {
+  EXPECT_THROW(parse_nmap(R"(
+circuit c
+input a 4
+input a 4
+)"),
+               InputError);
+}
+
+TEST(ParserErrors, BitIndexOutOfRange) {
+  EXPECT_THROW(parse_nmap(R"(
+circuit c
+input a 4
+lut g a[4]
+)"),
+               InputError);
+}
+
+TEST(ParserErrors, ConnectToNonRegister) {
+  EXPECT_THROW(parse_nmap(R"(
+circuit c
+input a 4
+input b 4
+connect a b
+)"),
+               InputError);
+}
+
+TEST(ParserErrors, UnknownDirective) {
+  EXPECT_THROW(parse_nmap("circuit c\nfrobnicate x\n"), InputError);
+}
+
+TEST(ParserErrors, UnknownModuleType) {
+  EXPECT_THROW(parse_nmap(R"(
+circuit c
+input a 4
+input b 4
+module m divider a b
+)"),
+               InputError);
+}
+
+TEST(ParserErrors, MuxSelectMustBeOneBit) {
+  EXPECT_THROW(parse_nmap(R"(
+circuit c
+input s 2
+input a 4
+input b 4
+module m mux s a b
+)"),
+               InputError);
+}
+
+TEST(ParserErrors, LineNumberInDiagnostic) {
+  try {
+    parse_nmap("circuit c\ninput a 4\nlut g nosuch\n");
+    FAIL();
+  } catch (const InputError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Parser, MissingFileThrows) {
+  EXPECT_THROW(parse_nmap_file("/nonexistent/path.nmap"), InputError);
+}
+
+TEST(Parser, DesignSummaryMentionsModules) {
+  Design d = parse_nmap(R"(
+circuit s
+input a 4
+input b 4
+module m mult a b
+output o m
+)");
+  std::string summary = design_summary(d);
+  EXPECT_NE(summary.find("multiplier"), std::string::npos);
+  EXPECT_NE(summary.find("'s'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "route/pathfinder.h"
+
+namespace nanomap {
+namespace {
+
+// Builds a synthetic clustered design with explicit nets on a grid.
+ClusteredDesign synthetic(int num_smbs, int num_cycles,
+                          std::vector<PlacedNet> nets) {
+  ClusteredDesign cd;
+  cd.num_smbs = num_smbs;
+  cd.num_cycles = num_cycles;
+  cd.nets = std::move(nets);
+  return cd;
+}
+
+Placement row_placement(int num_smbs, int width) {
+  Placement p;
+  p.grid = {width, width};
+  for (int i = 0; i < num_smbs; ++i) p.site_of_smb.push_back(i);
+  return p;
+}
+
+PlacedNet net(int driver_node, int cycle, int driver, std::vector<int> sinks) {
+  PlacedNet n;
+  n.driver_node = driver_node;
+  n.cycle = cycle;
+  n.driver_smb = driver;
+  n.sink_smbs = std::move(sinks);
+  return n;
+}
+
+TEST(PathFinder, RoutesSimpleNet) {
+  ArchParams arch = ArchParams::paper_instance();
+  ClusteredDesign cd = synthetic(2, 1, {net(0, 0, 0, {1})});
+  Placement p = row_placement(2, 3);
+  RrGraph rr(p.grid, arch);
+  RoutingResult r = route_design(cd, p, rr);
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.nets.size(), 1u);
+  EXPECT_GT(r.nets[0].sink_delay_ps[0], 0.0);
+  EXPECT_GE(r.usage.total(), 1);
+}
+
+TEST(PathFinder, AdjacentNetPrefersDirectLink) {
+  ArchParams arch = ArchParams::paper_instance();
+  ClusteredDesign cd = synthetic(2, 1, {net(0, 0, 0, {1})});
+  Placement p = row_placement(2, 3);
+  RrGraph rr(p.grid, arch);
+  RoutingResult r = route_design(cd, p, rr);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.usage.direct, 1);
+  EXPECT_EQ(r.usage.global, 0);
+}
+
+TEST(PathFinder, MultiSinkNetSharesTree) {
+  ArchParams arch = ArchParams::paper_instance();
+  ClusteredDesign cd = synthetic(4, 1, {net(0, 0, 0, {1, 2, 3})});
+  Placement p = row_placement(4, 4);
+  RrGraph rr(p.grid, arch);
+  RoutingResult r = route_design(cd, p, rr);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.nets[0].sink_smbs.size(), 3u);
+  for (double d : r.nets[0].sink_delay_ps) EXPECT_GT(d, 0.0);
+}
+
+TEST(PathFinder, DelayGrowsWithDistance) {
+  ArchParams arch = ArchParams::paper_instance();
+  ClusteredDesign cd =
+      synthetic(8, 1, {net(0, 0, 0, {1}), net(1, 0, 0, {7})});
+  Placement p;
+  p.grid = {8, 8};
+  for (int i = 0; i < 8; ++i) p.site_of_smb.push_back(i);  // one row
+  RrGraph rr(p.grid, arch);
+  RoutingResult r = route_design(cd, p, rr);
+  ASSERT_TRUE(r.success);
+  double near = 0.0, far = 0.0;
+  for (const NetRoute& nr : r.nets) {
+    if (cd.nets[static_cast<std::size_t>(nr.net_index)].driver_node == 0)
+      near = nr.sink_delay_ps[0];
+    else
+      far = nr.sink_delay_ps[0];
+  }
+  EXPECT_GT(far, near);
+}
+
+TEST(PathFinder, CongestionNegotiationResolvesOveruse) {
+  // Many nets between the same adjacent pair exceed the direct-link
+  // capacity and must spill to length-1/length-4 wires, but still succeed.
+  ArchParams arch = ArchParams::paper_instance();
+  arch.direct_links_per_side = 2;
+  arch.len1_tracks = 4;
+  arch.len4_tracks = 2;
+  arch.global_tracks = 2;
+  std::vector<PlacedNet> nets;
+  for (int i = 0; i < 9; ++i) nets.push_back(net(i, 0, 0, {1}));
+  ClusteredDesign cd = synthetic(2, 1, std::move(nets));
+  Placement p = row_placement(2, 4);
+  RrGraph rr(p.grid, arch);
+  RoutingResult r = route_design(cd, p, rr);
+  EXPECT_TRUE(r.success) << r.overused_nodes << " overused";
+  EXPECT_GT(r.usage.len1 + r.usage.len4 + r.usage.global, 0);
+}
+
+TEST(PathFinder, ImpossibleDemandReportsFailure) {
+  ArchParams arch = ArchParams::paper_instance();
+  arch.direct_links_per_side = 1;
+  arch.len1_tracks = 1;
+  arch.len4_tracks = 0;
+  arch.global_tracks = 0;
+  std::vector<PlacedNet> nets;
+  for (int i = 0; i < 40; ++i) nets.push_back(net(i, 0, 0, {1}));
+  ClusteredDesign cd = synthetic(2, 1, std::move(nets));
+  Placement p = row_placement(2, 2);
+  RrGraph rr(p.grid, arch);
+  RouterOptions opts;
+  opts.max_iterations = 8;
+  RoutingResult r = route_design(cd, p, rr, opts);
+  EXPECT_FALSE(r.success);
+  EXPECT_GT(r.overused_nodes, 0);
+}
+
+TEST(PathFinder, CyclesAreIndependentCongestionDomains) {
+  // The same dense traffic in different folding cycles does not conflict:
+  // each cycle reconfigures the interconnect.
+  ArchParams arch = ArchParams::paper_instance();
+  arch.direct_links_per_side = 2;
+  arch.len1_tracks = 2;
+  arch.len4_tracks = 0;
+  arch.global_tracks = 0;
+  std::vector<PlacedNet> nets;
+  for (int c = 0; c < 6; ++c)
+    for (int i = 0; i < 4; ++i) nets.push_back(net(c * 4 + i, c, 0, {1}));
+  ClusteredDesign cd = synthetic(2, 6, std::move(nets));
+  Placement p = row_placement(2, 2);
+  RrGraph rr(p.grid, arch);
+  RoutingResult r = route_design(cd, p, rr);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(PathFinder, DeterministicResults) {
+  ArchParams arch = ArchParams::paper_instance();
+  std::vector<PlacedNet> nets;
+  for (int i = 0; i < 12; ++i) nets.push_back(net(i, 0, i % 4, {(i + 1) % 4}));
+  ClusteredDesign cd = synthetic(4, 1, std::move(nets));
+  Placement p = row_placement(4, 3);
+  RrGraph rr(p.grid, arch);
+  RoutingResult a = route_design(cd, p, rr);
+  RoutingResult b = route_design(cd, p, rr);
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    EXPECT_EQ(a.nets[i].wire_nodes, b.nets[i].wire_nodes);
+    EXPECT_EQ(a.nets[i].sink_delay_ps, b.nets[i].sink_delay_ps);
+  }
+}
+
+TEST(PathFinder, UsageCountsByType) {
+  ArchParams arch = ArchParams::paper_instance();
+  ClusteredDesign cd = synthetic(2, 1, {net(0, 0, 0, {1})});
+  Placement p;
+  p.grid = {8, 8};
+  p.site_of_smb = {0, 7};  // far apart in one row
+  RrGraph rr(p.grid, arch);
+  RoutingResult r = route_design(cd, p, rr);
+  ASSERT_TRUE(r.success);
+  // A 7-site span should use long wires, not 7 direct hops.
+  EXPECT_GT(r.usage.len4 + r.usage.global, 0);
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "circuits/benchmarks.h"
+#include "core/temporal_cluster.h"
+#include "netlist/plane.h"
+#include "place/placement.h"
+
+namespace nanomap {
+namespace {
+
+ClusteredDesign cluster_benchmark(const std::string& name, int level,
+                                  const ArchParams& arch,
+                                  Design* out_design = nullptr) {
+  Design d = make_benchmark(name);
+  CircuitParams p = extract_circuit_params(d.net);
+  DesignSchedule sched;
+  sched.folding = make_folding_config(p, level);
+  sched.planes_share = !sched.folding.no_folding();
+  for (int plane = 0; plane < p.num_plane; ++plane) {
+    PlaneScheduleGraph g = build_schedule_graph(d, plane, sched.folding);
+    sched.plane_results.push_back(schedule_plane(g, arch));
+    sched.graphs.push_back(std::move(g));
+  }
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  if (out_design != nullptr) *out_design = std::move(d);
+  return cd;
+}
+
+TEST(Placement, AllSmbsGetDistinctSites) {
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  ClusteredDesign cd = cluster_benchmark("ex1", 0, arch);
+  PlacementResult r = place_design(cd, arch);
+  std::set<int> sites;
+  for (int m = 0; m < cd.num_smbs; ++m)
+    sites.insert(r.placement.site_of_smb[static_cast<std::size_t>(m)]);
+  EXPECT_EQ(static_cast<int>(sites.size()), cd.num_smbs);
+  EXPECT_GE(r.placement.grid.sites(), cd.num_smbs);
+}
+
+TEST(Placement, AnnealingImprovesOverRandomInitial) {
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  ClusteredDesign cd = cluster_benchmark("FIR", 0, arch);
+  // Random baseline: average cost over fresh random placements.
+  Rng rng(17);
+  Placement random;
+  random.grid = size_grid_for(cd.num_smbs);
+  std::vector<int> sites(static_cast<std::size_t>(random.grid.sites()));
+  for (int i = 0; i < random.grid.sites(); ++i)
+    sites[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(sites);
+  random.site_of_smb.assign(static_cast<std::size_t>(cd.num_smbs), 0);
+  for (int m = 0; m < cd.num_smbs; ++m)
+    random.site_of_smb[static_cast<std::size_t>(m)] =
+        sites[static_cast<std::size_t>(m)];
+  double random_cost = placement_cost(cd, random, 0.0);
+
+  PlacementResult placed = place_design(cd, arch);
+  EXPECT_LT(placed.wirelength, random_cost * 0.8);
+}
+
+TEST(Placement, DeterministicForSeed) {
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  ClusteredDesign cd = cluster_benchmark("ex1", 1, arch);
+  PlacementOptions opts;
+  opts.seed = 5;
+  PlacementResult a = place_design(cd, arch, opts);
+  PlacementResult b = place_design(cd, arch, opts);
+  EXPECT_EQ(a.placement.site_of_smb, b.placement.site_of_smb);
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(Placement, CostFunctionHandChecked) {
+  ClusteredDesign cd;
+  cd.num_cycles = 1;
+  cd.num_smbs = 3;
+  PlacedNet n;
+  n.driver_node = 0;
+  n.cycle = 0;
+  n.driver_smb = 0;
+  n.sink_smbs = {1, 2};
+  n.criticality = 1.0;
+  cd.nets.push_back(n);
+
+  Placement p;
+  p.grid = {4, 4};
+  // smb0 at (0,0), smb1 at (3,0), smb2 at (0,2): bbox = 3 + 2 = 5.
+  p.site_of_smb = {0, 3, 8};
+  EXPECT_DOUBLE_EQ(placement_cost(cd, p, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(placement_cost(cd, p, 0.5), 7.5);
+}
+
+TEST(Placement, SingleSmbDesignTrivial) {
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  ClusteredDesign cd;
+  cd.num_cycles = 1;
+  cd.num_smbs = 1;
+  PlacementResult r = place_design(cd, arch);
+  EXPECT_EQ(r.placement.site_of_smb.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+TEST(Routability, DenserDesignHasHigherUtilization) {
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  ClusteredDesign flat = cluster_benchmark("c5315", 0, arch);
+  ClusteredDesign folded = cluster_benchmark("c5315", 1, arch);
+  PlacementResult pf = place_design(flat, arch);
+  PlacementResult pg = place_design(folded, arch);
+  // The no-folding c5315 spreads over many SMBs with heavy inter-SMB
+  // traffic; utilization should exceed the folded mapping's.
+  EXPECT_GT(pf.routability.peak_utilization,
+            pg.routability.peak_utilization * 0.8);
+  EXPECT_GT(pf.routability.peak_utilization, 0.0);
+  EXPECT_GE(pf.routability.peak_utilization, pf.routability.avg_utilization);
+}
+
+TEST(Routability, EmptyNetlistIsRoutable) {
+  ArchParams arch = ArchParams::paper_instance();
+  ClusteredDesign cd;
+  cd.num_cycles = 1;
+  cd.num_smbs = 2;
+  Placement p;
+  p.grid = {2, 2};
+  p.site_of_smb = {0, 1};
+  RoutabilityEstimate est = estimate_routability(cd, p, arch);
+  EXPECT_TRUE(est.routable);
+  EXPECT_DOUBLE_EQ(est.peak_utilization, 0.0);
+}
+
+TEST(Grid, SizingHasSlackAndFits) {
+  for (int n : {0, 1, 5, 16, 100, 333}) {
+    GridSize g = size_grid_for(n);
+    EXPECT_GE(g.sites(), n);
+    EXPECT_EQ(g.width, g.height);
+  }
+  EXPECT_GE(size_grid_for(100).sites(), 110);  // ~20% slack
+}
+
+}  // namespace
+}  // namespace nanomap

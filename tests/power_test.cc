@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "circuits/benchmarks.h"
+#include "flow/nanomap_flow.h"
+#include "flow/power.h"
+
+namespace nanomap {
+namespace {
+
+struct Mapped {
+  FlowResult flow;
+  PowerReport power;
+};
+
+Mapped map_and_measure(const Design& d, int level) {
+  Mapped m;
+  FlowOptions opts;
+  opts.arch = ArchParams::paper_instance_unbounded_k();
+  opts.forced_folding_level = level;
+  m.flow = run_nanomap(d, opts);
+  EXPECT_TRUE(m.flow.feasible) << m.flow.message;
+  m.power = estimate_power(d, m.flow.schedule, m.flow.clustered,
+                           m.flow.routing, m.flow.bitmap, m.flow.timing,
+                           opts.arch);
+  return m;
+}
+
+TEST(Power, ComponentsSumAndArePositive) {
+  Design d = make_ex1(6);
+  Mapped m = map_and_measure(d, 2);
+  EXPECT_GT(m.power.logic_pj, 0.0);
+  EXPECT_GT(m.power.wire_pj, 0.0);
+  EXPECT_GT(m.power.reconfig_pj, 0.0);
+  EXPECT_NEAR(m.power.energy_per_pass_pj,
+              m.power.logic_pj + m.power.wire_pj + m.power.reconfig_pj,
+              1e-9);
+  EXPECT_GT(m.power.power_mw, 0.0);
+}
+
+TEST(Power, NoFoldingPaysNoReconfigEnergy) {
+  Design d = make_ex1(6);
+  Mapped flat = map_and_measure(d, 0);
+  EXPECT_DOUBLE_EQ(flat.power.reconfig_pj, 0.0);
+  Mapped folded = map_and_measure(d, 1);
+  EXPECT_GT(folded.power.reconfig_pj, 0.0);
+}
+
+TEST(Power, NramHasNoConfigStandby) {
+  Design d = make_ex1(6);
+  Mapped m = map_and_measure(d, 1);
+  EXPECT_DOUBLE_EQ(m.power.config_standby_nram_mw, 0.0);
+  EXPECT_GT(m.power.config_standby_sram_mw, 0.0);
+}
+
+TEST(Power, LogicEnergyScalesWithCircuitSize) {
+  Design small = make_ex1(4);
+  Design big = make_ex1(10);
+  Mapped ms = map_and_measure(small, 1);
+  Mapped mb = map_and_measure(big, 1);
+  EXPECT_GT(mb.power.logic_pj, ms.power.logic_pj * 2);
+}
+
+TEST(Power, ActivityScalesDynamicEnergy) {
+  Design d = make_ex1(6);
+  FlowOptions opts;
+  opts.arch = ArchParams::paper_instance_unbounded_k();
+  opts.forced_folding_level = 1;
+  FlowResult r = run_nanomap(d, opts);
+  ASSERT_TRUE(r.feasible);
+  PowerParams low, high;
+  low.switching_activity = 0.1;
+  high.switching_activity = 0.4;
+  PowerReport pl = estimate_power(d, r.schedule, r.clustered, r.routing,
+                                  r.bitmap, r.timing, opts.arch, low);
+  PowerReport ph = estimate_power(d, r.schedule, r.clustered, r.routing,
+                                  r.bitmap, r.timing, opts.arch, high);
+  EXPECT_NEAR(ph.logic_pj, 4.0 * pl.logic_pj, 1e-6);
+  EXPECT_NEAR(ph.wire_pj, 4.0 * pl.wire_pj, 1e-6);
+  // Reconfiguration energy is activity-independent.
+  EXPECT_NEAR(ph.reconfig_pj, pl.reconfig_pj, 1e-9);
+}
+
+TEST(BitmapDelta, SingleCycleHasNoTransitions) {
+  Design d = make_ex1(4);
+  Mapped flat = map_and_measure(d, 0);
+  BitmapDeltaStats s = bitmap_delta_stats(
+      flat.flow.bitmap, ArchParams::paper_instance_unbounded_k());
+  EXPECT_DOUBLE_EQ(s.avg_changed_bits, 0.0);
+  EXPECT_EQ(s.max_changed_bits, 0u);
+}
+
+TEST(BitmapDelta, FoldedBitmapChangesBetweenCycles) {
+  Design d = make_ex1(4);
+  Mapped folded = map_and_measure(d, 1);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  BitmapDeltaStats s = bitmap_delta_stats(folded.flow.bitmap, arch);
+  EXPECT_GT(s.avg_changed_bits, 0.0);
+  EXPECT_GE(static_cast<double>(s.max_changed_bits), s.avg_changed_bits);
+  EXPECT_GT(s.per_cycle_bits, 0u);
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,30 @@
+// End-to-end smoke: elaborate the paper's motivational circuit and run the
+// full flow (schedule, cluster, place, route, STA, bitmap).
+#include <gtest/gtest.h>
+
+#include "circuits/benchmarks.h"
+#include "flow/nanomap_flow.h"
+
+namespace nanomap {
+namespace {
+
+TEST(Smoke, Ex1MotivationalFullFlow) {
+  Design d = make_ex1_motivational();
+  EXPECT_EQ(d.net.num_planes(), 1);
+  EXPECT_GT(d.net.num_luts(), 30);
+
+  FlowOptions opts;
+  opts.objective = Objective::kAreaDelayProduct;
+  opts.arch = ArchParams::paper_instance_unbounded_k();
+  FlowResult r = run_nanomap(d, opts);
+  ASSERT_TRUE(r.feasible) << r.message;
+  EXPECT_GT(r.num_les, 0);
+  EXPECT_GT(r.delay_ns, 0.0);
+  EXPECT_TRUE(r.routing.success);
+  EXPECT_TRUE(r.bitmap.fits_nram(opts.arch));
+  // Folding must beat no-folding on area.
+  EXPECT_LT(r.num_les, d.net.num_luts());
+}
+
+}  // namespace
+}  // namespace nanomap

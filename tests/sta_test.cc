@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "circuits/benchmarks.h"
+#include "netlist/plane.h"
+#include "route/sta.h"
+
+namespace nanomap {
+namespace {
+
+DesignSchedule make_schedule(const Design& d, int level,
+                             const ArchParams& arch) {
+  CircuitParams p = extract_circuit_params(d.net);
+  DesignSchedule sched;
+  sched.folding = make_folding_config(p, level);
+  sched.planes_share = !sched.folding.no_folding();
+  for (int plane = 0; plane < p.num_plane; ++plane) {
+    PlaneScheduleGraph g = build_schedule_graph(d, plane, sched.folding);
+    sched.plane_results.push_back(schedule_plane(g, arch));
+    sched.graphs.push_back(std::move(g));
+  }
+  return sched;
+}
+
+TEST(ManhattanDelay, MonotoneInDistance) {
+  ArchParams arch = ArchParams::paper_instance();
+  double prev = 0.0;
+  for (int d = 0; d <= 16; ++d) {
+    double v = manhattan_net_delay_ps(arch, d, 0);
+    EXPECT_GE(v, prev - 1e-9) << "d=" << d;
+    prev = v;
+  }
+}
+
+TEST(ManhattanDelay, SameSmbIsLocalMux) {
+  ArchParams arch = ArchParams::paper_instance();
+  EXPECT_DOUBLE_EQ(manhattan_net_delay_ps(arch, 0, 0),
+                   arch.local_mux_delay_ps);
+}
+
+TEST(ManhattanDelay, LongDistanceCapsAtGlobal) {
+  ArchParams arch = ArchParams::paper_instance();
+  double far = manhattan_net_delay_ps(arch, 30, 30);
+  EXPECT_LE(far, arch.global_wire_delay_ps + arch.local_mux_delay_ps + 1.0);
+}
+
+TEST(Sta, SingleLutCyclePeriod) {
+  Design d;
+  int a = d.net.add_input("a", 0);
+  int b = d.net.add_input("b", 0);
+  int l = d.net.add_lut("l", {a, b}, 0x8, 0);
+  d.net.add_output("o", l);
+  d.net.compute_levels();
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched = make_schedule(d, 0, arch);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  Placement p;
+  p.grid = size_grid_for(cd.num_smbs);
+  for (int m = 0; m < cd.num_smbs; ++m) p.site_of_smb.push_back(m);
+  TimingReport t = analyze_timing(d, sched, cd, p, nullptr, arch);
+  // One LUT from a PI: local mux + LUT + setup.
+  EXPECT_NEAR(t.cycle_period_ps[0],
+              arch.local_mux_delay_ps + arch.lut_delay_ps + arch.ff_setup_ps,
+              1e-6);
+  // No folding: no reconfiguration overhead.
+  EXPECT_NEAR(t.circuit_delay_ns, t.cycle_period_ps[0] / 1000.0, 1e-9);
+}
+
+TEST(Sta, DepthScalesPeriod) {
+  // Chain of 5 LUTs packed into one SMB: the clusterer keeps the chain in
+  // one MB, so hops after the first are intra-MB (the faster first-level
+  // crossbar).
+  Design d;
+  int a = d.net.add_input("a", 0);
+  int prev = a;
+  for (int i = 0; i < 5; ++i)
+    prev = d.net.add_lut("l" + std::to_string(i), {prev, a}, 0x6, 0);
+  d.net.add_output("o", prev);
+  d.net.compute_levels();
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched = make_schedule(d, 0, arch);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  ASSERT_EQ(cd.num_smbs, 1);
+  Placement p;
+  p.grid = {1, 1};
+  p.site_of_smb = {0};
+  TimingReport t = analyze_timing(d, sched, cd, p, nullptr, arch);
+  double expected = 5 * arch.lut_delay_ps + arch.local_mux_delay_ps +
+                    arch.ff_setup_ps;
+  // Intermediate hops use either the MB or the SMB crossbar depending on
+  // slot packing.
+  EXPECT_GE(t.cycle_period_ps[0],
+            expected + 4 * arch.mb_mux_delay_ps - 1e-6);
+  EXPECT_LE(t.cycle_period_ps[0],
+            expected + 4 * arch.local_mux_delay_ps + 1e-6);
+}
+
+TEST(Sta, IntraMbHopFasterThanIntraSmb) {
+  ArchParams arch = ArchParams::paper_instance();
+  EXPECT_LT(arch.mb_mux_delay_ps, arch.local_mux_delay_ps);
+}
+
+TEST(Sta, FoldingAddsReconfigurationPerCycle) {
+  Design d = make_ex1(6);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched = make_schedule(d, 1, arch);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  Placement p;
+  p.grid = size_grid_for(cd.num_smbs);
+  for (int m = 0; m < cd.num_smbs; ++m) p.site_of_smb.push_back(m);
+  TimingReport t = analyze_timing(d, sched, cd, p, nullptr, arch);
+  double worst = 0.0;
+  for (double c : t.cycle_period_ps) worst = std::max(worst, c);
+  EXPECT_NEAR(t.folding_cycle_ns, (worst + arch.reconf_time_ps) / 1000.0,
+              1e-9);
+  EXPECT_NEAR(t.circuit_delay_ns,
+              sched.folding.stages_per_plane * t.folding_cycle_ns, 1e-9);
+}
+
+TEST(Sta, MultiPlaneDelayMultipliesByPlaneCount) {
+  Design d = make_ex2(6);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched = make_schedule(d, 2, arch);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  Placement p;
+  p.grid = size_grid_for(cd.num_smbs);
+  for (int m = 0; m < cd.num_smbs; ++m) p.site_of_smb.push_back(m);
+  TimingReport t = analyze_timing(d, sched, cd, p, nullptr, arch);
+  EXPECT_NEAR(t.circuit_delay_ns,
+              3.0 * sched.folding.stages_per_plane * t.folding_cycle_ns,
+              1e-9);
+}
+
+TEST(Sta, CriticalCycleIdentified) {
+  Design d = make_ex1(8);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched = make_schedule(d, 2, arch);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  Placement p;
+  p.grid = size_grid_for(cd.num_smbs);
+  for (int m = 0; m < cd.num_smbs; ++m) p.site_of_smb.push_back(m);
+  TimingReport t = analyze_timing(d, sched, cd, p, nullptr, arch);
+  double worst = 0.0;
+  for (double c : t.cycle_period_ps) worst = std::max(worst, c);
+  EXPECT_DOUBLE_EQ(
+      t.cycle_period_ps[static_cast<std::size_t>(t.critical_cycle)], worst);
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "circuits/benchmarks.h"
+#include "core/temporal_cluster.h"
+#include "netlist/plane.h"
+
+namespace nanomap {
+namespace {
+
+DesignSchedule schedule_design(const Design& d, int level,
+                               const ArchParams& arch,
+                               bool planes_share = true) {
+  CircuitParams p = extract_circuit_params(d.net);
+  DesignSchedule sched;
+  sched.folding = make_folding_config(p, level);
+  sched.planes_share = sched.folding.no_folding() ? false : planes_share;
+  for (int plane = 0; plane < p.num_plane; ++plane) {
+    PlaneScheduleGraph g = build_schedule_graph(d, plane, sched.folding);
+    FdsResult r = schedule_plane(g, arch);
+    sched.graphs.push_back(std::move(g));
+    sched.plane_results.push_back(std::move(r));
+  }
+  return sched;
+}
+
+class ClusterBenchLevel
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(ClusterBenchLevel, CapacityInvariantsHold) {
+  auto [name, level] = GetParam();
+  Design d = make_benchmark(name);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched = schedule_design(d, level, arch);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  EXPECT_NO_THROW(verify_clustering(d, sched, arch, cd));
+  EXPECT_GT(cd.num_smbs, 0);
+  EXPECT_GT(cd.les_used, 0);
+  EXPECT_LE(cd.les_used, cd.num_smbs * arch.les_per_smb());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusterBenchLevel,
+    ::testing::Combine(::testing::Values("ex1", "FIR", "c5315"),
+                       ::testing::Values(0, 1, 2, 4)));
+
+TEST(TemporalCluster, EveryLutPlacedExactlyOnce) {
+  Design d = make_ex1(8);
+  ArchParams arch = ArchParams::paper_instance();
+  DesignSchedule sched = schedule_design(d, 2, arch);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  int placed = 0;
+  for (int c = 0; c < cd.num_cycles; ++c) {
+    for (int m = 0; m < cd.num_smbs; ++m) {
+      placed += static_cast<int>(
+          cd.luts_in[static_cast<std::size_t>(c)][static_cast<std::size_t>(m)]
+              .size());
+    }
+  }
+  EXPECT_EQ(placed, d.net.num_luts());
+}
+
+TEST(TemporalCluster, CyclesArePlaneMajorWhenSharing) {
+  Design d = make_ex2(6);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched = schedule_design(d, 2, arch, true);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  EXPECT_EQ(cd.num_cycles,
+            3 * sched.folding.stages_per_plane);
+  for (int id = 0; id < d.net.size(); ++id) {
+    const LutNode& n = d.net.node(id);
+    if (n.kind != NodeKind::kLut) continue;
+    int c = cd.cycle_of[static_cast<std::size_t>(id)];
+    EXPECT_EQ(c / sched.folding.stages_per_plane, n.plane);
+  }
+}
+
+TEST(TemporalCluster, PipelinedPlanesShareCycleIndexSpace) {
+  Design d = make_ex2(6);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched = schedule_design(d, 2, arch, /*planes_share=*/false);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  EXPECT_EQ(cd.num_cycles, sched.folding.stages_per_plane);
+}
+
+TEST(TemporalCluster, NoFoldingUsesOneCycleAndOneLePerLut) {
+  Design d = make_ex1(6);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched = schedule_design(d, 0, arch);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  EXPECT_EQ(cd.num_cycles, 1);
+  EXPECT_GE(cd.les_used, d.net.num_luts());
+}
+
+TEST(TemporalCluster, FoldingNeedsFewerLesThanNoFolding) {
+  Design d = make_ex1(8);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  ClusteredDesign folded =
+      temporal_cluster(d, schedule_design(d, 1, arch), arch);
+  ClusteredDesign flat =
+      temporal_cluster(d, schedule_design(d, 0, arch), arch);
+  EXPECT_LT(folded.les_used, flat.les_used / 3);
+}
+
+TEST(TemporalCluster, NetsConnectDistinctSmbs) {
+  Design d = make_fir(3, 6);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched = schedule_design(d, 2, arch);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  EXPECT_FALSE(cd.nets.empty());
+  for (const PlacedNet& pn : cd.nets) {
+    EXPECT_GE(pn.criticality, 0.0);
+    EXPECT_LE(pn.criticality, 1.0);
+    for (int s : pn.sink_smbs) EXPECT_NE(s, pn.driver_smb);
+  }
+}
+
+TEST(TemporalCluster, ConsumersCanReadProducersEarlierOrSameCycle) {
+  // Fundamental execution legality: a LUT's fanin must be a plane input or
+  // a LUT computed in the same cycle at a lower level, or an earlier cycle
+  // of the same plane iteration.
+  Design d = make_biquad(8);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched = schedule_design(d, 2, arch);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  for (int id = 0; id < d.net.size(); ++id) {
+    const LutNode& n = d.net.node(id);
+    if (n.kind != NodeKind::kLut) continue;
+    int my_cycle = cd.cycle_of[static_cast<std::size_t>(id)];
+    for (int f : n.fanins) {
+      const LutNode& src = d.net.node(f);
+      if (src.kind != NodeKind::kLut) continue;
+      int src_cycle = cd.cycle_of[static_cast<std::size_t>(f)];
+      ASSERT_LE(src_cycle, my_cycle);
+      if (src_cycle == my_cycle) {
+        EXPECT_LT(src.level, n.level);
+      }
+    }
+  }
+}
+
+TEST(TemporalCluster, FfPeakCoversPlaneRegisters) {
+  Design d = make_ex1(8);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched = schedule_design(d, 1, arch);
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  EXPECT_GE(cd.ffs_peak, d.net.num_flipflops());
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "netlist/simulate.h"
+#include "rtl/verilog.h"
+#include "util/rng.h"
+
+namespace nanomap {
+namespace {
+
+std::vector<int> bus_of(const Design& d, const std::string& prefix,
+                        NodeKind kind) {
+  std::vector<int> out;
+  for (int id = 0; id < d.net.size(); ++id) {
+    const LutNode& n = d.net.node(id);
+    if (n.kind == kind && n.name.rfind(prefix + "[", 0) == 0)
+      out.push_back(id);
+  }
+  return out;
+}
+
+const char* kMacVerilog = R"(
+// 8-bit multiply-accumulate
+module mac(clk, x, w, r);
+  input clk;
+  input [7:0] x, w;
+  output [7:0] r;
+  wire [7:0] p, nxt;
+  reg [7:0] acc;
+  assign p = x * w;
+  assign nxt = p + acc;
+  always @(posedge clk) acc <= nxt;
+  assign r = acc;
+endmodule
+)";
+
+TEST(Verilog, MacStructure) {
+  Design d = parse_verilog(kMacVerilog);
+  EXPECT_EQ(d.name, "mac");
+  EXPECT_EQ(d.net.num_flipflops(), 8);
+  ASSERT_EQ(d.modules.size(), 2u);
+  EXPECT_EQ(d.module(0).type, ModuleType::kMultiplier);
+  EXPECT_EQ(d.module(1).type, ModuleType::kAdder);
+}
+
+TEST(Verilog, MacComputes) {
+  Design d = parse_verilog(kMacVerilog);
+  Simulator sim(d.net);
+  sim.reset(false);
+  std::vector<int> x = bus_of(d, "x", NodeKind::kInput);
+  std::vector<int> w = bus_of(d, "w", NodeKind::kInput);
+  std::vector<int> acc = bus_of(d, "acc", NodeKind::kFlipFlop);
+  unsigned expect = 0;
+  Rng rng(9);
+  for (int s = 0; s < 8; ++s) {
+    unsigned xv = static_cast<unsigned>(rng.next_below(256));
+    unsigned wv = static_cast<unsigned>(rng.next_below(256));
+    sim.set_input_bus(x, xv);
+    sim.set_input_bus(w, wv);
+    sim.step();
+    sim.evaluate();
+    expect = (expect + xv * wv) & 0xff;
+    EXPECT_EQ(sim.read_bus(acc), expect) << s;
+  }
+}
+
+TEST(Verilog, TernaryAndBitwise) {
+  Design d = parse_verilog(R"(
+module sel(s, a, b, y, z);
+  input s;
+  input [3:0] a, b;
+  output [3:0] y, z;
+  assign y = s ? a : b;
+  assign z = a ^ b;
+endmodule
+)");
+  Simulator sim(d.net);
+  std::vector<int> a = bus_of(d, "a", NodeKind::kInput);
+  std::vector<int> b = bus_of(d, "b", NodeKind::kInput);
+  int s = -1;
+  for (int id = 0; id < d.net.size(); ++id)
+    if (d.net.node(id).kind == NodeKind::kInput &&
+        d.net.node(id).name.rfind("s[", 0) == 0)
+      s = id;
+  sim.set_input_bus(a, 0x9);
+  sim.set_input_bus(b, 0x6);
+  sim.set_input(s, true);
+  sim.evaluate();
+  EXPECT_EQ(sim.read_bus(bus_of(d, "y", NodeKind::kOutput)), 0x9u);
+  EXPECT_EQ(sim.read_bus(bus_of(d, "z", NodeKind::kOutput)), 0xFu);
+  sim.set_input(s, false);
+  sim.evaluate();
+  EXPECT_EQ(sim.read_bus(bus_of(d, "y", NodeKind::kOutput)), 0x6u);
+}
+
+TEST(Verilog, GatePrimitivesNaryAndInverting) {
+  Design d = parse_verilog(R"(
+module gates(a, b, c, d, e, y, z);
+  input a, b, c, d, e;
+  output y, z;
+  wire t;
+  nand g1(t, a, b, c, d, e);
+  not g2(z, t);
+  buf g3(y, t);
+endmodule
+)");
+  Simulator sim(d.net);
+  for (int m = 0; m < 32; ++m) {
+    for (int i = 0; i < 5; ++i) sim.set_input(i, (m >> i) & 1);
+    sim.evaluate();
+    bool all = (m == 31);
+    EXPECT_EQ(sim.read_bus(bus_of(d, "y", NodeKind::kOutput)),
+              static_cast<std::uint64_t>(!all))
+        << m;
+    EXPECT_EQ(sim.read_bus(bus_of(d, "z", NodeKind::kOutput)),
+              static_cast<std::uint64_t>(all))
+        << m;
+  }
+}
+
+TEST(Verilog, AlwaysBeginEndBlock) {
+  Design d = parse_verilog(R"(
+module two(clk, a, q0, q1);
+  input clk;
+  input [3:0] a;
+  output [3:0] q0, q1;
+  reg [3:0] r0, r1;
+  always @(posedge clk) begin
+    r0 <= a;
+    r1 <= r0;
+  end
+  assign q0 = r0;
+  assign q1 = r1;
+endmodule
+)");
+  EXPECT_EQ(d.net.num_flipflops(), 8);
+  Simulator sim(d.net);
+  sim.reset(false);
+  std::vector<int> a = bus_of(d, "a", NodeKind::kInput);
+  sim.set_input_bus(a, 5);
+  sim.step();
+  sim.set_input_bus(a, 0);
+  sim.step();
+  sim.evaluate();
+  EXPECT_EQ(sim.read_bus(bus_of(d, "q1", NodeKind::kOutput)), 5u);
+}
+
+TEST(Verilog, FullWidthProduct) {
+  Design d = parse_verilog(R"(
+module widep(a, b, p);
+  input [3:0] a, b;
+  output [7:0] p;
+  assign p = a * b;
+endmodule
+)");
+  Simulator sim(d.net);
+  std::vector<int> a = bus_of(d, "a", NodeKind::kInput);
+  std::vector<int> b = bus_of(d, "b", NodeKind::kInput);
+  for (unsigned x = 0; x < 16; x += 3)
+    for (unsigned y = 0; y < 16; y += 5) {
+      sim.set_input_bus(a, x);
+      sim.set_input_bus(b, y);
+      sim.evaluate();
+      EXPECT_EQ(sim.read_bus(bus_of(d, "p", NodeKind::kOutput)), x * y);
+    }
+}
+
+TEST(VerilogErrors, Diagnostics) {
+  // Reg assigned with assign.
+  EXPECT_THROW(parse_verilog(R"(
+module m(a, y);
+  input a;
+  output y;
+  reg r;
+  assign r = a;
+  assign y = a;
+endmodule
+)"),
+               InputError);
+  // Undriven reg.
+  EXPECT_THROW(parse_verilog(R"(
+module m(clk, a, y);
+  input clk, a;
+  output y;
+  reg r;
+  assign y = a;
+endmodule
+)"),
+               InputError);
+  // Combinational cycle.
+  EXPECT_THROW(parse_verilog(R"(
+module m(a, y);
+  input [3:0] a;
+  output [3:0] y;
+  wire [3:0] u, v;
+  assign u = v + a;
+  assign v = u + a;
+  assign y = v;
+endmodule
+)"),
+               InputError);
+  // Double drive.
+  EXPECT_THROW(parse_verilog(R"(
+module m(a, y);
+  input a;
+  output y;
+  assign y = a;
+  assign y = a;
+endmodule
+)"),
+               InputError);
+  // Width mismatch.
+  EXPECT_THROW(parse_verilog(R"(
+module m(a, b, y);
+  input [3:0] a;
+  input [2:0] b;
+  output [3:0] y;
+  assign y = a + b;
+endmodule
+)"),
+               InputError);
+}
+
+TEST(Verilog, CommentsBothStyles) {
+  Design d = parse_verilog(
+      "// line comment\nmodule m(a, y); /* block\ncomment */ input a; "
+      "output y; assign y = a; endmodule\n");
+  EXPECT_EQ(d.net.num_outputs(), 1);
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "netlist/simulate.h"
+#include "rtl/vhdl.h"
+#include "util/rng.h"
+
+namespace nanomap {
+namespace {
+
+// Bus lookup helpers over a parsed design.
+std::vector<int> bus_of(const Design& d, const std::string& prefix,
+                        NodeKind kind) {
+  std::vector<int> out;
+  for (int id = 0; id < d.net.size(); ++id) {
+    const LutNode& n = d.net.node(id);
+    if (n.kind == kind && n.name.rfind(prefix + "[", 0) == 0)
+      out.push_back(id);
+  }
+  return out;
+}
+
+const char* kMacVhdl = R"(
+-- 8-bit multiply-accumulate
+entity mac is
+  port ( clk : in std_logic;
+         x   : in std_logic_vector(7 downto 0);
+         w   : in std_logic_vector(7 downto 0);
+         r   : out std_logic_vector(7 downto 0) );
+end mac;
+
+architecture rtl of mac is
+  signal p   : std_logic_vector(7 downto 0);
+  signal nxt : std_logic_vector(7 downto 0);
+  signal acc : std_logic_vector(7 downto 0);
+begin
+  p   <= x * w;
+  nxt <= p + acc;
+  process(clk) begin
+    if rising_edge(clk) then
+      acc <= nxt;
+    end if;
+  end process;
+  r <= acc;
+end rtl;
+)";
+
+TEST(Vhdl, ParsesMacStructure) {
+  Design d = parse_vhdl(kMacVhdl);
+  EXPECT_EQ(d.name, "mac");
+  EXPECT_EQ(d.net.num_flipflops(), 8);
+  EXPECT_EQ(d.net.num_outputs(), 8);
+  ASSERT_EQ(d.modules.size(), 2u);
+  EXPECT_EQ(d.module(0).type, ModuleType::kMultiplier);
+  EXPECT_EQ(d.module(1).type, ModuleType::kAdder);
+}
+
+TEST(Vhdl, MacComputesCorrectly) {
+  Design d = parse_vhdl(kMacVhdl);
+  Simulator sim(d.net);
+  sim.reset(false);
+  std::vector<int> x = bus_of(d, "x", NodeKind::kInput);
+  std::vector<int> w = bus_of(d, "w", NodeKind::kInput);
+  std::vector<int> acc = bus_of(d, "acc", NodeKind::kFlipFlop);
+  ASSERT_EQ(x.size(), 8u);
+  ASSERT_EQ(acc.size(), 8u);
+
+  unsigned expect = 0;
+  Rng rng(2);
+  for (int s = 0; s < 10; ++s) {
+    unsigned xv = static_cast<unsigned>(rng.next_below(256));
+    unsigned wv = static_cast<unsigned>(rng.next_below(256));
+    sim.set_input_bus(x, xv);
+    sim.set_input_bus(w, wv);
+    sim.step();
+    sim.evaluate();
+    expect = (expect + xv * wv) & 0xff;
+    EXPECT_EQ(sim.read_bus(acc), expect) << "step " << s;
+  }
+}
+
+TEST(Vhdl, FullWidthProductWhenTargetIsDouble) {
+  Design d = parse_vhdl(R"(
+entity wide is
+  port ( a : in std_logic_vector(3 downto 0);
+         b : in std_logic_vector(3 downto 0);
+         p : out std_logic_vector(7 downto 0) );
+end wide;
+architecture rtl of wide is
+  signal prod : std_logic_vector(7 downto 0);
+begin
+  prod <= a * b;
+  p <= prod;
+end rtl;
+)");
+  Simulator sim(d.net);
+  std::vector<int> a = bus_of(d, "a", NodeKind::kInput);
+  std::vector<int> b = bus_of(d, "b", NodeKind::kInput);
+  std::vector<int> p = bus_of(d, "p", NodeKind::kOutput);
+  ASSERT_EQ(p.size(), 8u);
+  for (unsigned x = 0; x < 16; x += 3) {
+    for (unsigned y = 0; y < 16; y += 5) {
+      sim.set_input_bus(a, x);
+      sim.set_input_bus(b, y);
+      sim.evaluate();
+      EXPECT_EQ(sim.read_bus(p), x * y);
+    }
+  }
+}
+
+TEST(Vhdl, WhenElseBecomesMux) {
+  Design d = parse_vhdl(R"(
+entity sel is
+  port ( s : in std_logic;
+         a : in std_logic_vector(3 downto 0);
+         b : in std_logic_vector(3 downto 0);
+         y : out std_logic_vector(3 downto 0) );
+end sel;
+architecture rtl of sel is
+  signal t : std_logic_vector(3 downto 0);
+begin
+  t <= a when s = '1' else b;
+  y <= t;
+end rtl;
+)");
+  Simulator sim(d.net);
+  std::vector<int> a = bus_of(d, "a", NodeKind::kInput);
+  std::vector<int> b = bus_of(d, "b", NodeKind::kInput);
+  std::vector<int> y = bus_of(d, "y", NodeKind::kOutput);
+  int s = -1;
+  for (int id = 0; id < d.net.size(); ++id)
+    if (d.net.node(id).kind == NodeKind::kInput &&
+        d.net.node(id).name.rfind("s[", 0) == 0)
+      s = id;
+  ASSERT_GE(s, 0);
+  sim.set_input_bus(a, 0xA);
+  sim.set_input_bus(b, 0x5);
+  sim.set_input(s, true);
+  sim.evaluate();
+  EXPECT_EQ(sim.read_bus(y), 0xAu);
+  sim.set_input(s, false);
+  sim.evaluate();
+  EXPECT_EQ(sim.read_bus(y), 0x5u);
+}
+
+TEST(Vhdl, BitwiseOpsAndBitIndexing) {
+  Design d = parse_vhdl(R"(
+entity bits is
+  port ( a : in std_logic_vector(3 downto 0);
+         b : in std_logic_vector(3 downto 0);
+         y : out std_logic_vector(3 downto 0);
+         z : out std_logic_vector(3 downto 0);
+         q : out std_logic_vector(3 downto 0) );
+end bits;
+architecture rtl of bits is
+begin
+  y <= a and b;
+  z <= a or b;
+  q <= a xor b;
+end rtl;
+)");
+  Simulator sim(d.net);
+  std::vector<int> a = bus_of(d, "a", NodeKind::kInput);
+  std::vector<int> b = bus_of(d, "b", NodeKind::kInput);
+  sim.set_input_bus(a, 0xC);
+  sim.set_input_bus(b, 0xA);
+  sim.evaluate();
+  EXPECT_EQ(sim.read_bus(bus_of(d, "y", NodeKind::kOutput)), 0xCu & 0xAu);
+  EXPECT_EQ(sim.read_bus(bus_of(d, "z", NodeKind::kOutput)), 0xCu | 0xAu);
+  EXPECT_EQ(sim.read_bus(bus_of(d, "q", NodeKind::kOutput)), 0xCu ^ 0xAu);
+}
+
+TEST(Vhdl, OutOfOrderAssignmentsResolve) {
+  Design d = parse_vhdl(R"(
+entity ooo is
+  port ( a : in std_logic_vector(3 downto 0);
+         y : out std_logic_vector(3 downto 0) );
+end ooo;
+architecture rtl of ooo is
+  signal t1 : std_logic_vector(3 downto 0);
+  signal t2 : std_logic_vector(3 downto 0);
+begin
+  y  <= t2;
+  t2 <= t1 + a;
+  t1 <= a xor a;
+end rtl;
+)");
+  EXPECT_GT(d.net.num_luts(), 0);
+}
+
+TEST(Vhdl, CaseInsensitiveKeywords) {
+  Design d = parse_vhdl(R"(
+ENTITY Caps IS
+  PORT ( A : IN std_logic_vector(1 DOWNTO 0);
+         Y : OUT std_logic_vector(1 downto 0) );
+END Caps;
+ARCHITECTURE rtl OF caps IS
+BEGIN
+  Y <= A AND A;
+END rtl;
+)");
+  EXPECT_EQ(d.name, "caps");
+}
+
+TEST(VhdlErrors, Diagnostics) {
+  // Undeclared signal.
+  EXPECT_THROW(parse_vhdl(R"(
+entity e is
+  port ( a : in std_logic_vector(3 downto 0);
+         y : out std_logic_vector(3 downto 0) );
+end e;
+architecture rtl of e is
+begin
+  y <= nosuch + a;
+end rtl;
+)"),
+               InputError);
+  // Width mismatch.
+  EXPECT_THROW(parse_vhdl(R"(
+entity e is
+  port ( a : in std_logic_vector(3 downto 0);
+         b : in std_logic_vector(2 downto 0);
+         y : out std_logic_vector(3 downto 0) );
+end e;
+architecture rtl of e is
+begin
+  y <= a + b;
+end rtl;
+)"),
+               InputError);
+  // Undriven output.
+  EXPECT_THROW(parse_vhdl(R"(
+entity e is
+  port ( a : in std_logic_vector(3 downto 0);
+         y : out std_logic_vector(3 downto 0) );
+end e;
+architecture rtl of e is
+begin
+end rtl;
+)"),
+               InputError);
+  // Combinational cycle.
+  EXPECT_THROW(parse_vhdl(R"(
+entity e is
+  port ( a : in std_logic_vector(3 downto 0);
+         y : out std_logic_vector(3 downto 0) );
+end e;
+architecture rtl of e is
+  signal u : std_logic_vector(3 downto 0);
+  signal v : std_logic_vector(3 downto 0);
+begin
+  u <= v + a;
+  v <= u + a;
+  y <= v;
+end rtl;
+)"),
+               InputError);
+  // Architecture/entity mismatch.
+  EXPECT_THROW(parse_vhdl(R"(
+entity e is
+  port ( a : in std_logic_vector(3 downto 0);
+         y : out std_logic_vector(3 downto 0) );
+end e;
+architecture rtl of other is
+begin
+  y <= a and a;
+end rtl;
+)"),
+               InputError);
+}
+
+TEST(Vhdl, RegisterFeedbackLoopIsSequentialNotCombinational) {
+  // acc <= acc + a (registered) is legal — the loop closes through FFs.
+  Design d = parse_vhdl(R"(
+entity counter is
+  port ( clk : in std_logic;
+         a : in std_logic_vector(3 downto 0);
+         y : out std_logic_vector(3 downto 0) );
+end counter;
+architecture rtl of counter is
+  signal acc : std_logic_vector(3 downto 0);
+begin
+  process(clk) begin
+    if rising_edge(clk) then
+      acc <= acc + a;
+    end if;
+  end process;
+  y <= acc;
+end rtl;
+)");
+  Simulator sim(d.net);
+  sim.reset(false);
+  std::vector<int> a = bus_of(d, "a", NodeKind::kInput);
+  std::vector<int> y = bus_of(d, "y", NodeKind::kOutput);
+  sim.set_input_bus(a, 3);
+  sim.step();
+  sim.step();
+  sim.step();
+  sim.evaluate();
+  EXPECT_EQ(sim.read_bus(y), 9u);
+}
+
+}  // namespace
+}  // namespace nanomap

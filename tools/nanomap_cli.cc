@@ -1,0 +1,227 @@
+// nanomap — command-line driver for the NanoMap flow.
+//
+//   nanomap <input> [options]
+//
+// Inputs (by extension): .nmap (structural netlist), .blif (LUT netlist),
+// .bench (ISCAS gate netlist), .vhd/.vhdl (structural VHDL subset), or
+// "bench:<name>" for a bundled
+// benchmark (ex1, FIR, ex2, c5315, Biquad, Paulin, ASPP4).
+//
+// Options:
+//   --objective at|delay|area|both   optimization objective (default at)
+//   --area N          area constraint in LEs
+//   --delay NS        delay constraint in ns
+//   --level L         force folding level L (0 = no folding)
+//   --k N             NRAM configuration sets (0 = unbounded; default 16)
+//   --arch FILE       load architecture parameters (key = value file)
+//   --dump-arch       print the resolved architecture parameters and exit
+//   --no-share        planes may not share resources (pipelined design)
+//   --seed S          random seed for placement/routing
+//   --out FILE        write the configuration bitmap (binary)
+//   --blif-out FILE   write the elaborated LUT netlist as BLIF
+//   --sweep           run netlist cleanup (DCE/CSE/constants) first
+//   --power           print the power/energy report
+//   --report          print per-stage usage and wire statistics
+//   --quiet           only print the one-line summary
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "circuits/benchmarks.h"
+#include "flow/nanomap_flow.h"
+#include "map/bench_format.h"
+#include "rtl/blif.h"
+#include "rtl/parser.h"
+#include "arch/arch_file.h"
+#include "flow/power.h"
+#include "netlist/optimize.h"
+#include "rtl/verilog.h"
+#include "rtl/vhdl.h"
+
+using namespace nanomap;
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+Design load_design(const std::string& input) {
+  if (input.rfind("bench:", 0) == 0) return make_benchmark(input.substr(6));
+  if (ends_with(input, ".nmap")) return parse_nmap_file(input);
+  if (ends_with(input, ".blif")) return parse_blif_file(input);
+  if (ends_with(input, ".bench")) return parse_bench_file(input);
+  if (ends_with(input, ".vhd") || ends_with(input, ".vhdl"))
+    return parse_vhdl_file(input);
+  if (ends_with(input, ".v")) return parse_verilog_file(input);
+  throw InputError("unrecognized input format: " + input +
+                   " (expected .nmap/.blif/.vhd or bench:<name>)");
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <input.{nmap,blif,vhd}|bench:NAME> [--objective "
+               "at|delay|area|both] [--area N] [--delay NS] [--level L] "
+               "[--k N] [--no-share] [--seed S] [--out FILE] "
+               "[--blif-out FILE] [--report] [--quiet]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  std::string input = argv[1];
+  FlowOptions opts;
+  opts.arch = ArchParams::paper_instance();
+  std::string out_path, blif_out;
+  bool report = false, quiet = false, do_sweep = false, power = false;
+
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--objective") {
+      std::string v = next();
+      if (v == "at") opts.objective = Objective::kAreaDelayProduct;
+      else if (v == "delay") opts.objective = Objective::kMinDelay;
+      else if (v == "area") opts.objective = Objective::kMinArea;
+      else if (v == "both") opts.objective = Objective::kMeetBoth;
+      else return usage(argv[0]);
+    } else if (arg == "--area") {
+      opts.area_constraint_le = std::atoi(next().c_str());
+    } else if (arg == "--delay") {
+      opts.delay_constraint_ns = std::atof(next().c_str());
+    } else if (arg == "--level") {
+      opts.forced_folding_level = std::atoi(next().c_str());
+    } else if (arg == "--k") {
+      opts.arch.num_reconf = std::atoi(next().c_str());
+    } else if (arg == "--arch") {
+      try {
+        opts.arch = parse_arch_file(next(), opts.arch);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+      }
+    } else if (arg == "--dump-arch") {
+      std::printf("%s", write_arch(opts.arch).c_str());
+      return 0;
+    } else if (arg == "--no-share") {
+      opts.planes_share = false;
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--blif-out") {
+      blif_out = next();
+    } else if (arg == "--sweep") {
+      do_sweep = true;
+    } else if (arg == "--power") {
+      power = true;
+    } else if (arg == "--report") {
+      report = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    Design design = load_design(input);
+    if (do_sweep) {
+      SweepResult swept = sweep(design.net);
+      if (!quiet && swept.stats.total_removed() > 0)
+        std::printf("sweep: removed %d dead LUTs, %d dead FFs, merged %d "
+                    "duplicates, folded %d constant inputs\n",
+                    swept.stats.dead_luts_removed,
+                    swept.stats.dead_flipflops_removed,
+                    swept.stats.duplicates_merged,
+                    swept.stats.constants_folded);
+      design.net = std::move(swept.net);
+      design.refresh_module_stats();
+    }
+    if (!quiet) {
+      CircuitParams p = extract_circuit_params(design.net);
+      std::printf("loaded '%s': %d plane(s), %d LUTs, %d FFs, depth %d\n",
+                  design.name.c_str(), p.num_plane, p.total_luts,
+                  p.total_flipflops, p.depth_max);
+      std::printf("target: %s\n", describe(opts.arch).c_str());
+    }
+    if (!blif_out.empty()) {
+      std::ofstream out(blif_out);
+      if (!out) throw InputError("cannot write " + blif_out);
+      out << write_blif(design);
+      if (!quiet) std::printf("wrote netlist to %s\n", blif_out.c_str());
+    }
+
+    FlowResult r = run_nanomap(design, opts);
+    if (!r.feasible) {
+      std::printf("INFEASIBLE: %s\n", r.message.c_str());
+      return 1;
+    }
+    std::printf("%s\n", summarize(r).c_str());
+
+    if (report) {
+      std::printf("\nper-stage usage:\n");
+      for (std::size_t p = 0; p < r.plane_schedules.size(); ++p) {
+        const FdsResult& fr = r.plane_schedules[p];
+        for (std::size_t s = 1; s < fr.le_count.size(); ++s)
+          std::printf("  plane %zu stage %2zu: %4d LUTs %4d FFs -> %4d LEs\n",
+                      p, s, fr.lut_count[s], fr.ff_count[s], fr.le_count[s]);
+      }
+      std::printf("area: %d LEs, %d SMBs, %.0f um^2\n", r.num_les,
+                  r.num_smbs, r.area_um2);
+      std::printf("wires: direct %ld, len1 %ld, len4 %ld, global %ld\n",
+                  r.routing.usage.direct, r.routing.usage.len1,
+                  r.routing.usage.len4, r.routing.usage.global);
+      std::printf("timing: folding cycle %.3f ns, delay %.2f ns "
+                  "(critical cycle %d)\n",
+                  r.folding_cycle_ns, r.delay_ns, r.timing.critical_cycle);
+      std::printf("bitmap: %d configs, %zu bits; flow tried %d levels in "
+                  "%.2f s\n",
+                  r.bitmap.num_cycles, r.bitmap.total_bits, r.levels_tried,
+                  r.cpu_seconds);
+      std::printf("critical path (cycle %d):\n", r.timing.critical_cycle);
+      for (const PathElement& e : r.timing.critical_path) {
+        std::printf("  %-24s arrival %7.1f ps\n",
+                    design.net.node(e.node).name.c_str(), e.arrival_ps);
+      }
+    }
+
+    if (power) {
+      PowerReport pw =
+          estimate_power(design, r.schedule, r.clustered, r.routing,
+                         r.bitmap, r.timing, opts.arch);
+      std::printf("power: %.1f pJ/pass (logic %.1f + wire %.1f + reconfig "
+                  "%.1f), %.2f mW dynamic; config standby: SRAM-equiv "
+                  "%.4f mW, NRAM 0 mW\n",
+                  pw.energy_per_pass_pj, pw.logic_pj, pw.wire_pj,
+                  pw.reconfig_pj, pw.power_mw, pw.config_standby_sram_mw);
+    }
+
+    if (!out_path.empty()) {
+      std::vector<std::uint8_t> bytes = serialize_bitmap(r.bitmap);
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) throw InputError("cannot write " + out_path);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      if (!quiet)
+        std::printf("wrote %zu-byte bitmap to %s\n", bytes.size(),
+                    out_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
