@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ff_per_le"
+  "../bench/ablation_ff_per_le.pdb"
+  "CMakeFiles/ablation_ff_per_le.dir/ablation_ff_per_le.cc.o"
+  "CMakeFiles/ablation_ff_per_le.dir/ablation_ff_per_le.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ff_per_le.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

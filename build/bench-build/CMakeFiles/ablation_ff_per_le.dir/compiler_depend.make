@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_ff_per_le.
+# This may be replaced when dependencies are built.

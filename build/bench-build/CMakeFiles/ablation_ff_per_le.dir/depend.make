@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_ff_per_le.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_folding_sweep"
+  "../bench/ablation_folding_sweep.pdb"
+  "CMakeFiles/ablation_folding_sweep.dir/ablation_folding_sweep.cc.o"
+  "CMakeFiles/ablation_folding_sweep.dir/ablation_folding_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_folding_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

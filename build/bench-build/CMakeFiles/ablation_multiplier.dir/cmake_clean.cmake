@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multiplier"
+  "../bench/ablation_multiplier.pdb"
+  "CMakeFiles/ablation_multiplier.dir/ablation_multiplier.cc.o"
+  "CMakeFiles/ablation_multiplier.dir/ablation_multiplier.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiplier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_scheduler"
+  "../bench/ablation_scheduler.pdb"
+  "CMakeFiles/ablation_scheduler.dir/ablation_scheduler.cc.o"
+  "CMakeFiles/ablation_scheduler.dir/ablation_scheduler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

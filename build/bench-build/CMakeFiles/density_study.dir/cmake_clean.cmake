@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/density_study"
+  "../bench/density_study.pdb"
+  "CMakeFiles/density_study.dir/density_study.cc.o"
+  "CMakeFiles/density_study.dir/density_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extended_circuits"
+  "../bench/extended_circuits.pdb"
+  "CMakeFiles/extended_circuits.dir/extended_circuits.cc.o"
+  "CMakeFiles/extended_circuits.dir/extended_circuits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

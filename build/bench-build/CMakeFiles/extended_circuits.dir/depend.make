@@ -1,0 +1,2 @@
+# Empty dependencies file for extended_circuits.
+# This may be replaced when dependencies are built.

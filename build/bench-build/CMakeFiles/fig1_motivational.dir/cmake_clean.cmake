@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_motivational"
+  "../bench/fig1_motivational.pdb"
+  "CMakeFiles/fig1_motivational.dir/fig1_motivational.cc.o"
+  "CMakeFiles/fig1_motivational.dir/fig1_motivational.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_motivational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_fds_dgs"
+  "../bench/fig3_fds_dgs.pdb"
+  "CMakeFiles/fig3_fds_dgs.dir/fig3_fds_dgs.cc.o"
+  "CMakeFiles/fig3_fds_dgs.dir/fig3_fds_dgs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fds_dgs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/interconnect_usage"
+  "../bench/interconnect_usage.pdb"
+  "CMakeFiles/interconnect_usage.dir/interconnect_usage.cc.o"
+  "CMakeFiles/interconnect_usage.dir/interconnect_usage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/power_study"
+  "../bench/power_study.pdb"
+  "CMakeFiles/power_study.dir/power_study.cc.o"
+  "CMakeFiles/power_study.dir/power_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

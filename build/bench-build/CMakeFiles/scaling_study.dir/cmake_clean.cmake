@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_study"
+  "../bench/scaling_study.pdb"
+  "CMakeFiles/scaling_study.dir/scaling_study.cc.o"
+  "CMakeFiles/scaling_study.dir/scaling_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

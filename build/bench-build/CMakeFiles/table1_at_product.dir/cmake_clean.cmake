@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_at_product"
+  "../bench/table1_at_product.pdb"
+  "CMakeFiles/table1_at_product.dir/table1_at_product.cc.o"
+  "CMakeFiles/table1_at_product.dir/table1_at_product.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_at_product.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_objectives"
+  "../bench/table2_objectives.pdb"
+  "CMakeFiles/table2_objectives.dir/table2_objectives.cc.o"
+  "CMakeFiles/table2_objectives.dir/table2_objectives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_objectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

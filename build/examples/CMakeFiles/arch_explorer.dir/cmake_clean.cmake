@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_explorer.dir/arch_explorer.cpp.o"
+  "CMakeFiles/arch_explorer.dir/arch_explorer.cpp.o.d"
+  "arch_explorer"
+  "arch_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

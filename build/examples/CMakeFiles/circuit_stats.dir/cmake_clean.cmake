@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_stats.dir/circuit_stats.cpp.o"
+  "CMakeFiles/circuit_stats.dir/circuit_stats.cpp.o.d"
+  "circuit_stats"
+  "circuit_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

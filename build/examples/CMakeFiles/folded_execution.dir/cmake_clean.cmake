@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folded_execution.dir/folded_execution.cpp.o"
+  "CMakeFiles/folded_execution.dir/folded_execution.cpp.o.d"
+  "folded_execution"
+  "folded_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folded_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

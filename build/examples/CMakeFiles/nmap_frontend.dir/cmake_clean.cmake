@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nmap_frontend.dir/nmap_frontend.cpp.o"
+  "CMakeFiles/nmap_frontend.dir/nmap_frontend.cpp.o.d"
+  "nmap_frontend"
+  "nmap_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nmap_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_multiplane.dir/pipelined_multiplane.cpp.o"
+  "CMakeFiles/pipelined_multiplane.dir/pipelined_multiplane.cpp.o.d"
+  "pipelined_multiplane"
+  "pipelined_multiplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_multiplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pipelined_multiplane.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for pipelined_multiplane.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_arch.dir/arch/arch_file.cc.o"
+  "CMakeFiles/nm_arch.dir/arch/arch_file.cc.o.d"
+  "CMakeFiles/nm_arch.dir/arch/nature.cc.o"
+  "CMakeFiles/nm_arch.dir/arch/nature.cc.o.d"
+  "libnm_arch.a"
+  "libnm_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

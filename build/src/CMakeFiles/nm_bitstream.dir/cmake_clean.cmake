@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_bitstream.dir/bitstream/bitmap.cc.o"
+  "CMakeFiles/nm_bitstream.dir/bitstream/bitmap.cc.o.d"
+  "CMakeFiles/nm_bitstream.dir/bitstream/emulator.cc.o"
+  "CMakeFiles/nm_bitstream.dir/bitstream/emulator.cc.o.d"
+  "libnm_bitstream.a"
+  "libnm_bitstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_circuits.dir/circuits/benchmarks.cc.o"
+  "CMakeFiles/nm_circuits.dir/circuits/benchmarks.cc.o.d"
+  "CMakeFiles/nm_circuits.dir/circuits/extra.cc.o"
+  "CMakeFiles/nm_circuits.dir/circuits/extra.cc.o.d"
+  "CMakeFiles/nm_circuits.dir/circuits/random_dag.cc.o"
+  "CMakeFiles/nm_circuits.dir/circuits/random_dag.cc.o.d"
+  "libnm_circuits.a"
+  "libnm_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

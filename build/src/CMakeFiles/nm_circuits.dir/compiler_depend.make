@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for nm_circuits.
+# This may be replaced when dependencies are built.

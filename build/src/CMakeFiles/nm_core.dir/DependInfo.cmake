@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/estimate.cc" "src/CMakeFiles/nm_core.dir/core/estimate.cc.o" "gcc" "src/CMakeFiles/nm_core.dir/core/estimate.cc.o.d"
+  "/root/repo/src/core/fds.cc" "src/CMakeFiles/nm_core.dir/core/fds.cc.o" "gcc" "src/CMakeFiles/nm_core.dir/core/fds.cc.o.d"
+  "/root/repo/src/core/folding.cc" "src/CMakeFiles/nm_core.dir/core/folding.cc.o" "gcc" "src/CMakeFiles/nm_core.dir/core/folding.cc.o.d"
+  "/root/repo/src/core/schedule_graph.cc" "src/CMakeFiles/nm_core.dir/core/schedule_graph.cc.o" "gcc" "src/CMakeFiles/nm_core.dir/core/schedule_graph.cc.o.d"
+  "/root/repo/src/core/temporal_cluster.cc" "src/CMakeFiles/nm_core.dir/core/temporal_cluster.cc.o" "gcc" "src/CMakeFiles/nm_core.dir/core/temporal_cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_core.dir/core/estimate.cc.o"
+  "CMakeFiles/nm_core.dir/core/estimate.cc.o.d"
+  "CMakeFiles/nm_core.dir/core/fds.cc.o"
+  "CMakeFiles/nm_core.dir/core/fds.cc.o.d"
+  "CMakeFiles/nm_core.dir/core/folding.cc.o"
+  "CMakeFiles/nm_core.dir/core/folding.cc.o.d"
+  "CMakeFiles/nm_core.dir/core/schedule_graph.cc.o"
+  "CMakeFiles/nm_core.dir/core/schedule_graph.cc.o.d"
+  "CMakeFiles/nm_core.dir/core/temporal_cluster.cc.o"
+  "CMakeFiles/nm_core.dir/core/temporal_cluster.cc.o.d"
+  "libnm_core.a"
+  "libnm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnm_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_flow.dir/flow/nanomap_flow.cc.o"
+  "CMakeFiles/nm_flow.dir/flow/nanomap_flow.cc.o.d"
+  "CMakeFiles/nm_flow.dir/flow/power.cc.o"
+  "CMakeFiles/nm_flow.dir/flow/power.cc.o.d"
+  "libnm_flow.a"
+  "libnm_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/map/bench_format.cc" "src/CMakeFiles/nm_map.dir/map/bench_format.cc.o" "gcc" "src/CMakeFiles/nm_map.dir/map/bench_format.cc.o.d"
+  "/root/repo/src/map/flowmap.cc" "src/CMakeFiles/nm_map.dir/map/flowmap.cc.o" "gcc" "src/CMakeFiles/nm_map.dir/map/flowmap.cc.o.d"
+  "/root/repo/src/map/gate_network.cc" "src/CMakeFiles/nm_map.dir/map/gate_network.cc.o" "gcc" "src/CMakeFiles/nm_map.dir/map/gate_network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

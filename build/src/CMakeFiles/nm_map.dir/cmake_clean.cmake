@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_map.dir/map/bench_format.cc.o"
+  "CMakeFiles/nm_map.dir/map/bench_format.cc.o.d"
+  "CMakeFiles/nm_map.dir/map/flowmap.cc.o"
+  "CMakeFiles/nm_map.dir/map/flowmap.cc.o.d"
+  "CMakeFiles/nm_map.dir/map/gate_network.cc.o"
+  "CMakeFiles/nm_map.dir/map/gate_network.cc.o.d"
+  "libnm_map.a"
+  "libnm_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

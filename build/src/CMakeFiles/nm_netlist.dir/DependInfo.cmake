@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/lut_network.cc" "src/CMakeFiles/nm_netlist.dir/netlist/lut_network.cc.o" "gcc" "src/CMakeFiles/nm_netlist.dir/netlist/lut_network.cc.o.d"
+  "/root/repo/src/netlist/optimize.cc" "src/CMakeFiles/nm_netlist.dir/netlist/optimize.cc.o" "gcc" "src/CMakeFiles/nm_netlist.dir/netlist/optimize.cc.o.d"
+  "/root/repo/src/netlist/plane.cc" "src/CMakeFiles/nm_netlist.dir/netlist/plane.cc.o" "gcc" "src/CMakeFiles/nm_netlist.dir/netlist/plane.cc.o.d"
+  "/root/repo/src/netlist/rtl_netlist.cc" "src/CMakeFiles/nm_netlist.dir/netlist/rtl_netlist.cc.o" "gcc" "src/CMakeFiles/nm_netlist.dir/netlist/rtl_netlist.cc.o.d"
+  "/root/repo/src/netlist/simulate.cc" "src/CMakeFiles/nm_netlist.dir/netlist/simulate.cc.o" "gcc" "src/CMakeFiles/nm_netlist.dir/netlist/simulate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

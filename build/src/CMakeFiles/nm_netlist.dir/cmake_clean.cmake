@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_netlist.dir/netlist/lut_network.cc.o"
+  "CMakeFiles/nm_netlist.dir/netlist/lut_network.cc.o.d"
+  "CMakeFiles/nm_netlist.dir/netlist/optimize.cc.o"
+  "CMakeFiles/nm_netlist.dir/netlist/optimize.cc.o.d"
+  "CMakeFiles/nm_netlist.dir/netlist/plane.cc.o"
+  "CMakeFiles/nm_netlist.dir/netlist/plane.cc.o.d"
+  "CMakeFiles/nm_netlist.dir/netlist/rtl_netlist.cc.o"
+  "CMakeFiles/nm_netlist.dir/netlist/rtl_netlist.cc.o.d"
+  "CMakeFiles/nm_netlist.dir/netlist/simulate.cc.o"
+  "CMakeFiles/nm_netlist.dir/netlist/simulate.cc.o.d"
+  "libnm_netlist.a"
+  "libnm_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_place.dir/place/annealer.cc.o"
+  "CMakeFiles/nm_place.dir/place/annealer.cc.o.d"
+  "CMakeFiles/nm_place.dir/place/placement.cc.o"
+  "CMakeFiles/nm_place.dir/place/placement.cc.o.d"
+  "libnm_place.a"
+  "libnm_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_route.dir/route/pathfinder.cc.o"
+  "CMakeFiles/nm_route.dir/route/pathfinder.cc.o.d"
+  "CMakeFiles/nm_route.dir/route/rr_graph.cc.o"
+  "CMakeFiles/nm_route.dir/route/rr_graph.cc.o.d"
+  "CMakeFiles/nm_route.dir/route/sta.cc.o"
+  "CMakeFiles/nm_route.dir/route/sta.cc.o.d"
+  "libnm_route.a"
+  "libnm_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/blif.cc" "src/CMakeFiles/nm_rtl.dir/rtl/blif.cc.o" "gcc" "src/CMakeFiles/nm_rtl.dir/rtl/blif.cc.o.d"
+  "/root/repo/src/rtl/module_expander.cc" "src/CMakeFiles/nm_rtl.dir/rtl/module_expander.cc.o" "gcc" "src/CMakeFiles/nm_rtl.dir/rtl/module_expander.cc.o.d"
+  "/root/repo/src/rtl/parser.cc" "src/CMakeFiles/nm_rtl.dir/rtl/parser.cc.o" "gcc" "src/CMakeFiles/nm_rtl.dir/rtl/parser.cc.o.d"
+  "/root/repo/src/rtl/verilog.cc" "src/CMakeFiles/nm_rtl.dir/rtl/verilog.cc.o" "gcc" "src/CMakeFiles/nm_rtl.dir/rtl/verilog.cc.o.d"
+  "/root/repo/src/rtl/vhdl.cc" "src/CMakeFiles/nm_rtl.dir/rtl/vhdl.cc.o" "gcc" "src/CMakeFiles/nm_rtl.dir/rtl/vhdl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

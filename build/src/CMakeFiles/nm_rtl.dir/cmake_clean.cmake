@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_rtl.dir/rtl/blif.cc.o"
+  "CMakeFiles/nm_rtl.dir/rtl/blif.cc.o.d"
+  "CMakeFiles/nm_rtl.dir/rtl/module_expander.cc.o"
+  "CMakeFiles/nm_rtl.dir/rtl/module_expander.cc.o.d"
+  "CMakeFiles/nm_rtl.dir/rtl/parser.cc.o"
+  "CMakeFiles/nm_rtl.dir/rtl/parser.cc.o.d"
+  "CMakeFiles/nm_rtl.dir/rtl/verilog.cc.o"
+  "CMakeFiles/nm_rtl.dir/rtl/verilog.cc.o.d"
+  "CMakeFiles/nm_rtl.dir/rtl/vhdl.cc.o"
+  "CMakeFiles/nm_rtl.dir/rtl/vhdl.cc.o.d"
+  "libnm_rtl.a"
+  "libnm_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nm_util.dir/util/log.cc.o"
+  "CMakeFiles/nm_util.dir/util/log.cc.o.d"
+  "CMakeFiles/nm_util.dir/util/strings.cc.o"
+  "CMakeFiles/nm_util.dir/util/strings.cc.o.d"
+  "libnm_util.a"
+  "libnm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

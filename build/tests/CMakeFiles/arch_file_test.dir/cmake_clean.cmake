@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_file_test.dir/arch_file_test.cc.o"
+  "CMakeFiles/arch_file_test.dir/arch_file_test.cc.o.d"
+  "arch_file_test"
+  "arch_file_test.pdb"
+  "arch_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arith_variants_test.dir/arith_variants_test.cc.o"
+  "CMakeFiles/arith_variants_test.dir/arith_variants_test.cc.o.d"
+  "arith_variants_test"
+  "arith_variants_test.pdb"
+  "arith_variants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arith_variants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

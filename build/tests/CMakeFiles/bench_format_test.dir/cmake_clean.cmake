@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_format_test.dir/bench_format_test.cc.o"
+  "CMakeFiles/bench_format_test.dir/bench_format_test.cc.o.d"
+  "bench_format_test"
+  "bench_format_test.pdb"
+  "bench_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

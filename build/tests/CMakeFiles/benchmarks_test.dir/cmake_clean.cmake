@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmarks_test.dir/benchmarks_test.cc.o"
+  "CMakeFiles/benchmarks_test.dir/benchmarks_test.cc.o.d"
+  "benchmarks_test"
+  "benchmarks_test.pdb"
+  "benchmarks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmarks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_execution_test.dir/bitmap_execution_test.cc.o"
+  "CMakeFiles/bitmap_execution_test.dir/bitmap_execution_test.cc.o.d"
+  "bitmap_execution_test"
+  "bitmap_execution_test.pdb"
+  "bitmap_execution_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitmap_test.dir/bitmap_test.cc.o"
+  "CMakeFiles/bitmap_test.dir/bitmap_test.cc.o.d"
+  "bitmap_test"
+  "bitmap_test.pdb"
+  "bitmap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitmap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for blif_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_path_test.dir/critical_path_test.cc.o"
+  "CMakeFiles/critical_path_test.dir/critical_path_test.cc.o.d"
+  "critical_path_test"
+  "critical_path_test.pdb"
+  "critical_path_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimate_test.dir/estimate_test.cc.o"
+  "CMakeFiles/estimate_test.dir/estimate_test.cc.o.d"
+  "estimate_test"
+  "estimate_test.pdb"
+  "estimate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_circuits_test.dir/extra_circuits_test.cc.o"
+  "CMakeFiles/extra_circuits_test.dir/extra_circuits_test.cc.o.d"
+  "extra_circuits_test"
+  "extra_circuits_test.pdb"
+  "extra_circuits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_circuits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

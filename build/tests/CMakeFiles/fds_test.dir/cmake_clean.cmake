@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fds_test.dir/fds_test.cc.o"
+  "CMakeFiles/fds_test.dir/fds_test.cc.o.d"
+  "fds_test"
+  "fds_test.pdb"
+  "fds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_robustness_test.dir/flow_robustness_test.cc.o"
+  "CMakeFiles/flow_robustness_test.dir/flow_robustness_test.cc.o.d"
+  "flow_robustness_test"
+  "flow_robustness_test.pdb"
+  "flow_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

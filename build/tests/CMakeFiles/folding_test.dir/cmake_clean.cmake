@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/folding_test.dir/folding_test.cc.o"
+  "CMakeFiles/folding_test.dir/folding_test.cc.o.d"
+  "folding_test"
+  "folding_test.pdb"
+  "folding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/folding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_parsers_test.dir/fuzz_parsers_test.cc.o"
+  "CMakeFiles/fuzz_parsers_test.dir/fuzz_parsers_test.cc.o.d"
+  "fuzz_parsers_test"
+  "fuzz_parsers_test.pdb"
+  "fuzz_parsers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_parsers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

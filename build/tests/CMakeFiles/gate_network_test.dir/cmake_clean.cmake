@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_network_test.dir/gate_network_test.cc.o"
+  "CMakeFiles/gate_network_test.dir/gate_network_test.cc.o.d"
+  "gate_network_test"
+  "gate_network_test.pdb"
+  "gate_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lut_network_test.dir/lut_network_test.cc.o"
+  "CMakeFiles/lut_network_test.dir/lut_network_test.cc.o.d"
+  "lut_network_test"
+  "lut_network_test.pdb"
+  "lut_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lut_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/module_expander_test.dir/module_expander_test.cc.o"
+  "CMakeFiles/module_expander_test.dir/module_expander_test.cc.o.d"
+  "module_expander_test"
+  "module_expander_test.pdb"
+  "module_expander_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/module_expander_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_test.dir/optimize_test.cc.o"
+  "CMakeFiles/optimize_test.dir/optimize_test.cc.o.d"
+  "optimize_test"
+  "optimize_test.pdb"
+  "optimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathfinder_test.dir/pathfinder_test.cc.o"
+  "CMakeFiles/pathfinder_test.dir/pathfinder_test.cc.o.d"
+  "pathfinder_test"
+  "pathfinder_test.pdb"
+  "pathfinder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathfinder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rr_graph_test.dir/rr_graph_test.cc.o"
+  "CMakeFiles/rr_graph_test.dir/rr_graph_test.cc.o.d"
+  "rr_graph_test"
+  "rr_graph_test.pdb"
+  "rr_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rr_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scc_merge_test.dir/scc_merge_test.cc.o"
+  "CMakeFiles/scc_merge_test.dir/scc_merge_test.cc.o.d"
+  "scc_merge_test"
+  "scc_merge_test.pdb"
+  "scc_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scc_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

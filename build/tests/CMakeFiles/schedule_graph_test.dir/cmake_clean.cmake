@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_graph_test.dir/schedule_graph_test.cc.o"
+  "CMakeFiles/schedule_graph_test.dir/schedule_graph_test.cc.o.d"
+  "schedule_graph_test"
+  "schedule_graph_test.pdb"
+  "schedule_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

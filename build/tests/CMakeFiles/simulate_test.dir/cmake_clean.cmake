@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_test.dir/simulate_test.cc.o"
+  "CMakeFiles/simulate_test.dir/simulate_test.cc.o.d"
+  "simulate_test"
+  "simulate_test.pdb"
+  "simulate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoke_test.dir/smoke_test.cc.o"
+  "CMakeFiles/smoke_test.dir/smoke_test.cc.o.d"
+  "smoke_test"
+  "smoke_test.pdb"
+  "smoke_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sta_test.dir/sta_test.cc.o"
+  "CMakeFiles/sta_test.dir/sta_test.cc.o.d"
+  "sta_test"
+  "sta_test.pdb"
+  "sta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_cluster_test.dir/temporal_cluster_test.cc.o"
+  "CMakeFiles/temporal_cluster_test.dir/temporal_cluster_test.cc.o.d"
+  "temporal_cluster_test"
+  "temporal_cluster_test.pdb"
+  "temporal_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vhdl_test.dir/vhdl_test.cc.o"
+  "CMakeFiles/vhdl_test.dir/vhdl_test.cc.o.d"
+  "vhdl_test"
+  "vhdl_test.pdb"
+  "vhdl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vhdl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

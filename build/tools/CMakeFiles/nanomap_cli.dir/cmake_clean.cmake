@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nanomap_cli.dir/nanomap_cli.cc.o"
+  "CMakeFiles/nanomap_cli.dir/nanomap_cli.cc.o.d"
+  "nanomap"
+  "nanomap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nanomap_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
