@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/parallel_speedup"
+  "../bench/parallel_speedup.pdb"
+  "CMakeFiles/parallel_speedup.dir/parallel_speedup.cc.o"
+  "CMakeFiles/parallel_speedup.dir/parallel_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/log.cc" "src/CMakeFiles/nm_util.dir/util/log.cc.o" "gcc" "src/CMakeFiles/nm_util.dir/util/log.cc.o.d"
   "/root/repo/src/util/strings.cc" "src/CMakeFiles/nm_util.dir/util/strings.cc.o" "gcc" "src/CMakeFiles/nm_util.dir/util/strings.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/nm_util.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/nm_util.dir/util/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/nm_util.dir/util/log.cc.o.d"
   "CMakeFiles/nm_util.dir/util/strings.cc.o"
   "CMakeFiles/nm_util.dir/util/strings.cc.o.d"
+  "CMakeFiles/nm_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/nm_util.dir/util/thread_pool.cc.o.d"
   "libnm_util.a"
   "libnm_util.pdb"
 )

@@ -301,5 +301,17 @@ tests/CMakeFiles/critical_path_test.dir/critical_path_test.cc.o: \
  /root/repo/src/core/fds.h /root/repo/src/core/schedule_graph.h \
  /root/repo/src/core/folding.h /root/repo/src/netlist/plane.h \
  /root/repo/src/route/pathfinder.h /root/repo/src/place/placement.h \
- /root/repo/src/util/rng.h /root/repo/src/route/rr_graph.h \
- /root/repo/src/core/estimate.h /root/repo/src/route/sta.h
+ /root/repo/src/util/rng.h /root/repo/src/util/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/route/rr_graph.h /root/repo/src/core/estimate.h \
+ /root/repo/src/route/sta.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_test.dir/determinism_test.cc.o"
+  "CMakeFiles/determinism_test.dir/determinism_test.cc.o.d"
+  "determinism_test"
+  "determinism_test.pdb"
+  "determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

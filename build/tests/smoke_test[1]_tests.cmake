@@ -1,3 +1,3 @@
 add_test([=[Smoke.Ex1MotivationalFullFlow]=]  /root/repo/build/tests/smoke_test [==[--gtest_filter=Smoke.Ex1MotivationalFullFlow]==] --gtest_also_run_disabled_tests)
-set_tests_properties([=[Smoke.Ex1MotivationalFullFlow]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set_tests_properties([=[Smoke.Ex1MotivationalFullFlow]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] LABELS tier1)
 set(  smoke_test_TESTS Smoke.Ex1MotivationalFullFlow)

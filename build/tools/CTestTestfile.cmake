@@ -5,16 +5,18 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(cli_bench "/root/repo/build/tools/nanomap" "bench:ex1" "--level" "2" "--quiet")
-set_tests_properties(cli_bench PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_bench PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_nmap "/root/repo/build/tools/nanomap" "/root/repo/examples/designs/mac16.nmap" "--level" "2" "--quiet")
-set_tests_properties(cli_nmap PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_nmap PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_vhdl "/root/repo/build/tools/nanomap" "/root/repo/examples/designs/mac8.vhd" "--objective" "delay" "--area" "64" "--quiet")
-set_tests_properties(cli_vhdl PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_vhdl PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_report "/root/repo/build/tools/nanomap" "bench:FIR" "--objective" "at" "--report" "--power" "--sweep")
-set_tests_properties(cli_report PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_report PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_verilog "/root/repo/build/tools/nanomap" "/root/repo/examples/designs/fir4.v" "--objective" "at" "--quiet")
-set_tests_properties(cli_verilog PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_verilog PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_bench_format "/root/repo/build/tools/nanomap" "/root/repo/examples/designs/s27.bench" "--level" "2" "--quiet")
-set_tests_properties(cli_bench_format PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_bench_format PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_threads "/root/repo/build/tools/nanomap" "bench:ex1" "--level" "2" "--threads" "4" "--restarts" "3" "--route-batch" "4" "--quiet")
+set_tests_properties(cli_threads PROPERTIES  LABELS "tier1" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
 add_test(cli_bad_input "/root/repo/build/tools/nanomap" "/nonexistent.nmap")
-set_tests_properties(cli_bad_input PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+set_tests_properties(cli_bad_input PROPERTIES  LABELS "tier1" WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")

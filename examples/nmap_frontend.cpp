@@ -1,7 +1,9 @@
 // File front end: parse a .nmap structural netlist, elaborate it and map
 // it under an area constraint. Usage:
-//   nmap_frontend [file.nmap] [area-constraint-LEs]
-// Defaults to the bundled examples/designs/mac16.nmap with a 64-LE budget.
+//   nmap_frontend [file.nmap] [area-constraint-LEs] [threads]
+// Defaults to the bundled examples/designs/mac16.nmap with a 64-LE budget
+// and one worker thread per hardware core. The thread count only affects
+// wall-clock time; the mapping is identical at any setting.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -14,6 +16,7 @@ int main(int argc, char** argv) {
   std::string path =
       argc > 1 ? argv[1] : std::string(NMAP_EXAMPLE_DIR "/mac16.nmap");
   int budget = argc > 2 ? std::atoi(argv[2]) : 64;
+  int threads = argc > 3 ? std::atoi(argv[3]) : 0;  // 0 = hardware
 
   Design design;
   try {
@@ -28,6 +31,7 @@ int main(int argc, char** argv) {
   options.arch = ArchParams::paper_instance();
   options.objective = Objective::kMinDelay;
   options.area_constraint_le = budget;
+  options.threads = threads;
   FlowResult result = run_nanomap(design, options);
   if (!result.feasible) {
     std::printf("mapping infeasible under %d LEs: %s\n", budget,

@@ -26,7 +26,9 @@ struct Candidate {
 class FlowEngine {
  public:
   FlowEngine(const Design& design, const FlowOptions& options)
-      : design_(design), options_(options) {
+      : design_(design), options_(options),
+        pool_(options.threads > 0 ? options.threads
+                                  : ThreadPool::hardware_threads()) {
     options_.arch.validate();
     params_ = extract_circuit_params(design.net);
   }
@@ -249,7 +251,7 @@ class FlowEngine {
     for (int attempt = 0; attempt < 3 && !route_ok; ++attempt) {
       PlacementOptions popts = options_.placement;
       popts.seed = options_.seed + static_cast<std::uint64_t>(attempt);
-      placed = place_design(cand.clustered, options_.arch, popts);
+      placed = place_design(cand.clustered, options_.arch, popts, &pool_);
       if (!placed.screen_passed) {
         // Advisory only — the router below is the authoritative check.
         *log << " | L" << cand.level << ": routability screen high (util "
@@ -257,7 +259,7 @@ class FlowEngine {
       }
       RrGraph rr(placed.placement.grid, options_.arch);
       routed = route_design(cand.clustered, placed.placement, rr,
-                            options_.router);
+                            options_.router, &pool_);
       route_ok = routed.success;
       if (!route_ok) {
         *log << " | L" << cand.level << ": routing failed ("
@@ -289,6 +291,7 @@ class FlowEngine {
 
   const Design& design_;
   FlowOptions options_;
+  ThreadPool pool_;  // shared by every parallel stage of this flow run
   CircuitParams params_;
   std::map<int, Candidate> cache_;
 };

@@ -54,6 +54,15 @@ struct FlowOptions {
   SchedulerKind scheduler = SchedulerKind::kFds;  // overridden by use_fds=false
   bool refine_schedule = true;  // post-scheduling rebalancing sweeps
   std::uint64_t seed = 42;
+  // Worker threads for the parallel stages (multi-seed placement
+  // restarts, whole-placement cost evaluation, batched PathFinder
+  // reroutes). 0 = hardware concurrency. The thread count only changes
+  // wall-clock time: the same (input, seed) produces byte-identical
+  // placement, routing, and bitmap at any setting (see
+  // tests/determinism_test.cc), and threads = 1 runs the serial code
+  // paths exactly. How much parallel *work* exists is controlled
+  // separately by placement.restarts and router.batch_size.
+  int threads = 0;
   PlacementOptions placement;
   RouterOptions router;
 };

@@ -102,19 +102,22 @@ class FlowGraph {
 
 constexpr int kInfCap = 1 << 28;
 
-// Backward transitive fanin of `t` (inclusive), as node ids.
+// Backward transitive fanin of `t` (inclusive), as node ids. Visit
+// bookkeeping is an id-indexed vector, not a hash set: node ids are dense,
+// and index-keyed containers are categorically immune to the
+// iteration-order hazards the determinism suite guards against.
 std::vector<int> collect_cone(const GateNetwork& gates, int t) {
   std::vector<int> cone;
   std::vector<int> stack{t};
-  std::unordered_map<int, bool> seen;
-  seen[t] = true;
+  std::vector<char> seen(static_cast<std::size_t>(gates.size()), 0);
+  seen[static_cast<std::size_t>(t)] = 1;
   while (!stack.empty()) {
     int v = stack.back();
     stack.pop_back();
     cone.push_back(v);
     for (int f : gates.gate(v).fanins) {
-      if (!seen[f]) {
-        seen[f] = true;
+      if (!seen[static_cast<std::size_t>(f)]) {
+        seen[static_cast<std::size_t>(f)] = 1;
         stack.push_back(f);
       }
     }
@@ -165,10 +168,10 @@ FlowMapResult flowmap(const GateNetwork& gates, int k, int plane) {
     // Build the node-split flow network over the cone of t, collapsing all
     // cone nodes labeled p (plus t itself) into the sink.
     std::vector<int> cone = collect_cone(gates, t);
-    std::unordered_map<int, int> local;  // node id -> cone index
-    local.reserve(cone.size() * 2);
+    // node id -> cone index, id-indexed (see collect_cone).
+    std::vector<int> local(static_cast<std::size_t>(gates.size()), -1);
     for (std::size_t i = 0; i < cone.size(); ++i)
-      local[cone[i]] = static_cast<int>(i);
+      local[static_cast<std::size_t>(cone[i])] = static_cast<int>(i);
 
     auto in_sink = [&](int v) {
       return v == t || label[static_cast<std::size_t>(v)] == p;

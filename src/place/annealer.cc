@@ -6,7 +6,7 @@
 namespace nanomap {
 
 Annealer::Annealer(const ClusteredDesign& cd, const Placement& initial,
-                   double timing_weight, Rng* rng)
+                   double timing_weight, Rng* rng, ThreadPool* pool)
     : cd_(cd), placement_(initial), rng_(rng) {
   NM_CHECK(rng != nullptr);
   smb_at_site_.assign(static_cast<std::size_t>(placement_.grid.sites()), -1);
@@ -26,9 +26,12 @@ Annealer::Annealer(const ClusteredDesign& cd, const Placement& initial,
     for (int s : pn.sink_smbs)
       nets_of_[static_cast<std::size_t>(s)].push_back(static_cast<int>(i));
   }
+  std::vector<double> per_net(cd_.nets.size());
+  pool_for_each(pool, static_cast<int>(cd_.nets.size()), [&](int i) {
+    per_net[static_cast<std::size_t>(i)] = net_cost(i);
+  });
   cost_ = 0.0;
-  for (std::size_t i = 0; i < cd_.nets.size(); ++i)
-    cost_ += net_cost(static_cast<int>(i));
+  for (double c : per_net) cost_ += c;
 }
 
 double Annealer::net_cost(int net) const {

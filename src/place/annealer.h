@@ -13,8 +13,13 @@ namespace nanomap {
 
 class Annealer {
  public:
+  // `pool` (optional) parallelizes the initial full-cost evaluation —
+  // per-net bounding boxes computed concurrently, reduced in net order,
+  // so the sum is bit-identical to the serial loop. The annealing walk
+  // itself is inherently sequential (each move's acceptance depends on
+  // the previous state) and always runs on the calling thread.
   Annealer(const ClusteredDesign& cd, const Placement& initial,
-           double timing_weight, Rng* rng);
+           double timing_weight, Rng* rng, ThreadPool* pool = nullptr);
 
   // Runs one full annealing schedule; `effort` scales moves per
   // temperature. Returns the best placement found.

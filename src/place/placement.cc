@@ -23,54 +23,113 @@ Placement initial_placement(const ClusteredDesign& cd, Rng* rng) {
   return p;
 }
 
+// Net bounding-box half-perimeter times the net's timing weight.
+double net_bbox_cost(const ClusteredDesign& cd, const Placement& placement,
+                     double timing_weight, std::size_t net) {
+  const PlacedNet& pn = cd.nets[net];
+  int xmin = placement.x_of(pn.driver_smb);
+  int xmax = xmin;
+  int ymin = placement.y_of(pn.driver_smb);
+  int ymax = ymin;
+  for (int s : pn.sink_smbs) {
+    xmin = std::min(xmin, placement.x_of(s));
+    xmax = std::max(xmax, placement.x_of(s));
+    ymin = std::min(ymin, placement.y_of(s));
+    ymax = std::max(ymax, placement.y_of(s));
+  }
+  return (1.0 + timing_weight * pn.criticality) *
+         static_cast<double>((xmax - xmin) + (ymax - ymin));
+}
+
+// One full two-step placement with a single RNG stream (the historical
+// place_design body). `pool` only accelerates whole-placement cost
+// evaluations; it never feeds randomness.
+PlacementResult place_single(const ClusteredDesign& cd,
+                             const ArchParams& arch,
+                             const PlacementOptions& options,
+                             ThreadPool* pool) {
+  Rng rng(options.seed);
+  PlacementResult result;
+  result.placement = initial_placement(cd, &rng);
+  if (cd.num_smbs == 0) return result;
+
+  // Step 1: fast low-precision placement.
+  Annealer fast(cd, result.placement, options.timing_weight, &rng, pool);
+  fast.run(options.fast_effort);
+  result.placement = fast.placement();
+  result.moves_attempted = fast.moves_attempted();
+  result.moves_accepted = fast.moves_accepted();
+
+  // Step 2: routability + delay screen, with refinement attempts.
+  result.routability = estimate_routability(cd, result.placement, arch, pool);
+  int attempts = 0;
+  while (result.routability.peak_utilization >
+             options.routable_threshold &&
+         attempts < options.max_refine_attempts) {
+    ++attempts;
+    Annealer refine(cd, result.placement, options.timing_weight, &rng, pool);
+    refine.run(options.fast_effort * 2.0);
+    result.placement = refine.placement();
+    result.moves_attempted += refine.moves_attempted();
+    result.moves_accepted += refine.moves_accepted();
+    result.routability = estimate_routability(cd, result.placement, arch,
+                                              pool);
+  }
+  result.screen_passed =
+      result.routability.peak_utilization <= options.routable_threshold;
+
+  // Step 3: high-precision placement. The screen verdict is advisory for
+  // the flow (the router is the authoritative congestion check), so the
+  // detailed anneal runs either way — it usually improves routability too.
+  {
+    Annealer detailed(cd, result.placement, options.timing_weight, &rng,
+                      pool);
+    detailed.run(options.detailed_effort);
+    result.placement = detailed.placement();
+    result.moves_attempted += detailed.moves_attempted();
+    result.moves_accepted += detailed.moves_accepted();
+    result.routability = estimate_routability(cd, result.placement, arch,
+                                              pool);
+    result.screen_passed =
+        result.routability.peak_utilization <= options.routable_threshold;
+  }
+
+  result.cost =
+      placement_cost(cd, result.placement, options.timing_weight, pool);
+  result.wirelength = placement_cost(cd, result.placement, 0.0, pool);
+  return result;
+}
+
 }  // namespace
 
 double placement_cost(const ClusteredDesign& cd, const Placement& placement,
-                      double timing_weight) {
+                      double timing_weight, ThreadPool* pool) {
+  std::vector<double> per_net(cd.nets.size());
+  pool_for_each(pool, static_cast<int>(cd.nets.size()), [&](int i) {
+    per_net[static_cast<std::size_t>(i)] = net_bbox_cost(
+        cd, placement, timing_weight, static_cast<std::size_t>(i));
+  });
+  // Reduce in net order: bit-identical to the serial accumulation at any
+  // thread count.
   double cost = 0.0;
-  for (const PlacedNet& pn : cd.nets) {
-    int xmin = placement.x_of(pn.driver_smb);
-    int xmax = xmin;
-    int ymin = placement.y_of(pn.driver_smb);
-    int ymax = ymin;
-    for (int s : pn.sink_smbs) {
-      xmin = std::min(xmin, placement.x_of(s));
-      xmax = std::max(xmax, placement.x_of(s));
-      ymin = std::min(ymin, placement.y_of(s));
-      ymax = std::max(ymax, placement.y_of(s));
-    }
-    cost += (1.0 + timing_weight * pn.criticality) *
-            static_cast<double>((xmax - xmin) + (ymax - ymin));
-  }
+  for (double c : per_net) cost += c;
   return cost;
 }
 
 RoutabilityEstimate estimate_routability(const ClusteredDesign& cd,
                                          const Placement& placement,
-                                         const ArchParams& arch) {
+                                         const ArchParams& arch,
+                                         ThreadPool* pool) {
   RoutabilityEstimate est;
   const int w = placement.grid.width;
   const int h = placement.grid.height;
   if (w < 1 || h < 1) return est;
   // Demand accumulated per channel (one horizontal + one vertical channel
-  // per site), per folding cycle (wires are reconfigured per cycle, so
-  // congestion is per-cycle).
+  // per site), per folding cycle: wires are reconfigured per cycle, so
+  // each cycle is an independent congestion domain — which is exactly why
+  // the cycles can be estimated in parallel.
   const std::size_t channels = static_cast<std::size_t>(w) *
                                static_cast<std::size_t>(h) * 2;
-  std::vector<double> demand(channels, 0.0);
-  double peak = 0.0;
-  double total = 0.0;
-  long counted = 0;
-
-  int last_cycle = -1;
-  auto flush = [&]() {
-    for (double d : demand) {
-      peak = std::max(peak, d);
-      total += d;
-      ++counted;
-    }
-    std::fill(demand.begin(), demand.end(), 0.0);
-  };
 
   // cd.nets is grouped by (driver, cycle) map order; cycles may interleave,
   // so accumulate per cycle via bucketing.
@@ -79,7 +138,12 @@ RoutabilityEstimate estimate_routability(const ClusteredDesign& cd,
   for (const PlacedNet& pn : cd.nets)
     per_cycle[static_cast<std::size_t>(pn.cycle)].push_back(&pn);
 
-  for (int c = 0; c < cd.num_cycles; ++c) {
+  std::vector<double> cycle_peak(static_cast<std::size_t>(cd.num_cycles),
+                                 0.0);
+  std::vector<double> cycle_total(static_cast<std::size_t>(cd.num_cycles),
+                                  0.0);
+  pool_for_each(pool, cd.num_cycles, [&](int c) {
+    std::vector<double> demand(channels, 0.0);
     for (const PlacedNet* pn : per_cycle[static_cast<std::size_t>(c)]) {
       int xmin = placement.x_of(pn->driver_smb);
       int xmax = xmin;
@@ -105,9 +169,25 @@ RoutabilityEstimate estimate_routability(const ClusteredDesign& cd,
         for (int y = ymin; y < ymax; ++y)
           demand[static_cast<std::size_t>((y * w + x) * 2 + 1)] += q / cols;
     }
-    flush();
+    double peak = 0.0;
+    double total = 0.0;
+    for (double d : demand) {
+      peak = std::max(peak, d);
+      total += d;
+    }
+    cycle_peak[static_cast<std::size_t>(c)] = peak;
+    cycle_total[static_cast<std::size_t>(c)] = total;
+  });
+
+  // Cross-cycle reduction in cycle order on the calling thread.
+  double peak = 0.0;
+  double total = 0.0;
+  for (int c = 0; c < cd.num_cycles; ++c) {
+    peak = std::max(peak, cycle_peak[static_cast<std::size_t>(c)]);
+    total += cycle_total[static_cast<std::size_t>(c)];
   }
-  (void)last_cycle;
+  const long counted =
+      static_cast<long>(channels) * static_cast<long>(cd.num_cycles);
 
   // Channel capacity: length-1 tracks plus the per-SMB share of longer
   // wires and direct links.
@@ -122,55 +202,42 @@ RoutabilityEstimate estimate_routability(const ClusteredDesign& cd,
 
 PlacementResult place_design(const ClusteredDesign& cd,
                              const ArchParams& arch,
-                             const PlacementOptions& options) {
-  Rng rng(options.seed);
-  PlacementResult result;
-  result.placement = initial_placement(cd, &rng);
-  if (cd.num_smbs == 0) return result;
+                             const PlacementOptions& options,
+                             ThreadPool* pool) {
+  const int restarts = std::max(1, options.restarts);
+  std::vector<PlacementResult> candidates(
+      static_cast<std::size_t>(restarts));
+  // Each restart is one pool task with its own RNG stream; restart r's
+  // stream depends only on (options.seed, r), so the candidate set — and
+  // therefore the winner — is the same at any thread count.
+  pool_for_each(pool, restarts, [&](int r) {
+    PlacementOptions per = options;
+    per.seed = derive_seed(options.seed, static_cast<std::uint64_t>(r));
+    candidates[static_cast<std::size_t>(r)] =
+        place_single(cd, arch, per, pool);
+  });
 
-  // Step 1: fast low-precision placement.
-  Annealer fast(cd, result.placement, options.timing_weight, &rng);
-  fast.run(options.fast_effort);
-  result.placement = fast.placement();
-  result.moves_attempted = fast.moves_attempted();
-  result.moves_accepted = fast.moves_accepted();
-
-  // Step 2: routability + delay screen, with refinement attempts.
-  result.routability = estimate_routability(cd, result.placement, arch);
-  int attempts = 0;
-  while (result.routability.peak_utilization >
-             options.routable_threshold &&
-         attempts < options.max_refine_attempts) {
-    ++attempts;
-    Annealer refine(cd, result.placement, options.timing_weight, &rng);
-    refine.run(options.fast_effort * 2.0);
-    result.placement = refine.placement();
-    result.moves_attempted += refine.moves_attempted();
-    result.moves_accepted += refine.moves_accepted();
-    result.routability = estimate_routability(cd, result.placement, arch);
+  // Best cost wins; exact-tie goes to the lowest restart index so the
+  // pick order is deterministic.
+  int best = 0;
+  for (int r = 1; r < restarts; ++r) {
+    if (candidates[static_cast<std::size_t>(r)].cost <
+        candidates[static_cast<std::size_t>(best)].cost)
+      best = r;
   }
-  result.screen_passed =
-      result.routability.peak_utilization <= options.routable_threshold;
-
-  // Step 3: high-precision placement. The screen verdict is advisory for
-  // the flow (the router is the authoritative congestion check), so the
-  // detailed anneal runs either way — it usually improves routability too.
-  {
-    Annealer detailed(cd, result.placement, options.timing_weight, &rng);
-    detailed.run(options.detailed_effort);
-    result.placement = detailed.placement();
-    result.moves_attempted += detailed.moves_attempted();
-    result.moves_accepted += detailed.moves_accepted();
-    result.routability = estimate_routability(cd, result.placement, arch);
-    result.screen_passed =
-        result.routability.peak_utilization <= options.routable_threshold;
+  PlacementResult result = std::move(candidates[static_cast<std::size_t>(best)]);
+  result.winning_restart = best;
+  for (int r = 0; r < restarts; ++r) {
+    if (r == best) continue;
+    result.moves_attempted +=
+        candidates[static_cast<std::size_t>(r)].moves_attempted;
+    result.moves_accepted +=
+        candidates[static_cast<std::size_t>(r)].moves_accepted;
   }
-
-  result.cost = placement_cost(cd, result.placement, options.timing_weight);
-  result.wirelength = placement_cost(cd, result.placement, 0.0);
   NM_LOG(kDebug) << "placement: cost " << result.cost << " wl "
                  << result.wirelength << " peak-util "
-                 << result.routability.peak_utilization;
+                 << result.routability.peak_utilization << " (restart "
+                 << best << " of " << restarts << ")";
   return result;
 }
 

@@ -19,6 +19,7 @@
 #include "arch/nature.h"
 #include "core/temporal_cluster.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace nanomap {
 
@@ -42,6 +43,12 @@ struct PlacementOptions {
   double detailed_effort = 10.0;
   int max_refine_attempts = 2;   // fast-pass refinements before giving up
   double routable_threshold = 1.0;  // peak channel utilization allowed
+  // Independent annealing restarts. Restart r anneals with RNG stream
+  // derive_seed(seed, r); the lowest-cost result wins, ties broken by the
+  // lowest restart index. The restart *count* — not the thread count —
+  // determines the result: restarts are what the thread pool spreads
+  // across cores. restarts = 1 is the historical single-chain placer.
+  int restarts = 1;
 };
 
 struct RoutabilityEstimate {
@@ -58,20 +65,31 @@ struct PlacementResult {
   bool screen_passed = true;  // fast-placement screen verdict
   long moves_attempted = 0;
   long moves_accepted = 0;
+  int winning_restart = 0;  // which seed stream produced this placement
 };
 
 // Weighted multi-cycle HPWL of a full placement (the SA objective).
+// Per-net costs may be evaluated on `pool`; the reduction runs in net
+// order on the calling thread, so the result is identical at any thread
+// count (and bit-identical to the serial loop).
 double placement_cost(const ClusteredDesign& cd, const Placement& placement,
-                      double timing_weight);
+                      double timing_weight, ThreadPool* pool = nullptr);
 
-// RISA-style channel-demand estimate for a placement.
+// RISA-style channel-demand estimate for a placement. Folding cycles are
+// independent congestion domains, so per-cycle demand maps may be built
+// on `pool`; peak/average reduce in cycle order afterwards.
 RoutabilityEstimate estimate_routability(const ClusteredDesign& cd,
                                          const Placement& placement,
-                                         const ArchParams& arch);
+                                         const ArchParams& arch,
+                                         ThreadPool* pool = nullptr);
 
-// Full two-step placement of a clustered design.
+// Full two-step placement of a clustered design. With options.restarts >
+// 1 the independent restarts run as pool tasks (when a pool is given);
+// the returned placement is a pure function of (cd, arch, options) —
+// never of the pool or its size.
 PlacementResult place_design(const ClusteredDesign& cd,
                              const ArchParams& arch,
-                             const PlacementOptions& options = {});
+                             const PlacementOptions& options = {},
+                             ThreadPool* pool = nullptr);
 
 }  // namespace nanomap

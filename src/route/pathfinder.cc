@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <queue>
 
 #include "util/log.h"
@@ -17,33 +18,73 @@ struct QueueEntry {
   bool operator>(const QueueEntry& other) const { return cost > other.cost; }
 };
 
+// Per-route scratch for one A* wavefront. Each concurrently routed net of
+// a batch owns its private SearchState (indexed by batch slot), so the
+// only shared router state during a batch is the read-only occupancy /
+// history snapshot.
+struct SearchState {
+  std::vector<int> parent;
+  std::vector<double> best_cost;
+  std::vector<double> delay_at;
+  std::vector<char> in_tree;
+
+  explicit SearchState(int nodes)
+      : parent(static_cast<std::size_t>(nodes), -1),
+        best_cost(static_cast<std::size_t>(nodes),
+                  std::numeric_limits<double>::infinity()),
+        delay_at(static_cast<std::size_t>(nodes), 0.0),
+        in_tree(static_cast<std::size_t>(nodes), 0) {}
+};
+
 class CycleRouter {
  public:
   CycleRouter(const ClusteredDesign& cd, const Placement& placement,
-              const RrGraph& rr, const RouterOptions& options)
-      : cd_(cd), placement_(placement), rr_(rr), options_(options) {
+              const RrGraph& rr, const RouterOptions& options,
+              ThreadPool* pool)
+      : cd_(cd), placement_(placement), rr_(rr), options_(options),
+        pool_(pool) {
     occ_.assign(static_cast<std::size_t>(rr.size()), 0);
     hist_.assign(static_cast<std::size_t>(rr.size()), 0.0);
-    parent_.assign(static_cast<std::size_t>(rr.size()), -1);
-    best_cost_.assign(static_cast<std::size_t>(rr.size()),
-                      std::numeric_limits<double>::infinity());
-    delay_at_.assign(static_cast<std::size_t>(rr.size()), 0.0);
-    in_tree_.assign(static_cast<std::size_t>(rr.size()), 0);
   }
 
   // Routes all nets of one folding cycle; returns residual overuse count.
+  //
+  // Nets are processed in fixed-size batches: rip up the whole batch,
+  // reroute every member against the occupancy frozen at batch start
+  // (this is the parallel section), then commit occupancies in net order.
+  // Batch composition depends only on net order and options.batch_size,
+  // and each reroute reads only the frozen snapshot plus its private
+  // SearchState — so the result is identical at any thread count, and
+  // batch_size = 1 reproduces the classical sequential PathFinder
+  // negotiation exactly.
   long route_cycle(const std::vector<int>& net_indices,
                    std::vector<NetRoute>* out, int* iterations_used) {
+    const int num_nets = static_cast<int>(net_indices.size());
     std::vector<std::vector<int>> trees(net_indices.size());
     std::vector<NetRoute> routes(net_indices.size());
+    const int batch = std::max(1, options_.batch_size);
+    std::vector<std::unique_ptr<SearchState>> states(
+        static_cast<std::size_t>(std::min(batch, std::max(num_nets, 1))));
 
     double pres_fac = options_.initial_pres_fac;
     long overused = 0;
     int iter = 0;
     for (iter = 1; iter <= options_.max_iterations; ++iter) {
-      for (std::size_t ni = 0; ni < net_indices.size(); ++ni) {
-        rip_up(trees[ni]);
-        routes[ni] = route_net(net_indices[ni], pres_fac, &trees[ni]);
+      for (int start = 0; start < num_nets; start += batch) {
+        const int bn = std::min(batch, num_nets - start);
+        for (int k = 0; k < bn; ++k)
+          rip_up(trees[static_cast<std::size_t>(start + k)]);
+        pool_for_each(pool_, bn, [&](int k) {
+          const std::size_t ni = static_cast<std::size_t>(start + k);
+          std::unique_ptr<SearchState>& state =
+              states[static_cast<std::size_t>(k)];
+          if (!state) state = std::make_unique<SearchState>(rr_.size());
+          routes[ni] = route_net(net_indices[ni], pres_fac, &trees[ni],
+                                 state.get());
+        });
+        for (int k = 0; k < bn; ++k)
+          for (int n : trees[static_cast<std::size_t>(start + k)])
+            ++occ_[static_cast<std::size_t>(n)];
       }
       overused = 0;
       for (int n = 0; n < rr_.size(); ++n) {
@@ -83,7 +124,12 @@ class CycleRouter {
     tree.clear();
   }
 
-  NetRoute route_net(int net_index, double pres_fac, std::vector<int>* tree) {
+  // Routes one net against the current occupancy/history snapshot. Reads
+  // occ_/hist_ only; all mutable search state lives in `ss`, which is
+  // left fully reset on return so the slot can be reused by the next
+  // batch. The caller commits the returned tree's occupancy.
+  NetRoute route_net(int net_index, double pres_fac, std::vector<int>* tree,
+                     SearchState* ss) const {
     const PlacedNet& pn = cd_.nets[static_cast<std::size_t>(net_index)];
     const double crit = pn.criticality;
     NetRoute route;
@@ -105,7 +151,7 @@ class CycleRouter {
     });
 
     std::vector<int> tree_nodes{source};
-    delay_at_[static_cast<std::size_t>(source)] = 0.0;
+    ss->delay_at[static_cast<std::size_t>(source)] = 0.0;
 
     for (int sink_smb : sinks) {
       const int tx = placement_.x_of(sink_smb);
@@ -118,12 +164,12 @@ class CycleRouter {
           pq;
       std::vector<int> touched;
       auto relax = [&](int n, double cost, int par) {
-        if (cost >= best_cost_[static_cast<std::size_t>(n)]) return;
-        if (best_cost_[static_cast<std::size_t>(n)] ==
+        if (cost >= ss->best_cost[static_cast<std::size_t>(n)]) return;
+        if (ss->best_cost[static_cast<std::size_t>(n)] ==
             std::numeric_limits<double>::infinity())
           touched.push_back(n);
-        best_cost_[static_cast<std::size_t>(n)] = cost;
-        parent_[static_cast<std::size_t>(n)] = par;
+        ss->best_cost[static_cast<std::size_t>(n)] = cost;
+        ss->parent[static_cast<std::size_t>(n)] = par;
         const RrNode& node = rr_.node(n);
         double est = options_.astar_weight *
                      (std::abs(node.x - tx) + std::abs(node.y - ty));
@@ -138,7 +184,7 @@ class CycleRouter {
         const RrNode& node = rr_.node(n);
         double est = options_.astar_weight *
                      (std::abs(node.x - tx) + std::abs(node.y - ty));
-        if (prio - est > best_cost_[static_cast<std::size_t>(n)] + 1e-12)
+        if (prio - est > ss->best_cost[static_cast<std::size_t>(n)] + 1e-12)
           continue;  // stale entry
         if (n == target) {
           found = n;
@@ -146,7 +192,7 @@ class CycleRouter {
         }
         for (int next : node.edges) {
           relax(next,
-                best_cost_[static_cast<std::size_t>(n)] +
+                ss->best_cost[static_cast<std::size_t>(n)] +
                     node_cost(next, pres_fac, crit),
                 n);
         }
@@ -156,48 +202,49 @@ class CycleRouter {
 
       // Walk back to the tree, appending new nodes.
       std::vector<int> path;
-      for (int n = found; n != -1 && !in_tree_[static_cast<std::size_t>(n)];
-           n = parent_[static_cast<std::size_t>(n)]) {
+      for (int n = found;
+           n != -1 && !ss->in_tree[static_cast<std::size_t>(n)];
+           n = ss->parent[static_cast<std::size_t>(n)]) {
         path.push_back(n);
-        if (parent_[static_cast<std::size_t>(n)] == -1) break;
+        if (ss->parent[static_cast<std::size_t>(n)] == -1) break;
       }
       // parent chain stops at a node already in the tree (or the seed with
       // parent -1, which is in tree_nodes).
-      int join = parent_[static_cast<std::size_t>(path.back())];
+      int join = ss->parent[static_cast<std::size_t>(path.back())];
       double base_delay =
-          join >= 0 ? delay_at_[static_cast<std::size_t>(join)] : 0.0;
-      if (!in_tree_[static_cast<std::size_t>(path.back())] && join < 0) {
-        // Seed node itself: delay_at_ already set.
+          join >= 0 ? ss->delay_at[static_cast<std::size_t>(join)] : 0.0;
+      if (!ss->in_tree[static_cast<std::size_t>(path.back())] && join < 0) {
+        // Seed node itself: delay_at already set.
         base_delay = 0.0;
       }
       for (auto it = path.rbegin(); it != path.rend(); ++it) {
         base_delay += rr_.node(*it).delay_ps;
-        delay_at_[static_cast<std::size_t>(*it)] = base_delay;
+        ss->delay_at[static_cast<std::size_t>(*it)] = base_delay;
         tree_nodes.push_back(*it);
-        in_tree_[static_cast<std::size_t>(*it)] = 1;
+        ss->in_tree[static_cast<std::size_t>(*it)] = 1;
       }
 
       route.sink_smbs.push_back(sink_smb);
       route.sink_delay_ps.push_back(
-          delay_at_[static_cast<std::size_t>(target)]);
+          ss->delay_at[static_cast<std::size_t>(target)]);
 
       // Reset search state.
       for (int n : touched) {
-        best_cost_[static_cast<std::size_t>(n)] =
+        ss->best_cost[static_cast<std::size_t>(n)] =
             std::numeric_limits<double>::infinity();
-        parent_[static_cast<std::size_t>(n)] = -1;
+        ss->parent[static_cast<std::size_t>(n)] = -1;
       }
       // Seeds were marked in_tree only after path walk; mark all.
-      for (int n : tree_nodes) in_tree_[static_cast<std::size_t>(n)] = 1;
+      for (int n : tree_nodes) ss->in_tree[static_cast<std::size_t>(n)] = 1;
     }
 
-    // Commit occupancy once per node.
+    // Hand the deduplicated tree to the caller (occupancy is committed
+    // there, in net order) and scrub the in_tree flags for slot reuse.
     std::sort(tree_nodes.begin(), tree_nodes.end());
     tree_nodes.erase(std::unique(tree_nodes.begin(), tree_nodes.end()),
                      tree_nodes.end());
     for (int n : tree_nodes) {
-      ++occ_[static_cast<std::size_t>(n)];
-      in_tree_[static_cast<std::size_t>(n)] = 0;
+      ss->in_tree[static_cast<std::size_t>(n)] = 0;
       RrType t = rr_.node(n).type;
       if (t != RrType::kOpin && t != RrType::kIpin)
         route.wire_nodes.push_back(n);
@@ -210,20 +257,17 @@ class CycleRouter {
   const Placement& placement_;
   const RrGraph& rr_;
   const RouterOptions& options_;
+  ThreadPool* pool_;
 
   std::vector<int> occ_;
   std::vector<double> hist_;
-  std::vector<int> parent_;
-  std::vector<double> best_cost_;
-  std::vector<double> delay_at_;
-  std::vector<char> in_tree_;
 };
 
 }  // namespace
 
 RoutingResult route_design(const ClusteredDesign& cd,
                            const Placement& placement, const RrGraph& rr,
-                           const RouterOptions& options) {
+                           const RouterOptions& options, ThreadPool* pool) {
   RoutingResult result;
   std::vector<std::vector<int>> per_cycle(
       static_cast<std::size_t>(cd.num_cycles));
@@ -232,7 +276,7 @@ RoutingResult route_design(const ClusteredDesign& cd,
         static_cast<int>(i));
 
   for (int c = 0; c < cd.num_cycles; ++c) {
-    CycleRouter router(cd, placement, rr, options);
+    CycleRouter router(cd, placement, rr, options, pool);
     int iters = 0;
     long overused =
         router.route_cycle(per_cycle[static_cast<std::size_t>(c)],

@@ -17,6 +17,7 @@
 
 #include "place/placement.h"
 #include "route/rr_graph.h"
+#include "util/thread_pool.h"
 
 namespace nanomap {
 
@@ -31,6 +32,14 @@ struct RouterOptions {
   bool timing_driven = true;
   double delay_norm_ps = 300.0;
   std::uint64_t seed = 7;
+  // Nets ripped up and rerouted per batch within a PathFinder iteration.
+  // All nets of a batch are ripped up first, then rerouted against the
+  // occupancy frozen at batch start (so batch members can run on pool
+  // threads), then committed in net order. batch_size = 1 is the
+  // classical strictly sequential negotiation — today's exact behavior.
+  // Larger batches change the negotiation schedule (deterministically:
+  // results depend on the batch size, never on the thread count).
+  int batch_size = 1;
 };
 
 // Routed path delays for one net (one entry per sink SMB).
@@ -57,8 +66,13 @@ struct RoutingResult {
   WireUsage usage;         // wire-node occupancy summed over all cycles
 };
 
+// Routes every folding cycle. With a pool and options.batch_size > 1 the
+// nets inside a rip-up batch are rerouted concurrently; the routed trees
+// are a pure function of (cd, placement, rr, options) — never of the
+// pool or its thread count.
 RoutingResult route_design(const ClusteredDesign& cd,
                            const Placement& placement, const RrGraph& rr,
-                           const RouterOptions& options = {});
+                           const RouterOptions& options = {},
+                           ThreadPool* pool = nullptr);
 
 }  // namespace nanomap

@@ -79,4 +79,19 @@ class Rng {
   std::uint64_t state_ = 0;
 };
 
+// Derives the seed of independent RNG stream `stream` from a base seed
+// (splitmix64 finalizer). Stream 0 is the base seed itself, so a
+// single-stream run is bit-for-bit the historical single-Rng behavior;
+// higher streams are decorrelated. Used by the multi-seed parallel
+// placement restarts: the stream index — never the executing thread —
+// identifies a restart, which is what keeps results independent of the
+// thread count.
+inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t stream) {
+  if (stream == 0) return base;
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * stream;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 }  // namespace nanomap

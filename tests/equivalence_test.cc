@@ -153,6 +153,34 @@ TEST_P(FoldedEquivalenceRandom, RandomSequentialDesigns) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FoldedEquivalenceRandom,
                          ::testing::Range(0, 6));
 
+// Randomized differential sweep: for every seed, a fresh random
+// sequential design is mapped at level-1, level-2 and no-folding, and the
+// folded execution (bitstream emulator) is checked against direct netlist
+// simulation on 64 random input vectors per configuration. This is the
+// broad-coverage arm of the equivalence suite — the targeted tests above
+// pin down specific circuits, this one sweeps the mapping space.
+class DifferentialSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialSweep, FoldedBitstreamMatchesNetlistOn64Vectors) {
+  const int seed = GetParam();
+  RandomDagSpec spec;
+  spec.num_planes = 1 + seed % 2;
+  spec.luts_per_plane = 24 + seed * 9;
+  spec.depth = 5 + seed % 3;
+  spec.num_inputs = 10 + seed;
+  spec.regs_per_plane = 4 + seed % 4;
+  spec.seed = 1000 + static_cast<std::uint64_t>(seed) * 131;
+  Design d = make_random_design(spec);
+  for (int level : {1, 2, 0}) {  // level-1, level-2, no-folding
+    expect_folded_equivalent(d, level,
+                             500 + static_cast<std::uint64_t>(seed) * 7 +
+                                 static_cast<std::uint64_t>(level),
+                             /*steps=*/64);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSweep, ::testing::Range(0, 5));
+
 TEST(FoldedEmulator, StorageTelemetryMakesSense) {
   Design d = make_ex1(6);
   ArchParams arch = ArchParams::paper_instance_unbounded_k();

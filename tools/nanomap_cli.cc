@@ -17,6 +17,10 @@
 //   --dump-arch       print the resolved architecture parameters and exit
 //   --no-share        planes may not share resources (pipelined design)
 //   --seed S          random seed for placement/routing
+//   --threads N       worker threads (0 = hardware concurrency; never
+//                     changes results, only wall-clock time)
+//   --restarts N      independent placement restarts (best placement wins)
+//   --route-batch N   nets per PathFinder rip-up batch (1 = sequential)
 //   --out FILE        write the configuration bitmap (binary)
 //   --blif-out FILE   write the elaborated LUT netlist as BLIF
 //   --sweep           run netlist cleanup (DCE/CSE/constants) first
@@ -64,7 +68,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.{nmap,blif,vhd}|bench:NAME> [--objective "
                "at|delay|area|both] [--area N] [--delay NS] [--level L] "
-               "[--k N] [--no-share] [--seed S] [--out FILE] "
+               "[--k N] [--no-share] [--seed S] [--threads N] "
+               "[--restarts N] [--route-batch N] [--out FILE] "
                "[--blif-out FILE] [--report] [--quiet]\n",
                argv0);
   return 2;
@@ -118,6 +123,12 @@ int main(int argc, char** argv) {
       opts.planes_share = false;
     } else if (arg == "--seed") {
       opts.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--threads") {
+      opts.threads = std::atoi(next().c_str());
+    } else if (arg == "--restarts") {
+      opts.placement.restarts = std::atoi(next().c_str());
+    } else if (arg == "--route-batch") {
+      opts.router.batch_size = std::atoi(next().c_str());
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--blif-out") {
