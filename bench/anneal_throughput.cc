@@ -1,0 +1,358 @@
+// Annealer move-throughput tracker: runs the incremental-bbox annealer
+// and the pre-PR-2 from-scratch reference on the standard circuits (plus
+// synthetic high-fanout designs) and writes moves/sec for both to
+// BENCH_anneal.json, so the placement kernel's perf trajectory is pinned
+// from PR 2 on.
+//
+//   ./build/bench/anneal_throughput [out.json]
+//
+// The reference below is a faithful copy of the seed Annealer: full
+// O(fanout) bounding-box recompute per incident net per move, plus a
+// heap-allocated sort+unique net list on every swap. It makes the exact
+// same RNG draws and accept/reject decisions as the incremental kernel,
+// so both engines must land on byte-identical placements — checked per
+// circuit and reported in the JSON ("identical") — and the ratio of their
+// throughputs is a pure like-for-like kernel speedup.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "circuits/benchmarks.h"
+#include "core/temporal_cluster.h"
+#include "netlist/plane.h"
+#include "place/annealer.h"
+
+using namespace nanomap;
+
+namespace {
+
+// ---- Reference engine: the seed-repo annealer, kept verbatim. ----------
+class LegacyAnnealer {
+ public:
+  LegacyAnnealer(const ClusteredDesign& cd, const Placement& initial,
+                 double timing_weight, Rng* rng)
+      : cd_(cd), placement_(initial), rng_(rng) {
+    smb_at_site_.assign(static_cast<std::size_t>(placement_.grid.sites()),
+                        -1);
+    for (int m = 0; m < cd.num_smbs; ++m) {
+      int site = placement_.site_of_smb[static_cast<std::size_t>(m)];
+      smb_at_site_[static_cast<std::size_t>(site)] = m;
+    }
+    nets_of_.assign(static_cast<std::size_t>(cd.num_smbs), {});
+    net_weight_.reserve(cd.nets.size());
+    for (std::size_t i = 0; i < cd.nets.size(); ++i) {
+      const PlacedNet& pn = cd.nets[i];
+      net_weight_.push_back(1.0 + timing_weight * pn.criticality);
+      nets_of_[static_cast<std::size_t>(pn.driver_smb)].push_back(
+          static_cast<int>(i));
+      for (int s : pn.sink_smbs)
+        nets_of_[static_cast<std::size_t>(s)].push_back(static_cast<int>(i));
+    }
+    cost_ = 0.0;
+    for (std::size_t i = 0; i < cd_.nets.size(); ++i)
+      cost_ += net_cost(static_cast<int>(i));
+  }
+
+  void run(double effort) {
+    if (cd_.num_smbs <= 1 || cd_.nets.empty()) return;
+    const int n = cd_.num_smbs;
+    const long moves_per_t = std::max<long>(
+        16, static_cast<long>(effort * std::pow(static_cast<double>(n),
+                                                4.0 / 3.0)));
+    double sum = 0.0, sum2 = 0.0;
+    const int samples = std::min(128, 8 * n);
+    for (int i = 0; i < samples; ++i) {
+      double c0 = cost_;
+      try_move(1e18, placement_.grid.width);
+      double d = cost_ - c0;
+      sum += d;
+      sum2 += d * d;
+    }
+    double mean = sum / samples;
+    double var = std::max(0.0, sum2 / samples - mean * mean);
+    double t = 20.0 * std::sqrt(var) + 1e-6;
+    int rlim = std::max(1, placement_.grid.width);
+    const double exit_t =
+        0.005 * std::max(1.0, cost_) / static_cast<double>(cd_.nets.size());
+    while (t > exit_t) {
+      long accepted = 0;
+      for (long i = 0; i < moves_per_t; ++i) {
+        if (try_move(t, rlim)) ++accepted;
+      }
+      double rate = static_cast<double>(accepted) /
+                    static_cast<double>(moves_per_t);
+      if (rate > 0.96) {
+        t *= 0.5;
+      } else if (rate > 0.8) {
+        t *= 0.9;
+      } else if (rate > 0.15 && rlim > 1) {
+        t *= 0.95;
+      } else {
+        t *= 0.8;
+      }
+      double factor = 1.0 - 0.44 + rate;
+      rlim = std::clamp(static_cast<int>(std::lround(rlim * factor)), 1,
+                        placement_.grid.width);
+    }
+    for (long i = 0; i < moves_per_t; ++i) try_move(0.0, 1);
+  }
+
+  const Placement& placement() const { return placement_; }
+  long moves_attempted() const { return moves_attempted_; }
+
+ private:
+  double net_cost(int net) const {
+    const PlacedNet& pn = cd_.nets[static_cast<std::size_t>(net)];
+    int xmin = placement_.x_of(pn.driver_smb);
+    int xmax = xmin;
+    int ymin = placement_.y_of(pn.driver_smb);
+    int ymax = ymin;
+    for (int s : pn.sink_smbs) {
+      xmin = std::min(xmin, placement_.x_of(s));
+      xmax = std::max(xmax, placement_.x_of(s));
+      ymin = std::min(ymin, placement_.y_of(s));
+      ymax = std::max(ymax, placement_.y_of(s));
+    }
+    return net_weight_[static_cast<std::size_t>(net)] *
+           static_cast<double>((xmax - xmin) + (ymax - ymin));
+  }
+
+  double incident_cost(int smb) const {
+    double c = 0.0;
+    for (int n : nets_of_[static_cast<std::size_t>(smb)]) c += net_cost(n);
+    return c;
+  }
+
+  bool try_move(double t, int rlim) {
+    ++moves_attempted_;
+    if (cd_.num_smbs == 0) return false;
+    int smb = static_cast<int>(rng_->next_below(
+        static_cast<std::uint64_t>(cd_.num_smbs)));
+    int from = placement_.site_of_smb[static_cast<std::size_t>(smb)];
+    int fx = from % placement_.grid.width;
+    int fy = from / placement_.grid.width;
+    int tx = std::clamp(fx + rng_->next_int(-rlim, rlim), 0,
+                        placement_.grid.width - 1);
+    int ty = std::clamp(fy + rng_->next_int(-rlim, rlim), 0,
+                        placement_.grid.height - 1);
+    int to = ty * placement_.grid.width + tx;
+    if (to == from) return false;
+    int other = smb_at_site_[static_cast<std::size_t>(to)];
+
+    double before = incident_cost(smb);
+    if (other >= 0) {
+      before = 0.0;
+      std::vector<int> nets = nets_of_[static_cast<std::size_t>(smb)];
+      nets.insert(nets.end(),
+                  nets_of_[static_cast<std::size_t>(other)].begin(),
+                  nets_of_[static_cast<std::size_t>(other)].end());
+      std::sort(nets.begin(), nets.end());
+      nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+      for (int n : nets) before += net_cost(n);
+
+      placement_.site_of_smb[static_cast<std::size_t>(smb)] = to;
+      placement_.site_of_smb[static_cast<std::size_t>(other)] = from;
+      smb_at_site_[static_cast<std::size_t>(to)] = smb;
+      smb_at_site_[static_cast<std::size_t>(from)] = other;
+      double after = 0.0;
+      for (int n : nets) after += net_cost(n);
+      double delta = after - before;
+      if (delta <= 0.0 ||
+          (t > 0.0 && rng_->next_double() < std::exp(-delta / t))) {
+        cost_ += delta;
+        return true;
+      }
+      placement_.site_of_smb[static_cast<std::size_t>(smb)] = from;
+      placement_.site_of_smb[static_cast<std::size_t>(other)] = to;
+      smb_at_site_[static_cast<std::size_t>(to)] = other;
+      smb_at_site_[static_cast<std::size_t>(from)] = smb;
+      return false;
+    }
+
+    placement_.site_of_smb[static_cast<std::size_t>(smb)] = to;
+    smb_at_site_[static_cast<std::size_t>(to)] = smb;
+    smb_at_site_[static_cast<std::size_t>(from)] = -1;
+    double after = incident_cost(smb);
+    double delta = after - before;
+    if (delta <= 0.0 ||
+        (t > 0.0 && rng_->next_double() < std::exp(-delta / t))) {
+      cost_ += delta;
+      return true;
+    }
+    placement_.site_of_smb[static_cast<std::size_t>(smb)] = from;
+    smb_at_site_[static_cast<std::size_t>(from)] = smb;
+    smb_at_site_[static_cast<std::size_t>(to)] = -1;
+    return false;
+  }
+
+  const ClusteredDesign& cd_;
+  Placement placement_;
+  std::vector<int> smb_at_site_;
+  std::vector<std::vector<int>> nets_of_;
+  std::vector<double> net_weight_;
+  double cost_ = 0.0;
+  Rng* rng_;
+  long moves_attempted_ = 0;
+};
+// ------------------------------------------------------------------------
+
+struct Row {
+  std::string name;
+  int smbs = 0;
+  int nets = 0;
+  double avg_fanout = 0.0;
+  double legacy_mps = 0.0;
+  double incremental_mps = 0.0;
+  bool identical = false;
+};
+
+Placement initial_for(const ClusteredDesign& cd, std::uint64_t seed) {
+  Rng rng(seed);
+  Placement p;
+  p.grid = size_grid_for(cd.num_smbs);
+  std::vector<int> sites(static_cast<std::size_t>(p.grid.sites()));
+  for (int i = 0; i < p.grid.sites(); ++i)
+    sites[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(sites);
+  p.site_of_smb.assign(sites.begin(), sites.begin() + cd.num_smbs);
+  return p;
+}
+
+template <typename Engine>
+double measure_mps(const ClusteredDesign& cd, const Placement& init,
+                   double effort, Placement* final_placement) {
+  // One warm-up, then timed repeats until >= 0.2 s accumulated.
+  double seconds = 0.0;
+  long moves = 0;
+  int reps = 0;
+  while (seconds < 0.2 || reps < 2) {
+    Rng rng(7);
+    Engine engine(cd, init, 0.8, &rng);
+    auto t0 = std::chrono::steady_clock::now();
+    engine.run(effort);
+    auto t1 = std::chrono::steady_clock::now();
+    if (reps > 0) {  // skip the cold-cache rep
+      seconds += std::chrono::duration<double>(t1 - t0).count();
+      moves += engine.moves_attempted();
+    }
+    *final_placement = engine.placement();
+    ++reps;
+    if (reps > 200) break;
+  }
+  return seconds > 0 ? static_cast<double>(moves) / seconds : 0.0;
+}
+
+Row measure(const std::string& name, const ClusteredDesign& cd,
+            double effort) {
+  Row row;
+  row.name = name;
+  row.smbs = cd.num_smbs;
+  row.nets = static_cast<int>(cd.nets.size());
+  std::size_t pins = 0;
+  for (const PlacedNet& pn : cd.nets) pins += pn.sink_smbs.size();
+  row.avg_fanout = cd.nets.empty()
+                       ? 0.0
+                       : static_cast<double>(pins) /
+                             static_cast<double>(cd.nets.size());
+  Placement init = initial_for(cd, 42);
+  Placement legacy_final, incr_final;
+  row.legacy_mps = measure_mps<LegacyAnnealer>(cd, init, effort,
+                                               &legacy_final);
+  row.incremental_mps = measure_mps<Annealer>(cd, init, effort,
+                                              &incr_final);
+  row.identical = legacy_final.site_of_smb == incr_final.site_of_smb;
+  return row;
+}
+
+ClusteredDesign cluster_circuit(const std::string& name, int level) {
+  Design d = make_benchmark(name);
+  CircuitParams p = extract_circuit_params(d.net);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched;
+  sched.folding = make_folding_config(p, level);
+  sched.planes_share = !sched.folding.no_folding();
+  for (int plane = 0; plane < p.num_plane; ++plane) {
+    PlaneScheduleGraph g = build_schedule_graph(d, plane, sched.folding);
+    sched.plane_results.push_back(schedule_plane(g, arch));
+    sched.graphs.push_back(std::move(g));
+  }
+  return temporal_cluster(d, sched, arch);
+}
+
+ClusteredDesign synthetic_fanout(int smbs, int nets, int fanout,
+                                 std::uint64_t seed) {
+  ClusteredDesign cd;
+  cd.num_cycles = 1;
+  cd.num_smbs = smbs;
+  Rng rng(seed);
+  for (int i = 0; i < nets; ++i) {
+    PlacedNet pn;
+    pn.driver_smb = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(smbs)));
+    pn.criticality = rng.next_double();
+    std::set<int> sinks;
+    while (static_cast<int>(sinks.size()) < fanout) {
+      int s = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(smbs)));
+      if (s != pn.driver_smb) sinks.insert(s);
+    }
+    pn.sink_smbs.assign(sinks.begin(), sinks.end());
+    cd.nets.push_back(std::move(pn));
+  }
+  return cd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_anneal.json";
+  std::vector<Row> rows;
+
+  // The paper's standard circuits, clustered at folding level 1.
+  for (const std::string& name : benchmark_names())
+    rows.push_back(measure(name, cluster_circuit(name, 1), 1.0));
+
+  // Synthetic fanout sweep: the regime the incremental kernel targets.
+  for (int fanout : {8, 16, 32})
+    rows.push_back(measure("synthetic-fanout" + std::to_string(fanout),
+                           synthetic_fanout(256, 512, fanout, 99), 1.0));
+
+  std::ofstream out(out_path);
+  out << "{\n  \"unit\": \"moves/sec\",\n"
+      << "  \"legacy\": \"seed annealer, O(fanout) bbox recompute per "
+         "incident net per move\",\n"
+      << "  \"incremental\": \"PR 2 cached-bbox kernel (net_bbox.h)\",\n"
+      << "  \"rows\": [\n";
+  bool all_identical = true;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    all_identical = all_identical && r.identical;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"circuit\": \"%s\", \"smbs\": %d, \"nets\": %d, "
+        "\"avg_fanout\": %.2f, \"legacy_moves_per_sec\": %.0f, "
+        "\"incremental_moves_per_sec\": %.0f, \"speedup\": %.2f, "
+        "\"identical_placement\": %s}%s\n",
+        r.name.c_str(), r.smbs, r.nets, r.avg_fanout, r.legacy_mps,
+        r.incremental_mps,
+        r.legacy_mps > 0 ? r.incremental_mps / r.legacy_mps : 0.0,
+        r.identical ? "true" : "false",
+        i + 1 < rows.size() ? "," : "");
+    out << buf;
+    std::printf("%-22s smbs %4d nets %4d fanout %5.2f  legacy %10.0f  "
+                "incremental %10.0f  speedup %5.2fx  identical %s\n",
+                r.name.c_str(), r.smbs, r.nets, r.avg_fanout, r.legacy_mps,
+                r.incremental_mps,
+                r.legacy_mps > 0 ? r.incremental_mps / r.legacy_mps : 0.0,
+                r.identical ? "yes" : "NO");
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}

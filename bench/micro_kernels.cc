@@ -5,10 +5,13 @@
 // CPU-time claim.
 #include <benchmark/benchmark.h>
 
+#include <set>
+
 #include "circuits/benchmarks.h"
 #include "circuits/random_dag.h"
 #include "flow/nanomap_flow.h"
 #include "map/flowmap.h"
+#include "place/annealer.h"
 
 using namespace nanomap;
 
@@ -84,6 +87,53 @@ void BM_Placement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Placement)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
+
+// Raw annealer move throughput (items/sec = moves/sec) at a given net
+// fanout. This is the kernel the incremental bounding-box cache (PR 2)
+// accelerates: with cached boxes a move costs O(incident nets) instead of
+// O(sum of incident fanouts), so throughput should be nearly flat in the
+// fanout argument rather than collapsing linearly.
+void BM_AnnealMoves(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  const int smbs = 256;
+  ClusteredDesign cd;
+  cd.num_cycles = 1;
+  cd.num_smbs = smbs;
+  Rng gen(99);
+  for (int i = 0; i < 512; ++i) {
+    PlacedNet pn;
+    pn.driver_smb = static_cast<int>(
+        gen.next_below(static_cast<std::uint64_t>(smbs)));
+    pn.criticality = gen.next_double();
+    std::set<int> sinks;
+    while (static_cast<int>(sinks.size()) < fanout) {
+      int s = static_cast<int>(
+          gen.next_below(static_cast<std::uint64_t>(smbs)));
+      if (s != pn.driver_smb) sinks.insert(s);
+    }
+    pn.sink_smbs.assign(sinks.begin(), sinks.end());
+    cd.nets.push_back(std::move(pn));
+  }
+  Placement init;
+  init.grid = size_grid_for(cd.num_smbs);
+  std::vector<int> sites(static_cast<std::size_t>(init.grid.sites()));
+  for (int i = 0; i < init.grid.sites(); ++i)
+    sites[static_cast<std::size_t>(i)] = i;
+  gen.shuffle(sites);
+  init.site_of_smb.assign(sites.begin(), sites.begin() + cd.num_smbs);
+
+  long moves = 0;
+  for (auto _ : state) {
+    Rng rng(7);
+    Annealer a(cd, init, 0.8, &rng);
+    a.run(1.0);
+    moves += a.moves_attempted();
+    benchmark::DoNotOptimize(a.running_cost());
+  }
+  state.SetItemsProcessed(moves);
+}
+BENCHMARK(BM_AnnealMoves)->Arg(2)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Router(benchmark::State& state) {
   Design d = make_benchmark("ex1");

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace nanomap {
 
 Annealer::Annealer(const ClusteredDesign& cd, const Placement& initial,
                    double timing_weight, Rng* rng, ThreadPool* pool)
-    : cd_(cd), placement_(initial), rng_(rng) {
+    : cd_(cd), placement_(initial), timing_weight_(timing_weight),
+      rng_(rng) {
   NM_CHECK(rng != nullptr);
   smb_at_site_.assign(static_cast<std::size_t>(placement_.grid.sites()), -1);
   for (int m = 0; m < cd.num_smbs; ++m) {
@@ -16,43 +18,55 @@ Annealer::Annealer(const ClusteredDesign& cd, const Placement& initial,
                  "two SMBs on site " << site);
     smb_at_site_[static_cast<std::size_t>(site)] = m;
   }
+  // Incident lists, ascending by net index. All pins of net i append
+  // consecutively, so duplicates (driver+sink in one SMB, repeated sink
+  // pins) collapse into one entry with a pin count — the entry dedup is
+  // what keeps a net from being double-counted in the move-cost sums.
   nets_of_.assign(static_cast<std::size_t>(cd.num_smbs), {});
+  auto add_pin = [&](int smb, int net) {
+    std::vector<IncidentNet>& list = nets_of_[static_cast<std::size_t>(smb)];
+    if (!list.empty() && list.back().net == net)
+      ++list.back().pins;
+    else
+      list.push_back({net, 1});
+  };
   net_weight_.reserve(cd.nets.size());
   for (std::size_t i = 0; i < cd.nets.size(); ++i) {
     const PlacedNet& pn = cd.nets[i];
     net_weight_.push_back(1.0 + timing_weight * pn.criticality);
-    nets_of_[static_cast<std::size_t>(pn.driver_smb)].push_back(
-        static_cast<int>(i));
-    for (int s : pn.sink_smbs)
-      nets_of_[static_cast<std::size_t>(s)].push_back(static_cast<int>(i));
+    add_pin(pn.driver_smb, static_cast<int>(i));
+    for (int s : pn.sink_smbs) add_pin(s, static_cast<int>(i));
   }
-  std::vector<double> per_net(cd_.nets.size());
-  pool_for_each(pool, static_cast<int>(cd_.nets.size()), [&](int i) {
-    per_net[static_cast<std::size_t>(i)] = net_cost(i);
-  });
+  // Sentinel entry terminating every list: the swap-move merge in
+  // try_move runs branch-light off it (no per-step bounds checks).
+  for (std::vector<IncidentNet>& list : nets_of_)
+    list.push_back({std::numeric_limits<int>::max(), 0});
+
+  boxes_.init(cd_, placement_, pool);
+  // Reduce in net order: bit-identical to the historical serial per-net
+  // recompute loop at any thread count.
   cost_ = 0.0;
-  for (double c : per_net) cost_ += c;
-}
-
-double Annealer::net_cost(int net) const {
-  const PlacedNet& pn = cd_.nets[static_cast<std::size_t>(net)];
-  int xmin = placement_.x_of(pn.driver_smb);
-  int xmax = xmin;
-  int ymin = placement_.y_of(pn.driver_smb);
-  int ymax = ymin;
-  for (int s : pn.sink_smbs) {
-    xmin = std::min(xmin, placement_.x_of(s));
-    xmax = std::max(xmax, placement_.x_of(s));
-    ymin = std::min(ymin, placement_.y_of(s));
-    ymax = std::max(ymax, placement_.y_of(s));
+  cost_of_.reserve(cd_.nets.size());
+  for (std::size_t i = 0; i < cd_.nets.size(); ++i) {
+    cost_of_.push_back(cached_net_cost(static_cast<int>(i)));
+    cost_ += cost_of_.back();
   }
-  return net_weight_[static_cast<std::size_t>(net)] *
-         static_cast<double>((xmax - xmin) + (ymax - ymin));
+
+  // Move-loop scratch: a move touches at most the union of two incident
+  // lists, so this sizing makes try_move allocation-free.
+  std::size_t max_incident = 0;
+  for (const std::vector<IncidentNet>& list : nets_of_)
+    max_incident = std::max(max_incident, list.size());
+  touched_nets_.resize(2 * max_incident);
+  touched_boxes_.resize(2 * max_incident);
+  touched_costs_.resize(2 * max_incident);
+  net_stamp_.assign(cd_.nets.size(), 0);
 }
 
-double Annealer::incident_cost(int smb) const {
+double Annealer::cost() const {
   double c = 0.0;
-  for (int n : nets_of_[static_cast<std::size_t>(smb)]) c += net_cost(n);
+  for (std::size_t i = 0; i < cd_.nets.size(); ++i)
+    c += cached_net_cost(static_cast<int>(i));
   return c;
 }
 
@@ -62,8 +76,8 @@ bool Annealer::try_move(double t, int rlim) {
   int smb = static_cast<int>(rng_->next_below(
       static_cast<std::uint64_t>(cd_.num_smbs)));
   int from = placement_.site_of_smb[static_cast<std::size_t>(smb)];
-  int fx = from % placement_.grid.width;
-  int fy = from / placement_.grid.width;
+  int fx = boxes_.x_of(smb);  // mirror of from % width / from / width
+  int fy = boxes_.y_of(smb);
   int tx = std::clamp(fx + rng_->next_int(-rlim, rlim), 0,
                       placement_.grid.width - 1);
   int ty = std::clamp(fy + rng_->next_int(-rlim, rlim), 0,
@@ -72,53 +86,136 @@ bool Annealer::try_move(double t, int rlim) {
   if (to == from) return false;
   int other = smb_at_site_[static_cast<std::size_t>(to)];
 
-  double before = incident_cost(smb);
-  if (other >= 0) {
-    // Avoid double-counting nets incident to both.
-    before = 0.0;
-    std::vector<int> nets = nets_of_[static_cast<std::size_t>(smb)];
-    nets.insert(nets.end(), nets_of_[static_cast<std::size_t>(other)].begin(),
-                nets_of_[static_cast<std::size_t>(other)].end());
-    std::sort(nets.begin(), nets.end());
-    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
-    for (int n : nets) before += net_cost(n);
+#ifdef NANOMAP_AUDIT_COST
+  ++move_gen_;
+#endif
+  n_touched_ = 0;
 
-    placement_.site_of_smb[static_cast<std::size_t>(smb)] = to;
-    placement_.site_of_smb[static_cast<std::size_t>(other)] = from;
-    smb_at_site_[static_cast<std::size_t>(to)] = smb;
-    smb_at_site_[static_cast<std::size_t>(from)] = other;
-    double after = 0.0;
-    for (int n : nets) after += net_cost(n);
-    double delta = after - before;
-    if (delta <= 0.0 ||
-        (t > 0.0 && rng_->next_double() < std::exp(-delta / t))) {
-      cost_ += delta;
-      ++moves_accepted_;
-      return true;
-    }
-    placement_.site_of_smb[static_cast<std::size_t>(smb)] = from;
-    placement_.site_of_smb[static_cast<std::size_t>(other)] = to;
-    smb_at_site_[static_cast<std::size_t>(to)] = other;
-    smb_at_site_[static_cast<std::size_t>(from)] = smb;
-    return false;
-  }
-
+  // Apply the placement flip (and the cache's coordinate mirror) up front
+  // so any shrink-edge rescan inside the box updates below reads every
+  // pin at its final site.
   placement_.site_of_smb[static_cast<std::size_t>(smb)] = to;
   smb_at_site_[static_cast<std::size_t>(to)] = smb;
-  smb_at_site_[static_cast<std::size_t>(from)] = -1;
-  double after = incident_cost(smb);
+  smb_at_site_[static_cast<std::size_t>(from)] = other;  // -1 if plain move
+  boxes_.set_smb_xy(smb, tx, ty);
+  if (other >= 0) {
+    placement_.site_of_smb[static_cast<std::size_t>(other)] = from;
+    boxes_.set_smb_xy(other, fx, fy);
+  }
+
+  // Single pass over the affected nets in ascending net order — for a
+  // swap, a two-way merge of the two sentinel-terminated sorted incident
+  // lists, written so the take-left/take-right selection compiles to
+  // conditional moves instead of an unpredictable branch ladder. Per net:
+  // fold its pre-move cost into `before`, dry-run the box update on a
+  // scratch copy in touched_, fold the post-move cost into `after`. The
+  // cached boxes themselves are untouched until the move is accepted, so
+  // rejection needs no box rollback at all. The ascending order keeps
+  // both sums in the exact floating-point order of the historical
+  // sort+unique evaluation, so delta — and every accept/reject decision —
+  // is bit-identical to the seed annealer.
+  double before = 0.0;
+  double after = 0.0;
+  auto process = [&](int net, int fwd_pins, int rev_pins) {
+    std::size_t n = static_cast<std::size_t>(net);
+#ifdef NANOMAP_AUDIT_COST
+    // The merge (and the deduped incident lists) guarantee each net is
+    // visited at most once per move; the generation stamp only verifies
+    // that invariant in audit builds — release pays nothing for it.
+    NM_CHECK_MSG(net_stamp_[n] != move_gen_,
+                 "net " << net << " visited twice in one move");
+    net_stamp_[n] = move_gen_;
+#endif
+    int k = n_touched_++;
+    touched_nets_[static_cast<std::size_t>(k)] = net;
+    NetBox& nb = touched_boxes_[static_cast<std::size_t>(k)];
+    nb = boxes_.box(net);
+    before += cost_of_[n];
+    boxes_.update_box(&nb, net, fx, fy, tx, ty, fwd_pins, rev_pins);
+    double nc = net_weight_[n] * static_cast<double>(nb.hpwl());
+    touched_costs_[static_cast<std::size_t>(k)] = nc;
+    after += nc;
+  };
+  const std::vector<IncidentNet>& mine =
+      nets_of_[static_cast<std::size_t>(smb)];
+  if (other >= 0) {
+    const std::vector<IncidentNet>& theirs =
+        nets_of_[static_cast<std::size_t>(other)];
+    std::size_t i = 0, j = 0;
+    const std::size_t last = mine.size() + theirs.size() - 2;
+    while (i + j < last) {
+      int a = mine[i].net;
+      int b = theirs[j].net;
+      bool take_a = a <= b;
+      bool take_b = b <= a;  // both when the net touches both SMBs
+      process(take_a ? a : b, take_a ? mine[i].pins : 0,
+              take_b ? theirs[j].pins : 0);
+      i += static_cast<std::size_t>(take_a);
+      j += static_cast<std::size_t>(take_b);
+    }
+  } else {
+    for (std::size_t k = 0; k + 1 < mine.size(); ++k)
+      process(mine[k].net, mine[k].pins, 0);
+  }
+
   double delta = after - before;
   if (delta <= 0.0 ||
       (t > 0.0 && rng_->next_double() < std::exp(-delta / t))) {
+    // Commit the dry-run boxes and their cached cost products.
+    for (int k = 0; k < n_touched_; ++k) {
+      std::size_t kk = static_cast<std::size_t>(k);
+      boxes_.store(touched_nets_[kk], touched_boxes_[kk]);
+      cost_of_[static_cast<std::size_t>(touched_nets_[kk])] =
+          touched_costs_[kk];
+    }
     cost_ += delta;
     ++moves_accepted_;
     return true;
   }
+
+  // Reject: roll back placement, site map and coordinate mirror; the
+  // cached boxes were never written.
   placement_.site_of_smb[static_cast<std::size_t>(smb)] = from;
   smb_at_site_[static_cast<std::size_t>(from)] = smb;
-  smb_at_site_[static_cast<std::size_t>(to)] = -1;
+  boxes_.set_smb_xy(smb, fx, fy);
+  if (other >= 0) {
+    placement_.site_of_smb[static_cast<std::size_t>(other)] = to;
+    smb_at_site_[static_cast<std::size_t>(to)] = other;
+    boxes_.set_smb_xy(other, tx, ty);
+  } else {
+    smb_at_site_[static_cast<std::size_t>(to)] = -1;
+  }
   return false;
 }
+
+#ifdef NANOMAP_AUDIT_COST
+// Full-recompute cross-check of the incremental state. Box equality and
+// the cost()-vs-placement_cost comparison are bit-exact by construction;
+// only the *running* accumulated cost is allowed rounding drift.
+void Annealer::audit_cost() const {
+  for (int m = 0; m < cd_.num_smbs; ++m) {
+    NM_CHECK_MSG(boxes_.x_of(m) == placement_.x_of(m) &&
+                     boxes_.y_of(m) == placement_.y_of(m),
+                 "audit: stale coordinate mirror for smb " << m);
+  }
+  for (int n = 0; n < boxes_.size(); ++n) {
+    NM_CHECK_MSG(boxes_.box(n) == boxes_.compute_box(n),
+                 "audit: stale incremental bbox for net " << n);
+    NM_CHECK_MSG(cost_of_[static_cast<std::size_t>(n)] ==
+                     cached_net_cost(n),
+                 "audit: stale cached cost product for net " << n);
+  }
+  double scratch = placement_cost(cd_, placement_, timing_weight_);
+  double exact = cost();
+  NM_CHECK_MSG(exact == scratch, "audit: incremental cost "
+                                     << exact << " != recomputed cost "
+                                     << scratch);
+  NM_CHECK_MSG(std::abs(cost_ - scratch) <=
+                   1e-6 * std::max(1.0, std::abs(scratch)),
+               "audit: running cost " << cost_ << " drifted from "
+                                      << scratch);
+}
+#endif
 
 void Annealer::run(double effort) {
   if (cd_.num_smbs <= 1 || cd_.nets.empty()) return;
@@ -143,6 +240,9 @@ void Annealer::run(double effort) {
   double var = std::max(0.0, sum2 / samples - mean * mean);
   double t = 20.0 * std::sqrt(var) + 1e-6;
   (void)cost_before;
+#ifdef NANOMAP_AUDIT_COST
+  audit_cost();
+#endif
 
   int rlim = std::max(1, placement_.grid.width);
   const double exit_t =
@@ -169,9 +269,15 @@ void Annealer::run(double effort) {
     double factor = 1.0 - 0.44 + rate;
     rlim = std::clamp(static_cast<int>(std::lround(rlim * factor)), 1,
                       placement_.grid.width);
+#ifdef NANOMAP_AUDIT_COST
+    audit_cost();
+#endif
   }
   // Greedy cleanup at T = 0.
   for (long i = 0; i < moves_per_t; ++i) try_move(0.0, 1);
+#ifdef NANOMAP_AUDIT_COST
+  audit_cost();
+#endif
 }
 
 }  // namespace nanomap

@@ -1,12 +1,28 @@
 // Simulated-annealing engine for SMB placement (VPR-like schedule).
 //
 // Internal to nm_place; place/placement.cc drives it for the fast and
-// detailed passes. Incremental cost evaluation touches only the nets
-// incident to the two swapped SMBs.
+// detailed passes. Cost evaluation is incremental on top of NetBoxCache:
+// each move touches only the nets incident to the two swapped SMBs, and
+// each touched net's bounding box updates in O(1) (boundary-occupancy
+// counts) instead of an O(fanout) rescan. Because the cached boxes are
+// exact integer state, every delta — and therefore every accept/reject
+// decision and the final placement — is bit-identical to the historical
+// recompute-from-scratch annealer.
+//
+// The move loop is allocation-free in steady state: the affected-net list
+// and its box-undo snapshots live in preallocated, generation-stamped
+// scratch arrays sized at construction.
+//
+// Building with -DNANOMAP_AUDIT_COST=ON (CMake option) cross-checks the
+// incremental state against a from-scratch recompute at every temperature
+// step: each cached box must equal compute_box(), and cost() must equal
+// placement_cost() bit-exactly.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "place/net_bbox.h"
 #include "place/placement.h"
 
 namespace nanomap {
@@ -26,26 +42,76 @@ class Annealer {
   void run(double effort);
 
   const Placement& placement() const { return placement_; }
-  double cost() const { return cost_; }
+  // Exact objective of the current placement: weighted HPWL summed from
+  // the cached per-net boxes in net order, bit-identical to a
+  // placement_cost() recompute. O(#nets); intended for end-of-anneal
+  // reporting and audits, not the move loop.
+  double cost() const;
+  // The incrementally accumulated objective (initial cost plus every
+  // accepted delta, in move order). Tracks cost() up to floating-point
+  // accumulation rounding; the annealing schedule reads this one.
+  double running_cost() const { return cost_; }
   long moves_attempted() const { return moves_attempted_; }
   long moves_accepted() const { return moves_accepted_; }
 
  private:
-  double net_cost(int net) const;
-  double incident_cost(int smb) const;
+  // One net's membership in an SMB's incident list. `pins` counts how many
+  // of the net's pins (driver + sink entries) live in that SMB, so an SMB
+  // incident to the same net several times (e.g. a self-feeding net)
+  // contributes one list entry — never a double-counted cost — while the
+  // bbox update still moves every pin.
+  struct IncidentNet {
+    int net = 0;
+    int pins = 0;
+  };
+
+  double cached_net_cost(int net) const {
+    return net_weight_[static_cast<std::size_t>(net)] *
+           static_cast<double>(boxes_.box(net).hpwl());
+  }
   // Attempts one swap/move at temperature t with displacement limit rlim;
   // returns true if accepted.
   bool try_move(double t, int rlim);
+#ifdef NANOMAP_AUDIT_COST
+  void audit_cost() const;
+#endif
 
   const ClusteredDesign& cd_;
   Placement placement_;
-  std::vector<int> smb_at_site_;          // site -> smb (-1 empty)
-  std::vector<std::vector<int>> nets_of_; // smb -> incident net indices
-  std::vector<double> net_weight_;        // 1 + timing_weight * criticality
+  std::vector<int> smb_at_site_;  // site -> smb (-1 empty)
+  // smb -> incident nets, ascending by net index, deduplicated (the
+  // ascending order is what keeps the before/after cost sums in the same
+  // floating-point order as the historical sort+unique evaluation), each
+  // list terminated by an {INT_MAX, 0} sentinel for the branch-light
+  // swap-move merge.
+  std::vector<std::vector<IncidentNet>> nets_of_;
+  std::vector<double> net_weight_;  // 1 + timing_weight * criticality
+  // net -> net_weight_[net] * hpwl(box), the exact cached product, so the
+  // move loop's `before` sum is one load+add per net. Kept in lockstep
+  // with the boxes: updated only when a move commits.
+  std::vector<double> cost_of_;
+  double timing_weight_ = 0.0;
+  NetBoxCache boxes_;
   double cost_ = 0.0;
   Rng* rng_;
   long moves_attempted_ = 0;
   long moves_accepted_ = 0;
+
+  // Per-move scratch (preallocated; the move loop never allocates),
+  // struct-of-arrays so the 16-byte box halves stay cache-line aligned
+  // in the hot loop. Slot k holds the k-th touched net's index, the
+  // dry-run updated box of the speculative move, and its new cost
+  // product; acceptance commits these into the cache, rejection just
+  // discards them (the cached boxes were never written). The generation
+  // stamp asserts each net is touched at most once per move — the merge
+  // over deduped incident lists guarantees it structurally, so release
+  // builds skip the check and audit builds verify it.
+  std::vector<int> touched_nets_;
+  std::vector<NetBox> touched_boxes_;
+  std::vector<double> touched_costs_;
+  int n_touched_ = 0;
+  std::vector<std::uint64_t> net_stamp_;  // net -> last touching move
+  std::uint64_t move_gen_ = 0;
 };
 
 }  // namespace nanomap

@@ -62,6 +62,12 @@ class CycleRouter {
     const int num_nets = static_cast<int>(net_indices.size());
     std::vector<std::vector<int>> trees(net_indices.size());
     std::vector<NetRoute> routes(net_indices.size());
+    // Sink order (farthest-first) depends only on the fixed placement, so
+    // sort once per net here instead of on every rip-up/reroute iteration
+    // inside route_net. Identical order, identical routing.
+    std::vector<std::vector<int>> sorted_sinks(net_indices.size());
+    for (std::size_t ni = 0; ni < net_indices.size(); ++ni)
+      sorted_sinks[ni] = sinks_farthest_first(net_indices[ni]);
     const int batch = std::max(1, options_.batch_size);
     std::vector<std::unique_ptr<SearchState>> states(
         static_cast<std::size_t>(std::min(batch, std::max(num_nets, 1))));
@@ -79,8 +85,8 @@ class CycleRouter {
           std::unique_ptr<SearchState>& state =
               states[static_cast<std::size_t>(k)];
           if (!state) state = std::make_unique<SearchState>(rr_.size());
-          routes[ni] = route_net(net_indices[ni], pres_fac, &trees[ni],
-                                 state.get());
+          routes[ni] = route_net(net_indices[ni], sorted_sinks[ni],
+                                 pres_fac, &trees[ni], state.get());
         });
         for (int k = 0; k < bn; ++k)
           for (int n : trees[static_cast<std::size_t>(start + k)])
@@ -124,22 +130,13 @@ class CycleRouter {
     tree.clear();
   }
 
-  // Routes one net against the current occupancy/history snapshot. Reads
-  // occ_/hist_ only; all mutable search state lives in `ss`, which is
-  // left fully reset on return so the slot can be reused by the next
-  // batch. The caller commits the returned tree's occupancy.
-  NetRoute route_net(int net_index, double pres_fac, std::vector<int>* tree,
-                     SearchState* ss) const {
+  // Sink SMBs of one net ordered farthest-from-driver first (classic
+  // heuristic), ties by SMB index — a pure function of the placement, so
+  // route_cycle computes it once per net, not per PathFinder iteration.
+  std::vector<int> sinks_farthest_first(int net_index) const {
     const PlacedNet& pn = cd_.nets[static_cast<std::size_t>(net_index)];
-    const double crit = pn.criticality;
-    NetRoute route;
-    route.net_index = net_index;
-
     const int sx = placement_.x_of(pn.driver_smb);
     const int sy = placement_.y_of(pn.driver_smb);
-    const int source = rr_.opin(sx, sy);
-
-    // Route farthest sinks first (classic heuristic).
     std::vector<int> sinks = pn.sink_smbs;
     std::sort(sinks.begin(), sinks.end(), [&](int a, int b) {
       int da = std::abs(placement_.x_of(a) - sx) +
@@ -149,6 +146,24 @@ class CycleRouter {
       if (da != db) return da > db;
       return a < b;
     });
+    return sinks;
+  }
+
+  // Routes one net against the current occupancy/history snapshot. Reads
+  // occ_/hist_ only; all mutable search state lives in `ss`, which is
+  // left fully reset on return so the slot can be reused by the next
+  // batch. The caller commits the returned tree's occupancy.
+  NetRoute route_net(int net_index, const std::vector<int>& sinks,
+                     double pres_fac, std::vector<int>* tree,
+                     SearchState* ss) const {
+    const PlacedNet& pn = cd_.nets[static_cast<std::size_t>(net_index)];
+    const double crit = pn.criticality;
+    NetRoute route;
+    route.net_index = net_index;
+
+    const int sx = placement_.x_of(pn.driver_smb);
+    const int sy = placement_.y_of(pn.driver_smb);
+    const int source = rr_.opin(sx, sy);
 
     std::vector<int> tree_nodes{source};
     ss->delay_at[static_cast<std::size_t>(source)] = 0.0;

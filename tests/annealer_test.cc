@@ -1,0 +1,202 @@
+// The annealer's incremental cost kernel: cached bounding boxes with
+// boundary-occupancy counts must track a from-scratch recompute exactly —
+// including through swap moves, rollbacks, shrink-edge rescans, and nets
+// that touch the same SMB with more than one pin.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "circuits/benchmarks.h"
+#include "core/temporal_cluster.h"
+#include "netlist/plane.h"
+#include "place/annealer.h"
+#include "place/net_bbox.h"
+
+namespace nanomap {
+namespace {
+
+// A synthetic clustered design with controllable fanout; no netlist
+// behind it — the annealer only reads num_smbs and nets.
+ClusteredDesign make_random_cd(int smbs, int nets, int max_fanout,
+                               std::uint64_t seed) {
+  ClusteredDesign cd;
+  cd.num_cycles = 1;
+  cd.num_smbs = smbs;
+  Rng rng(seed);
+  for (int i = 0; i < nets; ++i) {
+    PlacedNet pn;
+    pn.driver_smb = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(smbs)));
+    pn.criticality = rng.next_double();
+    int fanout = rng.next_int(1, max_fanout);
+    std::set<int> sinks;
+    while (static_cast<int>(sinks.size()) < fanout) {
+      int s = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(smbs)));
+      if (s != pn.driver_smb) sinks.insert(s);
+    }
+    pn.sink_smbs.assign(sinks.begin(), sinks.end());
+    cd.nets.push_back(std::move(pn));
+  }
+  return cd;
+}
+
+Placement random_placement(const ClusteredDesign& cd, Rng* rng) {
+  Placement p;
+  p.grid = size_grid_for(cd.num_smbs);
+  std::vector<int> sites(static_cast<std::size_t>(p.grid.sites()));
+  for (int i = 0; i < p.grid.sites(); ++i)
+    sites[static_cast<std::size_t>(i)] = i;
+  rng->shuffle(sites);
+  p.site_of_smb.assign(sites.begin(),
+                       sites.begin() + cd.num_smbs);
+  return p;
+}
+
+TEST(NetBoxCache, MatchesScratchUnderRandomSinglePinMoves) {
+  ClusteredDesign cd = make_random_cd(24, 40, 6, 11);
+  Rng rng(3);
+  Placement p = random_placement(cd, &rng);
+  NetBoxCache cache;
+  cache.init(cd, p, nullptr);
+
+  // Incident lists so every move updates exactly the nets it affects.
+  std::vector<std::vector<int>> nets_of(
+      static_cast<std::size_t>(cd.num_smbs));
+  for (std::size_t i = 0; i < cd.nets.size(); ++i) {
+    nets_of[static_cast<std::size_t>(cd.nets[i].driver_smb)].push_back(
+        static_cast<int>(i));
+    for (int s : cd.nets[i].sink_smbs)
+      nets_of[static_cast<std::size_t>(s)].push_back(static_cast<int>(i));
+  }
+
+  std::set<int> used(p.site_of_smb.begin(), p.site_of_smb.end());
+  for (int step = 0; step < 2000; ++step) {
+    int smb = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(cd.num_smbs)));
+    int to = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(p.grid.sites())));
+    if (used.count(to)) continue;  // single-SMB moves only in this fuzz
+    int from = p.site_of_smb[static_cast<std::size_t>(smb)];
+    int fx = from % p.grid.width, fy = from / p.grid.width;
+    int tx = to % p.grid.width, ty = to / p.grid.width;
+    used.erase(from);
+    used.insert(to);
+    p.site_of_smb[static_cast<std::size_t>(smb)] = to;
+    cache.set_smb_xy(smb, tx, ty);
+    for (int n : nets_of[static_cast<std::size_t>(smb)])
+      cache.move_pins(n, fx, fy, tx, ty, 1);
+    // Every box — updated or not — must equal the from-scratch scan,
+    // boundary counts included.
+    for (int n = 0; n < cache.size(); ++n)
+      ASSERT_EQ(cache.box(n), cache.compute_box(n)) << "net " << n
+                                                    << " step " << step;
+  }
+}
+
+TEST(NetBoxCache, ShrinkEdgeRescanIsExact) {
+  // Hand-built: driver at xmax alone; moving it inward forces the
+  // last-pin-on-a-shrinking-edge rescan path.
+  ClusteredDesign cd;
+  cd.num_cycles = 1;
+  cd.num_smbs = 3;
+  PlacedNet pn;
+  pn.driver_smb = 0;
+  pn.sink_smbs = {1, 2};
+  cd.nets.push_back(pn);
+
+  Placement p;
+  p.grid = {5, 5};
+  // smb0 (4,0), smb1 (0,0), smb2 (2,2).
+  p.site_of_smb = {4, 0, 12};
+  NetBoxCache cache;
+  cache.init(cd, p, nullptr);
+  EXPECT_EQ(cache.box(0).xmax, 4);
+  EXPECT_EQ(cache.box(0).on_xmax, 1);
+
+  // Move smb0 to (1,1): xmax edge loses its only pin.
+  p.site_of_smb[0] = 6;
+  cache.set_smb_xy(0, 1, 1);
+  cache.move_pins(0, 4, 0, 1, 1, 1);
+  EXPECT_EQ(cache.box(0), cache.compute_box(0));
+  EXPECT_EQ(cache.box(0).xmax, 2);
+  EXPECT_EQ(cache.box(0).hpwl(), 2 + 2);
+}
+
+// Full-anneal audit: the final incremental cost must equal a from-scratch
+// placement_cost recompute *bit-exactly* (same per-net products, same
+// net-order reduction), and the running delta-accumulated cost must have
+// stayed within rounding of it.
+TEST(Annealer, FullAnnealCostMatchesScratchBitExactly) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    ClusteredDesign cd = make_random_cd(30, 80, 8, 100 + seed);
+    Rng rng(seed);
+    Placement init = random_placement(cd, &rng);
+    const double tw = 0.8;
+    Annealer a(cd, init, tw, &rng);
+    a.run(1.0);
+    double scratch = placement_cost(cd, a.placement(), tw);
+    EXPECT_EQ(a.cost(), scratch) << "seed " << seed;  // bit-exact
+    EXPECT_NEAR(a.running_cost(), scratch,
+                1e-6 * std::max(1.0, scratch))
+        << "seed " << seed;
+  }
+}
+
+// Regression for the nets_of_ double-count bug: an SMB incident to the
+// same net via several pins (driver + sink — a self-feeding net — or
+// repeated sink pins) used to contribute that net twice to the move
+// delta, so the running cost drifted away from the true objective.
+TEST(Annealer, SelfFeedingNetDoesNotDriftRunningCost) {
+  ClusteredDesign cd;
+  cd.num_cycles = 1;
+  cd.num_smbs = 4;
+  PlacedNet self;
+  self.driver_smb = 0;
+  self.sink_smbs = {0, 1, 2};  // driver's own SMB again + two real sinks
+  self.criticality = 0.5;
+  cd.nets.push_back(self);
+  PlacedNet dup;
+  dup.driver_smb = 1;
+  dup.sink_smbs = {3, 3};  // repeated sink pin
+  dup.criticality = 0.25;
+  cd.nets.push_back(dup);
+  PlacedNet plain;
+  plain.driver_smb = 2;
+  plain.sink_smbs = {3};
+  cd.nets.push_back(plain);
+
+  Rng rng(9);
+  Placement init = random_placement(cd, &rng);
+  Annealer a(cd, init, 0.8, &rng);
+  a.run(4.0);
+  double scratch = placement_cost(cd, a.placement(), 0.8);
+  EXPECT_EQ(a.cost(), scratch);
+  EXPECT_NEAR(a.running_cost(), scratch, 1e-9 * std::max(1.0, scratch));
+}
+
+// Real-circuit end-to-end: the incremental kernel through the two-step
+// placement of a paper benchmark still lands on the exact objective.
+TEST(Annealer, BenchmarkCircuitCostMatchesScratch) {
+  Design d = make_benchmark("ex1");
+  CircuitParams p = extract_circuit_params(d.net);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  DesignSchedule sched;
+  sched.folding = make_folding_config(p, 1);
+  sched.planes_share = true;
+  for (int plane = 0; plane < p.num_plane; ++plane) {
+    PlaneScheduleGraph g = build_schedule_graph(d, plane, sched.folding);
+    sched.plane_results.push_back(schedule_plane(g, arch));
+    sched.graphs.push_back(std::move(g));
+  }
+  ClusteredDesign cd = temporal_cluster(d, sched, arch);
+  Rng rng(42);
+  Placement init = random_placement(cd, &rng);
+  Annealer a(cd, init, 0.8, &rng);
+  a.run(1.0);
+  EXPECT_EQ(a.cost(), placement_cost(cd, a.placement(), 0.8));
+}
+
+}  // namespace
+}  // namespace nanomap

@@ -5,6 +5,7 @@
 // actually engaged (multi-seed restarts, batched PathFinder reroutes).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <string>
 
@@ -104,6 +105,44 @@ void expect_thread_invariant(const Design& d) {
 
 TEST(Determinism, S27AcrossRunsAndThreadCounts) {
   expect_thread_invariant(s27_design());
+}
+
+// Golden pin of the incremental bounding-box cost kernel: the annealer's
+// cached-bbox deltas are integer-exact reproductions of the historical
+// from-scratch recompute, so the whole flow output must stay *byte
+// identical* to the pre-kernel binary. These FNV-1a hashes of the full
+// fingerprint were captured from that binary (threads and restarts must
+// not matter either — every cell of the matrix pins the same value).
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+TEST(Determinism, GoldenFingerprintAcrossThreadsAndRestarts) {
+  struct Case {
+    const char* name;
+    Design design;
+    std::uint64_t want;
+  };
+  Case cases[] = {
+      {"s27", s27_design(), 0x1ecc1e36737c91f0ull},
+      {"random-dag", random_design(), 0x5cf9730701668e3full},
+  };
+  for (const Case& c : cases) {
+    for (int threads : {1, 4}) {
+      for (int restarts : {1, 4}) {
+        std::uint64_t got =
+            fnv1a(fingerprint(run_with(c.design, threads, restarts, 4)));
+        EXPECT_EQ(got, c.want)
+            << c.name << " diverged from the pre-incremental-kernel binary"
+            << " at threads=" << threads << " restarts=" << restarts;
+      }
+    }
+  }
 }
 
 TEST(Determinism, RandomDagAcrossRunsAndThreadCounts) {
