@@ -1,0 +1,173 @@
+// FDS scheduling throughput: the incremental kernel (core/fds_kernel.h)
+// vs. the retained from-scratch reference scheduler
+// (schedule_plane_reference), on the paper circuits and a sweep of random
+// DAGs. Besides the pins/sec comparison, every run *asserts* that both
+// schedulers produce identical stage_of vectors — the benchmark doubles as
+// an end-to-end identity check and exits nonzero on any divergence.
+//
+//   ./bench/fds_throughput [out.json]     (default BENCH_fds.json)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuits/benchmarks.h"
+#include "circuits/random_dag.h"
+#include "core/fds.h"
+#include "core/fds_reference.h"
+#include "netlist/plane.h"
+#include "util/thread_pool.h"
+
+using namespace nanomap;
+
+namespace {
+
+struct Row {
+  std::string name;
+  int nodes = 0;   // schedule nodes across all planes
+  int stages = 0;  // folding stages (level-1 graphs)
+  double ref_pps = 0.0;        // from-scratch scheduler, pins/sec
+  double kernel_pps = 0.0;     // incremental kernel, no pool
+  double pool_pps = 0.0;       // incremental kernel, thread pool
+  bool identical = false;
+};
+
+std::vector<PlaneScheduleGraph> graphs_for(const Design& d, int level) {
+  CircuitParams p = extract_circuit_params(d.net);
+  FoldingConfig cfg = make_folding_config(p, level);
+  std::vector<PlaneScheduleGraph> graphs;
+  for (int plane = 0; plane < p.num_plane; ++plane)
+    graphs.push_back(build_schedule_graph(d, plane, cfg));
+  return graphs;
+}
+
+// Schedules every plane once, returning the concatenated stage_of vectors;
+// repeats until >= 0.2 s accumulated (first rep is a cold-cache warm-up).
+template <typename ScheduleFn>
+double measure_pps(const std::vector<PlaneScheduleGraph>& graphs,
+                   const ArchParams& arch, ScheduleFn schedule,
+                   std::vector<int>* stages_out) {
+  double seconds = 0.0;
+  long pins = 0;
+  int reps = 0;
+  while (seconds < 0.2 || reps < 2) {
+    stages_out->clear();
+    auto t0 = std::chrono::steady_clock::now();
+    long rep_pins = 0;
+    for (const PlaneScheduleGraph& g : graphs) {
+      FdsResult r = schedule(g, arch);
+      rep_pins += static_cast<long>(r.stage_of.size());
+      stages_out->insert(stages_out->end(), r.stage_of.begin(),
+                         r.stage_of.end());
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    if (reps > 0) {
+      seconds += std::chrono::duration<double>(t1 - t0).count();
+      pins += rep_pins;
+    }
+    ++reps;
+    if (reps > 500) break;
+  }
+  return seconds > 0 ? static_cast<double>(pins) / seconds : 0.0;
+}
+
+Row measure(const std::string& name,
+            const std::vector<PlaneScheduleGraph>& graphs,
+            ThreadPool* pool) {
+  const ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  Row row;
+  row.name = name;
+  for (const PlaneScheduleGraph& g : graphs) {
+    row.nodes += static_cast<int>(g.nodes.size());
+    row.stages = std::max(row.stages, g.num_stages);
+  }
+
+  std::vector<int> ref_stages, kernel_stages, pool_stages;
+  row.ref_pps = measure_pps(
+      graphs, arch,
+      [](const PlaneScheduleGraph& g, const ArchParams& a) {
+        return schedule_plane_reference(g, a);
+      },
+      &ref_stages);
+  row.kernel_pps = measure_pps(
+      graphs, arch,
+      [](const PlaneScheduleGraph& g, const ArchParams& a) {
+        return schedule_plane(g, a);
+      },
+      &kernel_stages);
+  row.pool_pps = measure_pps(
+      graphs, arch,
+      [pool](const PlaneScheduleGraph& g, const ArchParams& a) {
+        return schedule_plane(g, a, FdsOptions{}, pool);
+      },
+      &pool_stages);
+  row.identical = ref_stages == kernel_stages && ref_stages == pool_stages;
+  return row;
+}
+
+std::vector<PlaneScheduleGraph> random_dag_graphs(int luts,
+                                                  std::uint64_t seed) {
+  RandomDagSpec spec;
+  spec.luts_per_plane = luts;
+  spec.depth = 10;
+  spec.regs_per_plane = 8;
+  spec.seed = seed;
+  return graphs_for(make_random_design(spec), 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fds.json";
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  ThreadPool pool(static_cast<int>(std::min(hw, 8u)));
+  std::vector<Row> rows;
+
+  // The paper's standard circuits at folding level 1 (every plane).
+  for (const std::string& name : benchmark_names())
+    rows.push_back(measure(name, graphs_for(make_benchmark(name), 1), &pool));
+
+  // Random DAG sweep: node counts from "paper-sized" up to the regime
+  // where the seed's from-scratch rescoring dominated.
+  for (int luts : {120, 250, 500, 800})
+    rows.push_back(measure("random-dag" + std::to_string(luts),
+                           random_dag_graphs(luts, 40 + luts), &pool));
+
+  std::ofstream out(out_path);
+  out << "{\n  \"unit\": \"pins/sec (scheduled nodes per second, all "
+         "planes, refine included)\",\n"
+      << "  \"reference\": \"retained from-scratch scheduler "
+         "(core/fds_reference.cc)\",\n"
+      << "  \"kernel\": \"incremental FDS kernel (core/fds_kernel.h)\",\n"
+      << "  \"rows\": [\n";
+  bool all_identical = true;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    all_identical = all_identical && r.identical;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "    {\"circuit\": \"%s\", \"nodes\": %d, \"stages\": %d, "
+        "\"reference_pins_per_sec\": %.0f, \"kernel_pins_per_sec\": %.0f, "
+        "\"kernel_pool_pins_per_sec\": %.0f, \"speedup\": %.2f, "
+        "\"pool_speedup\": %.2f, \"identical_schedule\": %s}%s\n",
+        r.name.c_str(), r.nodes, r.stages, r.ref_pps, r.kernel_pps,
+        r.pool_pps, r.ref_pps > 0 ? r.kernel_pps / r.ref_pps : 0.0,
+        r.ref_pps > 0 ? r.pool_pps / r.ref_pps : 0.0,
+        r.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+    out << buf;
+    std::printf("%-14s nodes %5d stages %2d  ref %9.0f  kernel %9.0f  "
+                "pool %9.0f  speedup %6.2fx / %6.2fx  identical %s\n",
+                r.name.c_str(), r.nodes, r.stages, r.ref_pps, r.kernel_pps,
+                r.pool_pps, r.ref_pps > 0 ? r.kernel_pps / r.ref_pps : 0.0,
+                r.ref_pps > 0 ? r.pool_pps / r.ref_pps : 0.0,
+                r.identical ? "yes" : "NO");
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}

@@ -47,6 +47,31 @@ void BM_FdsSchedule(benchmark::State& state) {
 BENCHMARK(BM_FdsSchedule)->Arg(50)->Arg(100)->Arg(200)->Arg(400)
     ->Complexity();
 
+// Pin throughput of the incremental FDS kernel itself (items/sec =
+// pins/sec), the figure BENCH_fds.json compares against the retained
+// from-scratch scheduler.
+void BM_FdsPin(benchmark::State& state) {
+  RandomDagSpec spec;
+  spec.luts_per_plane = static_cast<int>(state.range(0));
+  spec.depth = 12;
+  spec.seed = 7;
+  Design d = make_random_design(spec);
+  CircuitParams p = extract_circuit_params(d.net);
+  FoldingConfig cfg = make_folding_config(p, 1);
+  PlaneScheduleGraph g = build_schedule_graph(d, 0, cfg);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  FdsOptions opts;
+  opts.refine = false;  // isolate the pin loop
+  long pins = 0;
+  for (auto _ : state) {
+    FdsResult r = schedule_plane(g, arch, opts);
+    pins += static_cast<long>(r.stage_of.size());
+    benchmark::DoNotOptimize(r.max_le);
+  }
+  state.SetItemsProcessed(pins);
+}
+BENCHMARK(BM_FdsPin)->Arg(100)->Arg(400)->Arg(800);
+
 void BM_TemporalCluster(benchmark::State& state) {
   Design d = make_benchmark("Biquad");
   CircuitParams p = extract_circuit_params(d.net);

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "core/fds_kernel.h"
+#include "util/thread_pool.h"
+
 namespace nanomap {
 namespace {
 
@@ -57,20 +60,6 @@ void add_storage_distribution(const StorageOp& op,
     }
     (*dg)[static_cast<std::size_t>(j)] += prob * w;
   }
-}
-
-// Eq. 13 force of moving a node's probability mass from frame [a0,b0] to
-// frame [a1,b1] against distribution graph `dg`.
-double frame_change_force(const std::vector<double>& dg, double weight,
-                          int a0, int b0, int a1, int b1) {
-  const double p0 = 1.0 / (b0 - a0 + 1);
-  const double p1 = 1.0 / (b1 - a1 + 1);
-  double force = 0.0;
-  for (int j = a0; j <= b0; ++j)
-    force -= dg[static_cast<std::size_t>(j)] * p0 * weight;
-  for (int j = a1; j <= b1; ++j)
-    force += dg[static_cast<std::size_t>(j)] * p1 * weight;
-  return force;
 }
 
 }  // namespace
@@ -159,26 +148,22 @@ void tally_stage_usage(const PlaneScheduleGraph& graph,
 
 namespace {
 
-// Balance metric: (peak LE usage, sum of squared per-stage LE usage).
-std::pair<int, long long> balance_metric(const FdsResult& tally) {
-  long long sq = 0;
-  for (std::size_t j = 1; j < tally.le_count.size(); ++j) {
-    long long v = tally.le_count[j];
-    sq += v * v;
-  }
-  return {tally.max_le, sq};
-}
-
-// Greedy peak-reduction sweeps (FdsOptions::refine).
+// Greedy peak-reduction sweeps (FdsOptions::refine), on the incremental
+// RefineTally: candidate metrics are integer deltas over the current tally
+// instead of a full tally_stage_usage per (node, stage), and the candidate
+// window of a node collapses to an O(degree) scan over its already-pinned
+// neighbors whenever the schedule is precedence-consistent (always, for
+// the schedules the in-tree schedulers emit on feasible graphs). Decisions
+// are exactly the ones the from-scratch version made.
 void refine_schedule(const PlaneScheduleGraph& graph,
                      const std::vector<StorageOp>& ops,
+                     const std::vector<std::vector<int>>& ops_of_node,
                      const ArchParams& arch, const FdsOptions& options,
                      std::vector<int>* stage_of) {
   const int n = static_cast<int>(graph.nodes.size());
   if (n == 0) return;
-  FdsResult tally;
-  tally_stage_usage(graph, ops, arch, *stage_of, &tally);
-  auto best_metric = balance_metric(tally);
+  RefineTally tally(graph, ops, ops_of_node, arch, *stage_of);
+  auto best_metric = tally.metric();
 
   // Heavier nodes first: moving them shifts the most load.
   std::vector<int> order(static_cast<std::size_t>(n));
@@ -190,33 +175,92 @@ void refine_schedule(const PlaneScheduleGraph& graph,
     return a < b;
   });
 
+  // With every stage in [1, S] and every edge's gap respected, the time
+  // frame of a single unpinned node is exactly [max over preds of
+  // pin + gap, min over succs of pin - gap] clipped to [1, S] — no global
+  // frame pass needed. A clamped (infeasible) schedule can reach refine
+  // via the ASAP/list paths on an infeasible graph; those fall back to the
+  // full per-node frame computation so behavior there is unchanged too.
+  bool consistent = true;
+  for (int i = 0; i < n && consistent; ++i) {
+    int st = (*stage_of)[static_cast<std::size_t>(i)];
+    if (st < 1 || st > graph.num_stages) {
+      consistent = false;
+      break;
+    }
+    for (int pr : graph.nodes[static_cast<std::size_t>(i)].preds) {
+      if ((*stage_of)[static_cast<std::size_t>(pr)] +
+              schedule_gap(graph, pr, i) >
+          st) {
+        consistent = false;
+        break;
+      }
+    }
+  }
+
   for (int sweep = 0; sweep < options.max_refine_sweeps; ++sweep) {
     bool improved = false;
     for (int i : order) {
       int cur = (*stage_of)[static_cast<std::size_t>(i)];
       // Only bother with nodes sitting in a peak stage.
-      if (tally.le_count[static_cast<std::size_t>(cur)] < tally.max_le)
-        continue;
-      (*stage_of)[static_cast<std::size_t>(i)] = 0;
-      TimeFrames frames = compute_time_frames(graph, *stage_of);
-      int a = frames.asap[static_cast<std::size_t>(i)];
-      int b = frames.alap[static_cast<std::size_t>(i)];
+      if (tally.le_count(cur) < tally.max_le()) continue;
+
+      int a, b;
+      if (consistent) {
+        a = 1;
+        b = graph.num_stages;
+        const ScheduleNode& sn = graph.nodes[static_cast<std::size_t>(i)];
+        for (int pr : sn.preds)
+          a = std::max(a, (*stage_of)[static_cast<std::size_t>(pr)] +
+                              schedule_gap(graph, pr, i));
+        for (int sc : sn.succs)
+          b = std::min(b, (*stage_of)[static_cast<std::size_t>(sc)] -
+                              schedule_gap(graph, i, sc));
+#ifdef NANOMAP_AUDIT_FDS
+        {
+          (*stage_of)[static_cast<std::size_t>(i)] = 0;
+          TimeFrames ref = compute_time_frames(graph, *stage_of);
+          (*stage_of)[static_cast<std::size_t>(i)] = cur;
+          NM_CHECK_MSG(ref.asap[static_cast<std::size_t>(i)] == a &&
+                           ref.alap[static_cast<std::size_t>(i)] == b,
+                       "audit: refine window of node " << i << " diverged");
+        }
+#endif
+      } else {
+        (*stage_of)[static_cast<std::size_t>(i)] = 0;
+        TimeFrames frames = compute_time_frames(graph, *stage_of);
+        a = frames.asap[static_cast<std::size_t>(i)];
+        b = frames.alap[static_cast<std::size_t>(i)];
+        (*stage_of)[static_cast<std::size_t>(i)] = cur;
+      }
+
       int best_stage = cur;
       for (int j = a; j <= b; ++j) {
         if (j == cur) continue;
-        (*stage_of)[static_cast<std::size_t>(i)] = j;
-        FdsResult t2;
-        tally_stage_usage(graph, ops, arch, *stage_of, &t2);
-        auto m2 = balance_metric(t2);
+        auto m2 = tally.metric_if_moved(i, j, *stage_of);
         if (m2 < best_metric) {
           best_metric = m2;
           best_stage = j;
         }
       }
-      (*stage_of)[static_cast<std::size_t>(i)] = best_stage;
       if (best_stage != cur) {
         improved = true;
-        tally_stage_usage(graph, ops, arch, *stage_of, &tally);
+        tally.commit_move(i, best_stage, *stage_of);
+        (*stage_of)[static_cast<std::size_t>(i)] = best_stage;
+#ifdef NANOMAP_AUDIT_FDS
+        {
+          FdsResult ref;
+          tally_stage_usage(graph, ops, arch, *stage_of, &ref);
+          long long sq = 0;
+          for (std::size_t j = 1; j < ref.le_count.size(); ++j) {
+            long long v = ref.le_count[j];
+            sq += v * v;
+          }
+          NM_CHECK_MSG(
+              tally.metric() == std::make_pair(ref.max_le, sq),
+              "audit: refine tally diverged after moving node " << i);
+        }
+#endif
       }
     }
     if (!improved) break;
@@ -226,7 +270,8 @@ void refine_schedule(const PlaneScheduleGraph& graph,
 }  // namespace
 
 FdsResult schedule_plane(const PlaneScheduleGraph& graph,
-                         const ArchParams& arch, const FdsOptions& options) {
+                         const ArchParams& arch, const FdsOptions& options,
+                         ThreadPool* pool) {
   const int n = static_cast<int>(graph.nodes.size());
   FdsResult result;
   result.stage_of.assign(static_cast<std::size_t>(n), 0);
@@ -240,20 +285,33 @@ FdsResult schedule_plane(const PlaneScheduleGraph& graph,
     return result;
   }
 
-  TimeFrames frames = compute_time_frames(graph, result.stage_of);
-  if (!frames.feasible) result.feasible = false;
+  // Storage ops touching each node (as producer or consumer), for the
+  // storage component of the self-force and the refine tally.
+  std::vector<std::vector<int>> ops_of_node(static_cast<std::size_t>(n));
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    ops_of_node[static_cast<std::size_t>(ops[oi].producer)].push_back(
+        static_cast<int>(oi));
+    for (int c : ops[oi].consumers)
+      ops_of_node[static_cast<std::size_t>(c)].push_back(
+          static_cast<int>(oi));
+  }
 
   if (options.scheduler == SchedulerKind::kAsap) {
+    TimeFrames frames = compute_time_frames(graph, result.stage_of);
+    if (!frames.feasible) result.feasible = false;
     for (int i = 0; i < n; ++i)
       result.stage_of[static_cast<std::size_t>(i)] =
           frames.asap[static_cast<std::size_t>(i)];
     if (options.refine)
-      refine_schedule(graph, ops, arch, options, &result.stage_of);
+      refine_schedule(graph, ops, ops_of_node, arch, options,
+                      &result.stage_of);
     tally_stage_usage(graph, ops, arch, result.stage_of, &result);
     return result;
   }
 
   if (options.scheduler == SchedulerKind::kList) {
+    TimeFrames frames = compute_time_frames(graph, result.stage_of);
+    if (!frames.feasible) result.feasible = false;
     // Resource-constrained list scheduling: nodes in topological order
     // (the static ASAP order), each placed at the earliest precedence-
     // feasible cycle whose LUT usage stays under the balanced target; if
@@ -309,137 +367,23 @@ FdsResult schedule_plane(const PlaneScheduleGraph& graph,
     TimeFrames check = compute_time_frames(graph, result.stage_of);
     if (!check.feasible) result.feasible = false;
     if (options.refine)
-      refine_schedule(graph, ops, arch, options, &result.stage_of);
+      refine_schedule(graph, ops, ops_of_node, arch, options,
+                      &result.stage_of);
     tally_stage_usage(graph, ops, arch, result.stage_of, &result);
     return result;
   }
 
-  // Storage ops touching each node (as producer or consumer), for the
-  // storage component of the self-force.
-  std::vector<std::vector<int>> ops_of_node(static_cast<std::size_t>(n));
-  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
-    ops_of_node[static_cast<std::size_t>(ops[oi].producer)].push_back(
-        static_cast<int>(oi));
-    for (int c : ops[oi].consumers)
-      ops_of_node[static_cast<std::size_t>(c)].push_back(
-          static_cast<int>(oi));
-  }
-
-  const double h = 1.0;  // LUTs per LE in NATURE
-  const double l = static_cast<double>(arch.ff_per_le);
-  const int s = graph.num_stages;
-
-  int remaining = n;
-  while (remaining > 0) {
-    DistributionGraphs dgs = compute_dgs(graph, ops, result.stage_of, frames);
-
-    double best_force = std::numeric_limits<double>::infinity();
-    int best_node = -1;
-    int best_stage = -1;
-
-    for (int i = 0; i < n; ++i) {
-      if (result.stage_of[static_cast<std::size_t>(i)] != 0) continue;
-      const ScheduleNode& sn = graph.nodes[static_cast<std::size_t>(i)];
-      const int a = frames.asap[static_cast<std::size_t>(i)];
-      const int b = frames.alap[static_cast<std::size_t>(i)];
-
-      for (int j = a; j <= b; ++j) {
-        // --- LUT self-force (Eq. 13) -----------------------------------
-        double lut_self =
-            frame_change_force(dgs.lut, sn.weight, a, b, j, j);
-
-        // --- storage self-force: recompute the distributions of the ops
-        // touching i with i tentatively pinned to j. -----------------------
-        double storage_self = 0.0;
-        if (!ops_of_node[static_cast<std::size_t>(i)].empty()) {
-          std::vector<int> asap2 = frames.asap;
-          std::vector<int> alap2 = frames.alap;
-          asap2[static_cast<std::size_t>(i)] = j;
-          alap2[static_cast<std::size_t>(i)] = j;
-          std::vector<double> before(static_cast<std::size_t>(s) + 1, 0.0);
-          std::vector<double> after(static_cast<std::size_t>(s) + 1, 0.0);
-          for (int oi : ops_of_node[static_cast<std::size_t>(i)]) {
-            add_storage_distribution(ops[static_cast<std::size_t>(oi)],
-                                     frames.asap, frames.alap, s, &before);
-            add_storage_distribution(ops[static_cast<std::size_t>(oi)],
-                                     asap2, alap2, s, &after);
-          }
-          for (int jj = 1; jj <= s; ++jj)
-            storage_self += dgs.storage[static_cast<std::size_t>(jj)] *
-                            (after[static_cast<std::size_t>(jj)] -
-                             before[static_cast<std::size_t>(jj)]);
-        }
-
-        // Eq. 14: the LE is the shared resource.
-        double total = std::max(lut_self / h, storage_self / l);
-
-        // --- predecessor / successor forces (Eq. 13 on clipped frames) ---
-        bool infeasible = false;
-        for (int pr : sn.preds) {
-          if (result.stage_of[static_cast<std::size_t>(pr)] != 0) continue;
-          int gap = schedule_gap(graph, pr, i);
-          int pa = frames.asap[static_cast<std::size_t>(pr)];
-          int pb = frames.alap[static_cast<std::size_t>(pr)];
-          int nb = std::min(pb, j - gap);
-          if (nb < pa) {
-            infeasible = true;
-            break;
-          }
-          if (nb != pb) {
-            total += frame_change_force(
-                dgs.lut, graph.nodes[static_cast<std::size_t>(pr)].weight,
-                pa, pb, pa, nb);
-          }
-        }
-        if (infeasible) continue;
-        for (int sc : sn.succs) {
-          if (result.stage_of[static_cast<std::size_t>(sc)] != 0) continue;
-          int gap = schedule_gap(graph, i, sc);
-          int sa = frames.asap[static_cast<std::size_t>(sc)];
-          int sb = frames.alap[static_cast<std::size_t>(sc)];
-          int na = std::max(sa, j + gap);
-          if (na > sb) {
-            infeasible = true;
-            break;
-          }
-          if (na != sa) {
-            total += frame_change_force(
-                dgs.lut, graph.nodes[static_cast<std::size_t>(sc)].weight,
-                sa, sb, na, sb);
-          }
-        }
-        if (infeasible) continue;
-
-        if (total < best_force - 1e-12 ||
-            (std::abs(total - best_force) <= 1e-12 && best_node != -1 &&
-             i < best_node)) {
-          best_force = total;
-          best_node = i;
-          best_stage = j;
-        }
-      }
-    }
-
-    if (best_node < 0) {
-      // No feasible candidate found via force search (should not happen on
-      // a feasible graph): fall back to ASAP for the remaining nodes.
-      for (int i = 0; i < n; ++i) {
-        if (result.stage_of[static_cast<std::size_t>(i)] == 0)
-          result.stage_of[static_cast<std::size_t>(i)] =
-              frames.asap[static_cast<std::size_t>(i)];
-      }
-      result.feasible = result.feasible && frames.feasible;
-      break;
-    }
-
-    result.stage_of[static_cast<std::size_t>(best_node)] = best_stage;
-    --remaining;
-    frames = compute_time_frames(graph, result.stage_of);
-    if (!frames.feasible) result.feasible = false;
-  }
+  // SchedulerKind::kFds: the incremental pin loop (see fds_kernel.h). The
+  // kernel computes its own frames (folding their feasibility into its
+  // return value, like the loop it replaced) and produces schedules
+  // byte-identical to the original from-scratch scheduler at any thread
+  // count.
+  FdsScheduler kernel(graph, arch, ops, ops_of_node, pool);
+  if (!kernel.run(&result.stage_of)) result.feasible = false;
 
   if (options.refine && result.feasible)
-    refine_schedule(graph, ops, arch, options, &result.stage_of);
+    refine_schedule(graph, ops, ops_of_node, arch, options,
+                    &result.stage_of);
   tally_stage_usage(graph, ops, arch, result.stage_of, &result);
   return result;
 }

@@ -12,7 +12,15 @@
 //
 // One node is committed per iteration (the node whose best assignment has
 // the globally lowest total force), after which exact level-aware time
-// frames are recomputed.
+// frames are recomputed. Candidates are scanned in ascending (node, stage)
+// order and a challenger must beat the incumbent by more than 1e-12, so
+// ties resolve deterministically to the lowest force, then the lowest node
+// id, then the lowest stage.
+//
+// The kFds path runs on the incremental kernel in core/fds_kernel.h; the
+// schedules it emits are byte-identical to the original from-scratch
+// implementation (retained as schedule_plane_reference for differential
+// testing) at any thread count.
 #pragma once
 
 #include <vector>
@@ -21,6 +29,8 @@
 #include "core/schedule_graph.h"
 
 namespace nanomap {
+
+class ThreadPool;
 
 // A value produced by `producer` that may have to live in flip-flops
 // across folding cycles (paper §4.2.1 storage operations).
@@ -72,10 +82,13 @@ struct FdsResult {
 };
 
 // Schedules one plane. The result is always precedence-legal; `feasible`
-// is false only if the graph itself cannot fit the stage budget.
+// is false only if the graph itself cannot fit the stage budget. An
+// optional ThreadPool parallelizes the kFds candidate scoring without
+// changing a single byte of the result (nullptr = inline execution).
 FdsResult schedule_plane(const PlaneScheduleGraph& graph,
                          const ArchParams& arch,
-                         const FdsOptions& options = {});
+                         const FdsOptions& options = {},
+                         ThreadPool* pool = nullptr);
 
 // Exact per-stage resource usage for a complete schedule (also used by
 // temporal clustering and the tests).

@@ -1,0 +1,346 @@
+// Verbatim copy of the seed-repo force-directed scheduler (see header).
+// The private helpers below are duplicated from the seed fds.cc on
+// purpose: the reference must not share the incremental kernel's code
+// paths, or a bug there would cancel out in the differential tests.
+#include "core/fds_reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace nanomap {
+namespace {
+
+// Storage-op lifetime endpoints under a given per-node stage function
+// (either ASAP or ALAP stages). Returns {begin, end}; end >= begin.
+std::pair<int, int> lifetime_under(const StorageOp& op,
+                                   const std::vector<int>& stage,
+                                   int num_stages) {
+  int begin = stage[static_cast<std::size_t>(op.producer)];
+  int end = begin;
+  for (int c : op.consumers)
+    end = std::max(end, stage[static_cast<std::size_t>(c)]);
+  if (op.anchored_at_end) end = num_stages;
+  return {begin, end};
+}
+
+// Adds the Eq. 9/10 probabilistic distribution of one storage op to `dg`.
+void add_storage_distribution(const StorageOp& op,
+                              const std::vector<int>& asap,
+                              const std::vector<int>& alap, int num_stages,
+                              std::vector<double>* dg) {
+  auto [asap_begin, asap_end] = lifetime_under(op, asap, num_stages);
+  auto [alap_begin, alap_end] = lifetime_under(op, alap, num_stages);
+
+  const double asap_len = asap_end - asap_begin + 1;
+  const double alap_len = alap_end - alap_begin + 1;
+  const int max_begin = asap_begin;
+  const int max_end = alap_end;
+  const double max_len = max_end - max_begin + 1;
+  const int ov_begin = alap_begin;
+  const int ov_end = asap_end;
+  const double ov_len = std::max(0, ov_end - ov_begin + 1);
+  const double avg_life = (asap_len + alap_len + max_len) / 3.0;
+
+  const double w = static_cast<double>(op.weight);
+  for (int j = max_begin; j <= max_end; ++j) {
+    double prob;
+    if (j >= ov_begin && j <= ov_end) {
+      prob = 1.0;
+    } else if (max_len > ov_len) {
+      prob = (avg_life - ov_len) / (max_len - ov_len);
+      prob = std::clamp(prob, 0.0, 1.0);
+    } else {
+      prob = 1.0;
+    }
+    (*dg)[static_cast<std::size_t>(j)] += prob * w;
+  }
+}
+
+// Eq. 13 force of moving a node's probability mass from frame [a0,b0] to
+// frame [a1,b1] against distribution graph `dg`.
+double frame_change_force(const std::vector<double>& dg, double weight,
+                          int a0, int b0, int a1, int b1) {
+  const double p0 = 1.0 / (b0 - a0 + 1);
+  const double p1 = 1.0 / (b1 - a1 + 1);
+  double force = 0.0;
+  for (int j = a0; j <= b0; ++j)
+    force -= dg[static_cast<std::size_t>(j)] * p0 * weight;
+  for (int j = a1; j <= b1; ++j)
+    force += dg[static_cast<std::size_t>(j)] * p1 * weight;
+  return force;
+}
+
+// Balance metric: (peak LE usage, sum of squared per-stage LE usage).
+std::pair<int, long long> balance_metric(const FdsResult& tally) {
+  long long sq = 0;
+  for (std::size_t j = 1; j < tally.le_count.size(); ++j) {
+    long long v = tally.le_count[j];
+    sq += v * v;
+  }
+  return {tally.max_le, sq};
+}
+
+// Greedy peak-reduction sweeps (FdsOptions::refine), seed version: full
+// tally_stage_usage per candidate stage and a full compute_time_frames per
+// node.
+void refine_schedule(const PlaneScheduleGraph& graph,
+                     const std::vector<StorageOp>& ops,
+                     const ArchParams& arch, const FdsOptions& options,
+                     std::vector<int>* stage_of) {
+  const int n = static_cast<int>(graph.nodes.size());
+  if (n == 0) return;
+  FdsResult tally;
+  tally_stage_usage(graph, ops, arch, *stage_of, &tally);
+  auto best_metric = balance_metric(tally);
+
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&graph](int a, int b) {
+    int wa = graph.nodes[static_cast<std::size_t>(a)].weight;
+    int wb = graph.nodes[static_cast<std::size_t>(b)].weight;
+    if (wa != wb) return wa > wb;
+    return a < b;
+  });
+
+  for (int sweep = 0; sweep < options.max_refine_sweeps; ++sweep) {
+    bool improved = false;
+    for (int i : order) {
+      int cur = (*stage_of)[static_cast<std::size_t>(i)];
+      if (tally.le_count[static_cast<std::size_t>(cur)] < tally.max_le)
+        continue;
+      (*stage_of)[static_cast<std::size_t>(i)] = 0;
+      TimeFrames frames = compute_time_frames(graph, *stage_of);
+      int a = frames.asap[static_cast<std::size_t>(i)];
+      int b = frames.alap[static_cast<std::size_t>(i)];
+      int best_stage = cur;
+      for (int j = a; j <= b; ++j) {
+        if (j == cur) continue;
+        (*stage_of)[static_cast<std::size_t>(i)] = j;
+        FdsResult t2;
+        tally_stage_usage(graph, ops, arch, *stage_of, &t2);
+        auto m2 = balance_metric(t2);
+        if (m2 < best_metric) {
+          best_metric = m2;
+          best_stage = j;
+        }
+      }
+      (*stage_of)[static_cast<std::size_t>(i)] = best_stage;
+      if (best_stage != cur) {
+        improved = true;
+        tally_stage_usage(graph, ops, arch, *stage_of, &tally);
+      }
+    }
+    if (!improved) break;
+  }
+}
+
+}  // namespace
+
+FdsResult schedule_plane_reference(const PlaneScheduleGraph& graph,
+                                   const ArchParams& arch,
+                                   const FdsOptions& options) {
+  const int n = static_cast<int>(graph.nodes.size());
+  FdsResult result;
+  result.stage_of.assign(static_cast<std::size_t>(n), 0);
+  std::vector<StorageOp> ops = build_storage_ops(graph);
+
+  if (!graph.feasible) {
+    result.feasible = false;
+  }
+  if (n == 0) {
+    tally_stage_usage(graph, ops, arch, result.stage_of, &result);
+    return result;
+  }
+
+  TimeFrames frames = compute_time_frames(graph, result.stage_of);
+  if (!frames.feasible) result.feasible = false;
+
+  if (options.scheduler == SchedulerKind::kAsap) {
+    for (int i = 0; i < n; ++i)
+      result.stage_of[static_cast<std::size_t>(i)] =
+          frames.asap[static_cast<std::size_t>(i)];
+    if (options.refine)
+      refine_schedule(graph, ops, arch, options, &result.stage_of);
+    tally_stage_usage(graph, ops, arch, result.stage_of, &result);
+    return result;
+  }
+
+  if (options.scheduler == SchedulerKind::kList) {
+    int total_weight = 0;
+    for (const ScheduleNode& sn : graph.nodes) total_weight += sn.weight;
+    int target = (total_weight + graph.num_stages - 1) / graph.num_stages;
+    for (const ScheduleNode& sn : graph.nodes)
+      target = std::max(target, sn.weight);
+
+    std::vector<int> usage(static_cast<std::size_t>(graph.num_stages) + 1,
+                           0);
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+    std::sort(order.begin(), order.end(), [&frames](int a, int b) {
+      int fa = frames.asap[static_cast<std::size_t>(a)];
+      int fb = frames.asap[static_cast<std::size_t>(b)];
+      if (fa != fb) return fa < fb;
+      return a < b;
+    });
+    for (int i : order) {
+      const ScheduleNode& sn = graph.nodes[static_cast<std::size_t>(i)];
+      int earliest = frames.asap[static_cast<std::size_t>(i)];
+      for (int pr : sn.preds) {
+        earliest = std::max(
+            earliest, result.stage_of[static_cast<std::size_t>(pr)] +
+                          schedule_gap(graph, pr, i));
+      }
+      int latest = std::max(earliest,
+                            frames.alap[static_cast<std::size_t>(i)]);
+      latest = std::min(latest, graph.num_stages);
+      int chosen = -1;
+      for (int j = earliest; j <= latest; ++j) {
+        if (usage[static_cast<std::size_t>(j)] + sn.weight <= target) {
+          chosen = j;
+          break;
+        }
+      }
+      if (chosen < 0) {
+        chosen = earliest;
+        for (int j = earliest; j <= latest; ++j) {
+          if (usage[static_cast<std::size_t>(j)] <
+              usage[static_cast<std::size_t>(chosen)])
+            chosen = j;
+        }
+      }
+      result.stage_of[static_cast<std::size_t>(i)] = chosen;
+      usage[static_cast<std::size_t>(chosen)] += sn.weight;
+    }
+    TimeFrames check = compute_time_frames(graph, result.stage_of);
+    if (!check.feasible) result.feasible = false;
+    if (options.refine)
+      refine_schedule(graph, ops, arch, options, &result.stage_of);
+    tally_stage_usage(graph, ops, arch, result.stage_of, &result);
+    return result;
+  }
+
+  std::vector<std::vector<int>> ops_of_node(static_cast<std::size_t>(n));
+  for (std::size_t oi = 0; oi < ops.size(); ++oi) {
+    ops_of_node[static_cast<std::size_t>(ops[oi].producer)].push_back(
+        static_cast<int>(oi));
+    for (int c : ops[oi].consumers)
+      ops_of_node[static_cast<std::size_t>(c)].push_back(
+          static_cast<int>(oi));
+  }
+
+  const double h = 1.0;  // LUTs per LE in NATURE
+  const double l = static_cast<double>(arch.ff_per_le);
+  const int s = graph.num_stages;
+
+  int remaining = n;
+  while (remaining > 0) {
+    DistributionGraphs dgs = compute_dgs(graph, ops, result.stage_of, frames);
+
+    double best_force = std::numeric_limits<double>::infinity();
+    int best_node = -1;
+    int best_stage = -1;
+
+    for (int i = 0; i < n; ++i) {
+      if (result.stage_of[static_cast<std::size_t>(i)] != 0) continue;
+      const ScheduleNode& sn = graph.nodes[static_cast<std::size_t>(i)];
+      const int a = frames.asap[static_cast<std::size_t>(i)];
+      const int b = frames.alap[static_cast<std::size_t>(i)];
+
+      for (int j = a; j <= b; ++j) {
+        double lut_self =
+            frame_change_force(dgs.lut, sn.weight, a, b, j, j);
+
+        // Storage self-force via full ASAP/ALAP vector copies — the O(n)
+        // per-candidate cost the incremental kernel eliminates.
+        double storage_self = 0.0;
+        if (!ops_of_node[static_cast<std::size_t>(i)].empty()) {
+          std::vector<int> asap2 = frames.asap;
+          std::vector<int> alap2 = frames.alap;
+          asap2[static_cast<std::size_t>(i)] = j;
+          alap2[static_cast<std::size_t>(i)] = j;
+          std::vector<double> before(static_cast<std::size_t>(s) + 1, 0.0);
+          std::vector<double> after(static_cast<std::size_t>(s) + 1, 0.0);
+          for (int oi : ops_of_node[static_cast<std::size_t>(i)]) {
+            add_storage_distribution(ops[static_cast<std::size_t>(oi)],
+                                     frames.asap, frames.alap, s, &before);
+            add_storage_distribution(ops[static_cast<std::size_t>(oi)],
+                                     asap2, alap2, s, &after);
+          }
+          for (int jj = 1; jj <= s; ++jj)
+            storage_self += dgs.storage[static_cast<std::size_t>(jj)] *
+                            (after[static_cast<std::size_t>(jj)] -
+                             before[static_cast<std::size_t>(jj)]);
+        }
+
+        double total = std::max(lut_self / h, storage_self / l);
+
+        bool infeasible = false;
+        for (int pr : sn.preds) {
+          if (result.stage_of[static_cast<std::size_t>(pr)] != 0) continue;
+          int gap = schedule_gap(graph, pr, i);
+          int pa = frames.asap[static_cast<std::size_t>(pr)];
+          int pb = frames.alap[static_cast<std::size_t>(pr)];
+          int nb = std::min(pb, j - gap);
+          if (nb < pa) {
+            infeasible = true;
+            break;
+          }
+          if (nb != pb) {
+            total += frame_change_force(
+                dgs.lut, graph.nodes[static_cast<std::size_t>(pr)].weight,
+                pa, pb, pa, nb);
+          }
+        }
+        if (infeasible) continue;
+        for (int sc : sn.succs) {
+          if (result.stage_of[static_cast<std::size_t>(sc)] != 0) continue;
+          int gap = schedule_gap(graph, i, sc);
+          int sa = frames.asap[static_cast<std::size_t>(sc)];
+          int sb = frames.alap[static_cast<std::size_t>(sc)];
+          int na = std::max(sa, j + gap);
+          if (na > sb) {
+            infeasible = true;
+            break;
+          }
+          if (na != sa) {
+            total += frame_change_force(
+                dgs.lut, graph.nodes[static_cast<std::size_t>(sc)].weight,
+                sa, sb, na, sb);
+          }
+        }
+        if (infeasible) continue;
+
+        if (total < best_force - 1e-12) {
+          best_force = total;
+          best_node = i;
+          best_stage = j;
+        }
+      }
+    }
+
+    if (best_node < 0) {
+      for (int i = 0; i < n; ++i) {
+        if (result.stage_of[static_cast<std::size_t>(i)] == 0)
+          result.stage_of[static_cast<std::size_t>(i)] =
+              frames.asap[static_cast<std::size_t>(i)];
+      }
+      result.feasible = result.feasible && frames.feasible;
+      break;
+    }
+
+    result.stage_of[static_cast<std::size_t>(best_node)] = best_stage;
+    --remaining;
+    frames = compute_time_frames(graph, result.stage_of);
+    if (!frames.feasible) result.feasible = false;
+  }
+
+  if (options.refine && result.feasible)
+    refine_schedule(graph, ops, arch, options, &result.stage_of);
+  tally_stage_usage(graph, ops, arch, result.stage_of, &result);
+  return result;
+}
+
+}  // namespace nanomap

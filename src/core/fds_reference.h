@@ -1,0 +1,33 @@
+// Reference force-directed scheduler: a verbatim copy of the seed-repo
+// `schedule_plane` (pre-incremental-kernel), kept as the executable
+// specification of the scheduling semantics.
+//
+// The incremental kernel (core/fds_kernel.h) must produce *identical*
+// `stage_of` vectors — same forces, same first-candidate-wins tie-breaks,
+// same refine decisions. That contract is enforced three ways:
+//   * tests/fds_test.cc runs a randomized differential sweep of
+//     schedule_plane vs. schedule_plane_reference across seeds, folding
+//     levels and scheduler kinds;
+//   * tests/determinism_test.cc pins golden schedule fingerprints captured
+//     from the seed binary for all bundled circuits;
+//   * bench/fds_throughput asserts identical schedules while measuring the
+//     pins/sec ratio between the two engines.
+//
+// This file intentionally preserves the seed's O(n) per-candidate
+// time-frame copies and from-scratch DG/tally recomputes — do not
+// "optimize" it; its slowness is the baseline being measured.
+#pragma once
+
+#include "arch/nature.h"
+#include "core/fds.h"
+#include "core/schedule_graph.h"
+
+namespace nanomap {
+
+// Schedules one plane with the seed algorithm. Semantically identical to
+// schedule_plane (any divergence is a bug in the incremental kernel).
+FdsResult schedule_plane_reference(const PlaneScheduleGraph& graph,
+                                   const ArchParams& arch,
+                                   const FdsOptions& options = {});
+
+}  // namespace nanomap

@@ -232,19 +232,9 @@ PlaneScheduleGraph build_schedule_graph(const Design& design, int plane,
   return g;
 }
 
-TimeFrames compute_time_frames(const PlaneScheduleGraph& graph,
-                               const std::vector<int>& stage_of) {
+std::vector<int> topological_order(const PlaneScheduleGraph& graph) {
   const int n = static_cast<int>(graph.nodes.size());
-  NM_CHECK(static_cast<int>(stage_of.size()) == n);
-  const int p = graph.folding_level;
-  const int total_levels = graph.num_stages * p;
-
-  TimeFrames tf;
-  tf.asap.assign(static_cast<std::size_t>(n), 1);
-  tf.alap.assign(static_cast<std::size_t>(n), graph.num_stages);
-  if (n == 0) return tf;
-
-  // Topological order by Kahn (graph is a DAG post-SCC-merge).
+  // Kahn topological order (graph is a DAG post-SCC-merge).
   std::vector<int> indeg(static_cast<std::size_t>(n), 0);
   for (const ScheduleNode& sn : graph.nodes)
     indeg[static_cast<std::size_t>(sn.id)] =
@@ -259,6 +249,34 @@ TimeFrames compute_time_frames(const PlaneScheduleGraph& graph,
   }
   NM_CHECK_MSG(static_cast<int>(topo.size()) == n,
                "schedule graph has a cycle after SCC merge");
+  return topo;
+}
+
+TimeFrames compute_time_frames(const PlaneScheduleGraph& graph,
+                               const std::vector<int>& stage_of) {
+  TimeFrames tf;
+  if (graph.nodes.empty()) {
+    NM_CHECK(stage_of.empty());
+    return tf;
+  }
+  compute_time_frames_into(graph, stage_of, topological_order(graph), &tf);
+  return tf;
+}
+
+void compute_time_frames_into(const PlaneScheduleGraph& graph,
+                              const std::vector<int>& stage_of,
+                              const std::vector<int>& topo, TimeFrames* tf_out) {
+  const int n = static_cast<int>(graph.nodes.size());
+  NM_CHECK(static_cast<int>(stage_of.size()) == n);
+  NM_CHECK(static_cast<int>(topo.size()) == n);
+  const int p = graph.folding_level;
+  const int total_levels = graph.num_stages * p;
+
+  TimeFrames& tf = *tf_out;
+  tf.feasible = true;
+  tf.asap.assign(static_cast<std::size_t>(n), 1);
+  tf.alap.assign(static_cast<std::size_t>(n), graph.num_stages);
+  if (n == 0) return;
 
   // Forward (ASAP) pass in stage space. A dependent node can follow its
   // predecessor `gap` stages later, where gap is the window-slice
@@ -310,7 +328,6 @@ TimeFrames compute_time_frames(const PlaneScheduleGraph& graph,
           tf.asap[static_cast<std::size_t>(i)];
     }
   }
-  return tf;
 }
 
 int schedule_gap(const PlaneScheduleGraph& graph, int a, int b) {

@@ -201,7 +201,7 @@ class FlowEngine {
     for (int p = 0; p < params_.num_plane; ++p) {
       PlaneScheduleGraph graph = build_schedule_graph(design_, p, cand.cfg);
       if (!graph.feasible) return cand;
-      FdsResult fr = schedule_plane(graph, options_.arch, fds_opts);
+      FdsResult fr = schedule_plane(graph, options_.arch, fds_opts, &pool_);
       if (!fr.feasible) return cand;
       sched.graphs.push_back(std::move(graph));
       sched.plane_results.push_back(std::move(fr));

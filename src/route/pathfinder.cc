@@ -13,7 +13,10 @@ namespace nanomap {
 namespace {
 
 struct QueueEntry {
-  double cost;
+  double cost;  // g + est: the A* priority
+  double est;   // heuristic at push time, carried so the pop-side
+                // staleness check needs no recompute (cost - est == g,
+                // bit-identical to re-deriving est from the node coords)
   int node;
   bool operator>(const QueueEntry& other) const { return cost > other.cost; }
 };
@@ -188,17 +191,15 @@ class CycleRouter {
         const RrNode& node = rr_.node(n);
         double est = options_.astar_weight *
                      (std::abs(node.x - tx) + std::abs(node.y - ty));
-        pq.push({cost + est, n});
+        pq.push({cost + est, est, n});
       };
       for (int n : tree_nodes) relax(n, 0.0, -1);
 
       int found = -1;
       while (!pq.empty()) {
-        auto [prio, n] = pq.top();
+        auto [prio, est, n] = pq.top();
         pq.pop();
         const RrNode& node = rr_.node(n);
-        double est = options_.astar_weight *
-                     (std::abs(node.x - tx) + std::abs(node.y - ty));
         if (prio - est > ss->best_cost[static_cast<std::size_t>(n)] + 1e-12)
           continue;  // stale entry
         if (n == target) {

@@ -10,9 +10,13 @@
 #include <string>
 
 #include "bitstream/bitmap.h"
+#include "circuits/benchmarks.h"
 #include "circuits/random_dag.h"
+#include "core/fds.h"
 #include "flow/nanomap_flow.h"
 #include "map/bench_format.h"
+#include "netlist/plane.h"
+#include "util/thread_pool.h"
 
 namespace nanomap {
 namespace {
@@ -147,6 +151,62 @@ TEST(Determinism, GoldenFingerprintAcrossThreadsAndRestarts) {
 
 TEST(Determinism, RandomDagAcrossRunsAndThreadCounts) {
   expect_thread_invariant(random_design());
+}
+
+// Golden pin of the incremental FDS scheduling kernel: per-plane schedules
+// of every bundled paper circuit at folding levels 1 and 2, hashed
+// byte-exactly. The hashes were captured from the pre-kernel from-scratch
+// scheduler, and must not move — with or without a thread pool.
+std::uint64_t schedule_fingerprint(const Design& d, int level,
+                                   ThreadPool* pool) {
+  CircuitParams p = extract_circuit_params(d.net);
+  FoldingConfig cfg = make_folding_config(p, level);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  std::string fp;
+  auto add_int = [&fp](long long v) {
+    char buf[sizeof v];
+    std::memcpy(buf, &v, sizeof v);
+    fp.append(buf, sizeof v);
+  };
+  for (int plane = 0; plane < p.num_plane; ++plane) {
+    PlaneScheduleGraph g = build_schedule_graph(d, plane, cfg);
+    FdsResult r = schedule_plane(g, arch, FdsOptions{}, pool);
+    add_int(g.num_stages);
+    add_int(r.feasible ? 1 : 0);
+    for (int s : r.stage_of) add_int(s);
+    add_int(r.max_le);
+  }
+  return fnv1a(fp);
+}
+
+TEST(Determinism, GoldenScheduleFingerprints) {
+  struct Case {
+    const char* name;
+    int level;
+    std::uint64_t want;
+  };
+  const Case cases[] = {
+      {"ex1", 1, 0x418e4acd8cf1b0e2ull},   {"ex1", 2, 0x7a6a953eec79d609ull},
+      {"FIR", 1, 0x0eb8d160fa3b279eull},   {"FIR", 2, 0x7cb5ccddde35fd68ull},
+      {"ex2", 1, 0xef4364047217818full},   {"ex2", 2, 0x27fdf25dcf85effdull},
+      {"c5315", 1, 0x3dd45a268fae6420ull}, {"c5315", 2, 0x257443151e108529ull},
+      {"Biquad", 1, 0x3ad66958b0003531ull},
+      {"Biquad", 2, 0x3b59a5aafe2f7c87ull},
+      {"Paulin", 1, 0x52f3464aa5e65110ull},
+      {"Paulin", 2, 0x43fd2a7494c9d1ddull},
+      {"ASPP4", 1, 0x08ab879bd3f3f42cull},
+      {"ASPP4", 2, 0x9a094a3849776469ull},
+  };
+  ThreadPool pool(4);
+  for (const Case& c : cases) {
+    Design d = make_benchmark(c.name);
+    EXPECT_EQ(schedule_fingerprint(d, c.level, nullptr), c.want)
+        << c.name << " level " << c.level
+        << " diverged from the from-scratch scheduler (no pool)";
+    EXPECT_EQ(schedule_fingerprint(d, c.level, &pool), c.want)
+        << c.name << " level " << c.level
+        << " diverged from the from-scratch scheduler (threads=4)";
+  }
 }
 
 TEST(Determinism, DefaultSerialConfigUnaffectedByThreads) {

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "circuits/benchmarks.h"
 #include "circuits/random_dag.h"
 #include "core/fds.h"
+#include "core/fds_reference.h"
 #include "netlist/plane.h"
 #include "rtl/module_expander.h"
+#include "util/thread_pool.h"
 
 namespace nanomap {
 namespace {
@@ -224,6 +229,103 @@ TEST(Fds, DeterministicAcrossRuns) {
   FdsResult r2 = schedule_plane(g, arch);
   EXPECT_EQ(r1.stage_of, r2.stage_of);
   EXPECT_EQ(r1.max_le, r2.max_le);
+}
+
+TEST(Fds, ExactTiesResolveToLowestNodeId) {
+  // A tight L1 -> L2 chain (2 stages at level 1) plus two identical
+  // independent LUTs A and B with frames [1,2]. In the opening iterations
+  // the candidates L1@1, L2@2, A@2 and B@2 all have a total force of
+  // *exactly* 0.0 (the A@1/B@1 candidates cost extra storage because both
+  // outputs are anchored to the last stage), so the documented tie-break
+  // decides the pin order: lowest force, then lowest node id, then lowest
+  // stage. A is therefore pinned to stage 2 before B gets a turn, after
+  // which B strictly prefers the now-emptier stage 1. If ties broke
+  // toward the higher node id instead, the assignment would come out
+  // mirrored — so the final schedule pins the order exactly.
+  Design d;
+  int a = d.net.add_input("a", 0);
+  int b = d.net.add_input("b", 0);
+  int l1 = d.net.add_lut("L1", {a, b}, 0x6, 0);
+  int l2 = d.net.add_lut("L2", {l1, a}, 0x6, 0);
+  int la = d.net.add_lut("A", {a, b}, 0x8, 0);
+  int lb = d.net.add_lut("B", {a, b}, 0xe, 0);
+  d.net.add_output("o", l2);
+  d.net.add_output("p", la);
+  d.net.add_output("q", lb);
+  d.net.compute_levels();
+
+  PlaneScheduleGraph g = graph_for(d, 0, 1);
+  ASSERT_EQ(g.num_stages, 2);
+  int na = g.node_of_lut[static_cast<std::size_t>(la)];
+  int nb = g.node_of_lut[static_cast<std::size_t>(lb)];
+  ASSERT_NE(na, nb);
+  int lo = std::min(na, nb);
+  int hi = std::max(na, nb);
+
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  FdsResult r = schedule_plane(g, arch);
+  expect_schedule_legal(g, r);
+  EXPECT_EQ(r.stage_of[static_cast<std::size_t>(lo)], 2)
+      << "the zero-force tie must break to the lowest node id";
+  EXPECT_EQ(r.stage_of[static_cast<std::size_t>(hi)], 1);
+
+  // And the retained from-scratch scheduler agrees candidate for
+  // candidate.
+  FdsResult ref = schedule_plane_reference(g, arch);
+  EXPECT_EQ(r.stage_of, ref.stage_of);
+}
+
+TEST(Fds, DifferentialSweepMatchesReferenceScheduler) {
+  // The incremental kernel (and the RefineTally-based refine used by every
+  // scheduler kind) must reproduce the retained from-scratch reference
+  // *exactly* — same pins, same refine moves — across random DAGs,
+  // folding levels (0 = no folding), and scheduler kinds.
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  for (int seed = 0; seed < 6; ++seed) {
+    RandomDagSpec spec;
+    spec.luts_per_plane = 50 + seed * 17;
+    spec.depth = 7;
+    spec.regs_per_plane = 4;
+    spec.seed = static_cast<std::uint64_t>(seed) * 9176 + 11;
+    Design d = make_random_design(spec);
+    for (int level : {1, 2, 0}) {
+      PlaneScheduleGraph g = graph_for(d, 0, level);
+      ASSERT_TRUE(g.feasible);
+      for (SchedulerKind kind :
+           {SchedulerKind::kFds, SchedulerKind::kList, SchedulerKind::kAsap}) {
+        FdsOptions opts;
+        opts.scheduler = kind;
+        FdsResult got = schedule_plane(g, arch, opts);
+        FdsResult want = schedule_plane_reference(g, arch, opts);
+        EXPECT_EQ(got.stage_of, want.stage_of)
+            << "seed " << seed << " level " << level << " kind "
+            << static_cast<int>(kind);
+        EXPECT_EQ(got.feasible, want.feasible);
+        EXPECT_EQ(got.max_le, want.max_le);
+        EXPECT_EQ(got.le_count, want.le_count);
+      }
+    }
+  }
+}
+
+TEST(Fds, ThreadPoolDoesNotChangeTheSchedule) {
+  // Parallel candidate scoring must be byte-invariant: pool sizes 1 and 3
+  // and no pool at all give identical schedules.
+  ThreadPool pool3(3);
+  ThreadPool pool1(1);
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  for (const char* name : {"ex1", "Biquad", "c5315"}) {
+    Design d = make_benchmark(name);
+    for (int level : {1, 2}) {
+      PlaneScheduleGraph g = graph_for(d, 0, level);
+      FdsResult serial = schedule_plane(g, arch, FdsOptions{}, nullptr);
+      FdsResult one = schedule_plane(g, arch, FdsOptions{}, &pool1);
+      FdsResult three = schedule_plane(g, arch, FdsOptions{}, &pool3);
+      EXPECT_EQ(serial.stage_of, one.stage_of) << name << " level " << level;
+      EXPECT_EQ(serial.stage_of, three.stage_of)
+          << name << " level " << level;
+    }
+  }
 }
 
 TEST(Fds, EmptyPlaneHandled) {
