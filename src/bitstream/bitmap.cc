@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault.h"
+
 namespace nanomap {
 namespace {
 
@@ -17,6 +19,7 @@ ConfigBitmap generate_bitmap(const Design& design,
                              const ClusteredDesign& cd,
                              const RoutingResult* routing,
                              const ArchParams& arch) {
+  NM_FAULT_POINT("bitmap.emit");
   const LutNetwork& net = design.net;
   ConfigBitmap bitmap;
   bitmap.num_cycles = cd.num_cycles;

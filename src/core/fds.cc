@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/fds_kernel.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 
 namespace nanomap {
@@ -272,6 +273,7 @@ void refine_schedule(const PlaneScheduleGraph& graph,
 FdsResult schedule_plane(const PlaneScheduleGraph& graph,
                          const ArchParams& arch, const FdsOptions& options,
                          ThreadPool* pool) {
+  NM_FAULT_POINT("fds.schedule");
   const int n = static_cast<int>(graph.nodes.size());
   FdsResult result;
   result.stage_of.assign(static_cast<std::size_t>(n), 0);

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "util/fault.h"
+
 namespace nanomap {
 namespace {
 
@@ -362,6 +364,7 @@ ClusteredDesign temporal_cluster(const Design& design,
 
 void verify_clustering(const Design& design, const DesignSchedule& schedule,
                        const ArchParams& arch, const ClusteredDesign& cd) {
+  NM_FAULT_POINT("cluster.verify");
   const LutNetwork& net = design.net;
   const int slots = arch.les_per_smb();
   // Every LUT placed, slot conflicts absent, per-cycle SMB capacity held.

@@ -4,12 +4,19 @@
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <set>
 #include <sstream>
 
+#include "util/fault.h"
 #include "util/log.h"
+#include "util/rng.h"
 
 namespace nanomap {
 namespace {
+
+// Seed-stream base for the re-seeded placement rung of the recovery
+// ladder, far away from the restart streams place_design derives itself.
+constexpr std::uint64_t kReseedStreamBase = 0x5eedu;
 
 // A scheduled+clustered candidate at one folding level.
 struct Candidate {
@@ -21,6 +28,20 @@ struct Candidate {
   std::vector<FdsResult> plane_results;
   int les = 0;
   double est_delay_ns = 0.0;
+};
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+// One rung of the routing escalation ladder: router budgets plus the
+// (possibly widened) interconnect to route against.
+struct RouteRung {
+  std::string name;
+  RouterOptions router;
+  ArchParams arch;
 };
 
 class FlowEngine {
@@ -39,54 +60,64 @@ class FlowEngine {
     result.params = params_;
 
     std::vector<int> candidates = candidate_levels();
-    std::ostringstream log;
-    log << "objective " << objective_name(options_.objective)
-        << ", candidate levels:";
-    for (int lv : candidates) log << " " << lv;
+    log_ << "objective " << objective_name(options_.objective)
+         << ", candidate levels:";
+    for (int lv : candidates) log_ << " " << lv;
 
     // For AT-product optimization rank all candidates by their *measured*
     // post-clustering area times the estimated delay; for the other
     // objectives the candidate order already encodes preference.
     if (options_.objective == Objective::kAreaDelayProduct &&
         options_.forced_folding_level < 0) {
-      rank_by_at_product(&candidates, &log);
+      rank_by_at_product(&candidates);
     }
 
     for (int level : candidates) {
       ++result.levels_tried;
       Candidate& cand = evaluate_cached(level);
       if (!cand.valid) {
-        log << " | L" << level << ": infeasible schedule";
+        log_ << " | L" << level << ": infeasible schedule";
         continue;
       }
       if (options_.area_constraint_le > 0 &&
           cand.les > options_.area_constraint_le) {
-        log << " | L" << level << ": area " << cand.les << " > "
-            << options_.area_constraint_le;
+        record({"flow", level, 0, FlowErrorKind::kInfeasibleConstraint,
+                "skip",
+                "area " + std::to_string(cand.les) + " > " +
+                    std::to_string(options_.area_constraint_le)});
         continue;
       }
       if (options_.delay_constraint_ns > 0.0 &&
           cand.est_delay_ns > options_.delay_constraint_ns * 1.25) {
         // Clearly hopeless even before placement (25% estimate margin).
-        log << " | L" << level << ": est delay " << cand.est_delay_ns
-            << " >> " << options_.delay_constraint_ns;
+        record({"flow", level, 0, FlowErrorKind::kInfeasibleConstraint,
+                "skip",
+                "est delay " + fmt(cand.est_delay_ns) + " >> " +
+                    fmt(options_.delay_constraint_ns)});
         continue;
       }
 
-      if (!finish(cand, &result, &log)) continue;  // physical fallback
+      if (!finish(cand, &result)) continue;  // physical fallback
       if (options_.delay_constraint_ns > 0.0 &&
           result.delay_ns > options_.delay_constraint_ns) {
-        log << " | L" << level << ": delay " << result.delay_ns << " > "
-            << options_.delay_constraint_ns;
+        record({"flow", level, 0, FlowErrorKind::kInfeasibleConstraint,
+                "skip",
+                "delay " + fmt(result.delay_ns) + " > " +
+                    fmt(options_.delay_constraint_ns)});
         continue;
       }
       result.feasible = true;
       break;
     }
 
-    if (!result.feasible)
-      log << " | no folding level satisfies the constraints";
-    result.message = log.str();
+    if (!result.feasible) try_no_folding_degradation(&result);
+
+    if (!result.feasible) {
+      log_ << " | no folding level satisfies the constraints";
+      result.error_kind = dominant_error_kind();
+    }
+    result.diagnostics = diag_;
+    result.message = log_.str();
     result.cpu_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -94,6 +125,54 @@ class FlowEngine {
   }
 
  private:
+  // --- diagnostics ---------------------------------------------------------
+
+  // Appends a typed event to the trail and renders it into the free-text
+  // message, keeping the historical " | L<level>: <detail>" prose.
+  void record(FlowEvent event) {
+    if (event.level >= 0)
+      log_ << " | L" << event.level << ": " << event.detail;
+    else
+      log_ << " | " << event.detail;
+    diag_.add(std::move(event));
+  }
+
+  // Runs one stage call, converting any CheckError / InputError /
+  // std::bad_alloc into a typed trail entry. Returns false when the stage
+  // failed (the caller then falls back instead of propagating).
+  template <typename Fn>
+  bool guard(const char* stage, int level, int attempt, Fn&& fn) {
+    try {
+      fn();
+      return true;
+    } catch (const InputError& e) {
+      record({stage, level, attempt, FlowErrorKind::kInput, "error",
+              std::string(e.what())});
+    } catch (const CheckError& e) {
+      record({stage, level, attempt, FlowErrorKind::kInternal, "error",
+              std::string(e.what())});
+    } catch (const std::bad_alloc&) {
+      record({stage, level, attempt, FlowErrorKind::kResourceExhausted,
+              "error", "out of memory"});
+    }
+    return false;
+  }
+
+  // The most actionable failure kind in the trail: internal errors beat
+  // resource exhaustion beat bad input beat physical-stage failures beat
+  // plain constraint infeasibility.
+  FlowErrorKind dominant_error_kind() const {
+    static const FlowErrorKind precedence[] = {
+        FlowErrorKind::kInternal,         FlowErrorKind::kResourceExhausted,
+        FlowErrorKind::kInput,            FlowErrorKind::kRoutingCongestion,
+        FlowErrorKind::kPlacementScreen,  FlowErrorKind::kInfeasibleConstraint,
+    };
+    for (FlowErrorKind kind : precedence)
+      for (const FlowEvent& e : diag_.events)
+        if (e.kind == kind) return kind;
+    return FlowErrorKind::kInfeasibleConstraint;
+  }
+
   // --- candidate generation ------------------------------------------------
 
   int min_level() const { return min_folding_level(params_, options_.arch); }
@@ -153,7 +232,7 @@ class FlowEngine {
   // Runs the (cheap) schedule+cluster evaluation for every candidate level
   // and orders the levels by measured #LEs x estimated delay, so the
   // physical flow is attempted best-product-first.
-  void rank_by_at_product(std::vector<int>* levels, std::ostringstream* log) {
+  void rank_by_at_product(std::vector<int>* levels) {
     std::vector<std::pair<double, int>> ranked;
     for (int lv : *levels) {
       const Candidate& cand = evaluate_cached(lv);
@@ -166,7 +245,7 @@ class FlowEngine {
                      });
     levels->clear();
     for (auto& [at, lv] : ranked) levels->push_back(lv);
-    if (!levels->empty()) *log << " | AT ranking best L" << levels->front();
+    if (!levels->empty()) log_ << " | AT ranking best L" << levels->front();
   }
 
   // --- evaluation -----------------------------------------------------------
@@ -178,6 +257,9 @@ class FlowEngine {
     return it->second;
   }
 
+  // Scheduling + clustering for one level. Exceptions never escape: a
+  // stage failure records a typed trail entry and yields an invalid
+  // candidate, which the search treats like an infeasible schedule.
   Candidate evaluate(int level) {
     Candidate cand;
     cand.level = level;
@@ -198,17 +280,31 @@ class FlowEngine {
     fds_opts.scheduler =
         options_.use_fds ? options_.scheduler : SchedulerKind::kAsap;
     fds_opts.refine = options_.refine_schedule;
-    for (int p = 0; p < params_.num_plane; ++p) {
-      PlaneScheduleGraph graph = build_schedule_graph(design_, p, cand.cfg);
-      if (!graph.feasible) return cand;
-      FdsResult fr = schedule_plane(graph, options_.arch, fds_opts, &pool_);
-      if (!fr.feasible) return cand;
-      sched.graphs.push_back(std::move(graph));
-      sched.plane_results.push_back(std::move(fr));
-    }
+    bool feasible = true;
+    bool ok = guard("schedule", level, 0, [&] {
+      for (int p = 0; p < params_.num_plane; ++p) {
+        PlaneScheduleGraph graph = build_schedule_graph(design_, p, cand.cfg);
+        if (!graph.feasible) {
+          feasible = false;
+          return;
+        }
+        FdsResult fr = schedule_plane(graph, options_.arch, fds_opts, &pool_);
+        if (!fr.feasible) {
+          feasible = false;
+          return;
+        }
+        sched.graphs.push_back(std::move(graph));
+        sched.plane_results.push_back(std::move(fr));
+      }
+    });
+    if (!ok || !feasible) return cand;
 
-    cand.clustered = temporal_cluster(design_, sched, options_.arch);
-    verify_clustering(design_, sched, options_.arch, cand.clustered);
+    ok = guard("cluster", level, 0, [&] {
+      cand.clustered = temporal_cluster(design_, sched, options_.arch);
+      verify_clustering(design_, sched, options_.arch, cand.clustered);
+    });
+    if (!ok) return cand;
+
     cand.les = cand.clustered.les_used;
     cand.est_delay_ns =
         estimated_circuit_delay_ns(params_, cand.cfg, options_.arch);
@@ -218,9 +314,113 @@ class FlowEngine {
     return cand;
   }
 
+  // --- recovery ladder ------------------------------------------------------
+
+  // Routing rungs, cheapest first: the caller's budgets (rung 0, byte-
+  // identical to the historical single attempt), then raised
+  // max_iterations / present-congestion schedules, then bounded channel-
+  // width bumps on a widened copy of the architecture (VPR-style
+  // "increase W before declaring unroutable").
+  std::vector<RouteRung> route_ladder() const {
+    std::vector<RouteRung> rungs;
+    rungs.push_back({"default budgets", options_.router, options_.arch});
+
+    RouterOptions esc = options_.router;
+    for (int b = 1; b <= options_.recovery.router_budget_rungs; ++b) {
+      esc.max_iterations =
+          std::max(esc.max_iterations * 3, esc.max_iterations + 40);
+      esc.pres_fac_mult = 1.0 + (esc.pres_fac_mult - 1.0) * 1.5;
+      esc.hist_fac *= 1.5;
+      rungs.push_back({"raised router budgets (max_iterations " +
+                           std::to_string(esc.max_iterations) +
+                           ", pres_fac_mult " + fmt(esc.pres_fac_mult) + ")",
+                       esc, options_.arch});
+    }
+
+    ArchParams widened = options_.arch;
+    double factor = 1.0;
+    for (int c = 1; c <= options_.recovery.channel_bump_rungs; ++c) {
+      factor *= options_.recovery.channel_bump_factor;
+      auto bump = [factor](int base) {
+        return std::max(base + 1, static_cast<int>(std::ceil(base * factor)));
+      };
+      widened.len1_tracks = bump(options_.arch.len1_tracks);
+      widened.len4_tracks = bump(options_.arch.len4_tracks);
+      widened.global_tracks = bump(options_.arch.global_tracks);
+      rungs.push_back({"widened channels x" + fmt(factor) + " (len1 " +
+                           std::to_string(widened.len1_tracks) + ", len4 " +
+                           std::to_string(widened.len4_tracks) +
+                           ", global " +
+                           std::to_string(widened.global_tracks) + ")",
+                       esc, widened});
+    }
+    return rungs;
+  }
+
+  // Climbs the routing ladder for one placement. On success *arch_used is
+  // the arch of the winning rung (widened rungs route — and are then
+  // timed / emitted — against their own interconnect). Returns false
+  // when every rung failed; *fatal is set when a rung died on an
+  // exception (already recorded), which aborts the level instead of
+  // climbing further.
+  bool climb_route_ladder(const Candidate& cand,
+                          const PlacementResult& placed, int attempt,
+                          RoutingResult* routed, ArchParams* arch_used,
+                          bool* fatal) {
+    *fatal = false;
+    const std::vector<RouteRung> rungs = route_ladder();
+    for (std::size_t r = 0; r < rungs.size(); ++r) {
+      const RouteRung& rung = rungs[r];
+      int rr_nodes = 0;
+      bool ok = guard("route", cand.level, attempt, [&] {
+        RrGraph rr(placed.placement.grid, rung.arch);
+        rr_nodes = rr.size();
+        *routed = route_design(cand.clustered, placed.placement, rr,
+                               rung.router, &pool_);
+      });
+      if (!ok) {
+        *fatal = true;
+        return false;
+      }
+      if (routed->success) {
+        if (r > 0 || attempt > 0)
+          record({"route", cand.level, attempt, FlowErrorKind::kNone,
+                  "recovered",
+                  "routed at rung " + std::to_string(r) + " (" + rung.name +
+                      (attempt > 0
+                           ? ", reseeded placement " + std::to_string(attempt)
+                           : "") +
+                      ")"});
+        *arch_used = rung.arch;
+        return true;
+      }
+      record({"route", cand.level, attempt,
+              FlowErrorKind::kRoutingCongestion,
+              r + 1 < rungs.size() ? "escalate" : "fallback",
+              "routing failed (" + std::to_string(routed->overused_nodes) +
+                  " overused, rung " + std::to_string(r) + ": " + rung.name +
+                  ")"});
+      // Escalation can negotiate away moderate congestion, but a placement
+      // with >5% of the RR graph overused is hopeless — don't burn the
+      // whole ladder on it.
+      if (routed->overused_nodes >
+          std::max<long>(50, static_cast<long>(rr_nodes) / 20)) {
+        record({"route", cand.level, attempt,
+                FlowErrorKind::kRoutingCongestion, "fallback",
+                "congestion too heavy to escalate (" +
+                    std::to_string(routed->overused_nodes) + " of " +
+                    std::to_string(rr_nodes) + " RR nodes overused)"});
+        return false;
+      }
+    }
+    return false;
+  }
+
   // Physical flow; returns false to make the search fall back to the next
-  // folding level (paper steps 13/14).
-  bool finish(Candidate& cand, FlowResult* result, std::ostringstream* log) {
+  // folding level (paper steps 13/14) — but only after the bounded
+  // recovery ladder (router budgets -> channel bumps -> placement
+  // reseeds) is exhausted.
+  bool finish(Candidate& cand, FlowResult* result) {
     result->folding = cand.cfg;
     result->num_les = cand.les;
     result->num_smbs = cand.clustered.num_smbs;
@@ -241,44 +441,72 @@ class FlowEngine {
       result->clustered = std::move(cand.clustered);
       return true;
     }
+    attempted_physical_.insert(cand.level);
 
-    // Placement + routing, with fresh-seed retries before giving the level
-    // up (paper step 13's "several attempts are made to refine the
-    // placement").
+    // Placement attempt 0 runs with the caller's seed and options — the
+    // historical behavior, byte-identical when it succeeds. Attempts
+    // 1..placement_reseeds re-place with derive_seed streams (thread-count
+    // independent) only after every routing rung failed.
     PlacementResult placed;
     RoutingResult routed;
+    ArchParams arch_used = options_.arch;
     bool route_ok = false;
-    for (int attempt = 0; attempt < 3 && !route_ok; ++attempt) {
+    const int reseeds = options_.recovery.placement_reseeds;
+    for (int attempt = 0; attempt <= reseeds && !route_ok; ++attempt) {
       PlacementOptions popts = options_.placement;
-      popts.seed = options_.seed + static_cast<std::uint64_t>(attempt);
-      placed = place_design(cand.clustered, options_.arch, popts, &pool_);
+      if (attempt == 0) {
+        popts.seed = options_.seed;
+      } else {
+        popts.seed = derive_seed(options_.seed,
+                                 kReseedStreamBase +
+                                     static_cast<std::uint64_t>(attempt));
+        record({"place", cand.level, attempt, FlowErrorKind::kNone, "retry",
+                "re-seeded placement restart " + std::to_string(attempt) +
+                    " of " + std::to_string(reseeds)});
+      }
+      if (!guard("place", cand.level, attempt, [&] {
+            placed = place_design(cand.clustered, options_.arch, popts,
+                                  &pool_);
+          }))
+        return false;
       if (!placed.screen_passed) {
         // Advisory only — the router below is the authoritative check.
-        *log << " | L" << cand.level << ": routability screen high (util "
-             << placed.routability.peak_utilization << "), routing anyway";
+        record({"place", cand.level, attempt,
+                FlowErrorKind::kPlacementScreen, "warn",
+                "routability screen high (util " +
+                    fmt(placed.routability.peak_utilization) +
+                    "), routing anyway"});
       }
-      RrGraph rr(placed.placement.grid, options_.arch);
-      routed = route_design(cand.clustered, placed.placement, rr,
-                            options_.router, &pool_);
-      route_ok = routed.success;
-      if (!route_ok) {
-        *log << " | L" << cand.level << ": routing failed ("
-             << routed.overused_nodes << " overused, attempt "
-             << (attempt + 1) << ")";
-      }
+      bool fatal = false;
+      route_ok = climb_route_ladder(cand, placed, attempt, &routed,
+                                    &arch_used, &fatal);
+      if (fatal) return false;
     }
-    if (!route_ok) return false;
+    if (!route_ok) {
+      record({"flow", cand.level, 0, FlowErrorKind::kRoutingCongestion,
+              "fallback",
+              "recovery ladder exhausted, abandoning folding level"});
+      return false;
+    }
 
-    TimingReport timing =
-        analyze_timing(design_, cand.schedule, cand.clustered,
-                       placed.placement, &routed, options_.arch);
+    TimingReport timing;
+    if (!guard("sta", cand.level, 0, [&] {
+          timing = analyze_timing(design_, cand.schedule, cand.clustered,
+                                  placed.placement, &routed, arch_used);
+        }))
+      return false;
 
     result->delay_ns = timing.circuit_delay_ns;
     result->folding_cycle_ns = timing.folding_cycle_ns;
-    result->bitmap = generate_bitmap(design_, cand.schedule, cand.clustered,
-                                     &routed, options_.arch);
+    if (!guard("bitmap", cand.level, 0, [&] {
+          result->bitmap = generate_bitmap(design_, cand.schedule,
+                                           cand.clustered, &routed,
+                                           arch_used);
+        }))
+      return false;
     if (!result->bitmap.fits_nram(options_.arch)) {
-      *log << " | L" << cand.level << ": bitmap exceeds NRAM depth";
+      record({"bitmap", cand.level, 0, FlowErrorKind::kInfeasibleConstraint,
+              "fallback", "bitmap exceeds NRAM depth"});
       return false;
     }
     result->timing = std::move(timing);
@@ -289,11 +517,55 @@ class FlowEngine {
     return true;
   }
 
+  // Final graceful-degradation step: when the search exhausted every
+  // candidate, attempt a no-folding mapping (skipping the estimate-based
+  // pre-screen but still honoring hard constraints) before returning
+  // infeasible-with-trail.
+  void try_no_folding_degradation(FlowResult* result) {
+    if (!options_.recovery.try_no_folding || !options_.run_physical ||
+        options_.forced_folding_level >= 0 ||
+        attempted_physical_.count(0) > 0)
+      return;
+    record({"flow", 0, 0, FlowErrorKind::kNone, "degrade",
+            "attempting no-folding as a last resort"});
+    Candidate& cand = evaluate_cached(0);
+    if (!cand.valid) {
+      record({"flow", 0, 0, FlowErrorKind::kInfeasibleConstraint,
+              "infeasible", "no-folding schedule infeasible"});
+      return;
+    }
+    if (options_.area_constraint_le > 0 &&
+        cand.les > options_.area_constraint_le) {
+      record({"flow", 0, 0, FlowErrorKind::kInfeasibleConstraint,
+              "infeasible",
+              "no-folding violates area constraint (" +
+                  std::to_string(cand.les) + " > " +
+                  std::to_string(options_.area_constraint_le) + " LEs)"});
+      return;
+    }
+    ++result->levels_tried;
+    if (!finish(cand, result)) return;
+    if (options_.delay_constraint_ns > 0.0 &&
+        result->delay_ns > options_.delay_constraint_ns) {
+      record({"flow", 0, 0, FlowErrorKind::kInfeasibleConstraint,
+              "infeasible",
+              "no-folding maps but delay " + fmt(result->delay_ns) + " > " +
+                  fmt(options_.delay_constraint_ns)});
+      return;
+    }
+    record({"flow", 0, 0, FlowErrorKind::kNone, "recovered",
+            "degraded to no-folding mapping"});
+    result->feasible = true;
+  }
+
   const Design& design_;
   FlowOptions options_;
   ThreadPool pool_;  // shared by every parallel stage of this flow run
   CircuitParams params_;
   std::map<int, Candidate> cache_;
+  std::set<int> attempted_physical_;
+  std::ostringstream log_;
+  FlowDiagnostics diag_;
 };
 
 }  // namespace
@@ -308,8 +580,112 @@ const char* objective_name(Objective objective) {
   return "?";
 }
 
+const char* flow_error_kind_name(FlowErrorKind kind) {
+  switch (kind) {
+    case FlowErrorKind::kNone: return "none";
+    case FlowErrorKind::kInput: return "input";
+    case FlowErrorKind::kInfeasibleConstraint: return "infeasible-constraint";
+    case FlowErrorKind::kPlacementScreen: return "placement-screen";
+    case FlowErrorKind::kRoutingCongestion: return "routing-congestion";
+    case FlowErrorKind::kResourceExhausted: return "resource-exhausted";
+    case FlowErrorKind::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::string FlowDiagnostics::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FlowEvent& e = events[i];
+    os << "  [" << i << "] " << e.stage;
+    if (e.level >= 0) os << " L" << e.level;
+    if (e.attempt > 0) os << " attempt " << e.attempt;
+    os << " " << e.action;
+    if (e.kind != FlowErrorKind::kNone)
+      os << " [" << flow_error_kind_name(e.kind) << "]";
+    os << ": " << e.detail << "\n";
+  }
+  return os.str();
+}
+
+void validate_flow_options(const FlowOptions& o) {
+  auto reject = [](const char* field, const char* why) {
+    throw InputError(std::string("invalid flow options: ") + field + " " +
+                     why);
+  };
+  if (o.threads < 0) reject("threads", "must be >= 0");
+  if (o.area_constraint_le < 0) reject("area_constraint_le", "must be >= 0");
+  if (!(o.delay_constraint_ns >= 0.0))
+    reject("delay_constraint_ns", "must be >= 0");
+  if (o.forced_folding_level < -1)
+    reject("forced_folding_level", "must be >= -1 (-1 = search)");
+  if (o.placement.restarts < 1) reject("placement.restarts", "must be >= 1");
+  if (o.placement.max_refine_attempts < 0)
+    reject("placement.max_refine_attempts", "must be >= 0");
+  if (!(o.placement.fast_effort > 0.0))
+    reject("placement.fast_effort", "must be > 0");
+  if (!(o.placement.detailed_effort > 0.0))
+    reject("placement.detailed_effort", "must be > 0");
+  if (!(o.placement.routable_threshold > 0.0))
+    reject("placement.routable_threshold", "must be > 0");
+  if (!(o.placement.timing_weight >= 0.0))
+    reject("placement.timing_weight", "must be >= 0");
+  if (o.router.max_iterations < 1)
+    reject("router.max_iterations", "must be >= 1");
+  if (o.router.batch_size < 1) reject("router.batch_size", "must be >= 1");
+  if (!(o.router.initial_pres_fac > 0.0))
+    reject("router.initial_pres_fac", "must be > 0");
+  if (!(o.router.pres_fac_mult > 0.0))
+    reject("router.pres_fac_mult", "must be > 0");
+  if (!(o.router.hist_fac >= 0.0)) reject("router.hist_fac", "must be >= 0");
+  if (!(o.router.astar_weight >= 0.0))
+    reject("router.astar_weight", "must be >= 0");
+  if (!(o.router.delay_norm_ps > 0.0))
+    reject("router.delay_norm_ps", "must be > 0");
+  if (o.recovery.router_budget_rungs < 0)
+    reject("recovery.router_budget_rungs", "must be >= 0");
+  if (o.recovery.channel_bump_rungs < 0)
+    reject("recovery.channel_bump_rungs", "must be >= 0");
+  if (!(o.recovery.channel_bump_factor > 1.0))
+    reject("recovery.channel_bump_factor", "must be > 1");
+  if (o.recovery.placement_reseeds < 0)
+    reject("recovery.placement_reseeds", "must be >= 0");
+  try {
+    o.arch.validate();
+  } catch (const CheckError& e) {
+    throw InputError(std::string("invalid architecture parameters: ") +
+                     e.what());
+  }
+  if (!o.fault_plan.empty()) parse_fault_plan(o.fault_plan);
+}
+
 FlowResult run_nanomap(const Design& design, const FlowOptions& options) {
-  return FlowEngine(design, options).run();
+  // Option problems are the caller's contract violation and do throw
+  // (InputError); everything past this point returns a clean result.
+  validate_flow_options(options);
+  FaultScope faults(options.fault_plan);
+
+  // Last-resort boundary: the per-stage guards inside FlowEngine handle
+  // stage failures with retry/fallback; this catch covers engine-level
+  // code (parameter extraction, candidate generation) so no exception
+  // ever escapes to the caller.
+  auto error_result = [&](FlowErrorKind kind, const std::string& what) {
+    FlowResult r;
+    r.feasible = false;
+    r.error_kind = kind;
+    r.diagnostics.add({"flow", -1, 0, kind, "error", what});
+    r.message = std::string(flow_error_kind_name(kind)) + " error: " + what;
+    return r;
+  };
+  try {
+    return FlowEngine(design, options).run();
+  } catch (const InputError& e) {
+    return error_result(FlowErrorKind::kInput, e.what());
+  } catch (const CheckError& e) {
+    return error_result(FlowErrorKind::kInternal, e.what());
+  } catch (const std::bad_alloc&) {
+    return error_result(FlowErrorKind::kResourceExhausted, "out of memory");
+  }
 }
 
 std::string summarize(const FlowResult& r) {

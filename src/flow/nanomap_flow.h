@@ -39,6 +39,66 @@ enum class Objective {
 
 const char* objective_name(Objective objective);
 
+// Typed failure taxonomy (DESIGN.md §5e). `message` stays the free-text
+// summary; error_kind/diagnostics carry the machine-readable trail.
+enum class FlowErrorKind {
+  kNone,                  // feasible result
+  kInput,                 // malformed input / options (InputError)
+  kInfeasibleConstraint,  // no folding level satisfies the constraints
+  kPlacementScreen,       // routability screen rejected the placement
+  kRoutingCongestion,     // PathFinder left overused nodes at every rung
+  kResourceExhausted,     // std::bad_alloc (or injected equivalent)
+  kInternal,              // CheckError — an invariant was violated
+};
+
+const char* flow_error_kind_name(FlowErrorKind kind);
+
+// One retry/escalation/fallback event on the recovery ladder. The trail
+// of these is the authoritative record of what the flow tried and why;
+// the free-text `message` is rendered from the same entries.
+struct FlowEvent {
+  std::string stage;   // "schedule", "cluster", "place", "route", ...
+  int level = -1;      // folding level (-1: not level-specific)
+  int attempt = 0;     // attempt / ladder-rung number within the stage
+  FlowErrorKind kind = FlowErrorKind::kNone;
+  std::string action;  // "error", "retry", "escalate", "recovered",
+                       // "fallback", "degrade", "infeasible"
+  std::string detail;  // parameters tried / failure reason
+};
+
+struct FlowDiagnostics {
+  std::vector<FlowEvent> events;
+
+  void add(FlowEvent event) { events.push_back(std::move(event)); }
+  bool empty() const { return events.empty(); }
+
+  // Human-readable trail, one event per line (the CLI's
+  // --explain-failure output).
+  std::string to_string() const;
+};
+
+// Bounds for the recovery ladder run_nanomap climbs before abandoning a
+// folding level (DESIGN.md §5e): raised router budgets, then widened
+// routing channels, then re-seeded placements, then the level falls back;
+// after every level fails, a final no-folding attempt. Every rung is
+// deterministic — triggered by deterministic failures and parameterized
+// by seed streams, never by thread count or wall clock.
+struct RecoveryOptions {
+  // Rungs that rerun PathFinder with a raised max_iterations /
+  // present-congestion schedule on the same placement.
+  int router_budget_rungs = 1;
+  // Rungs that widen len1/len4/global channel capacities by
+  // channel_bump_factor per rung (on a copy of the arch) and reroute.
+  int channel_bump_rungs = 2;
+  double channel_bump_factor = 1.25;
+  // Re-seeded placement restarts (derive_seed streams off FlowOptions::
+  // seed) tried after the routing rungs are exhausted.
+  int placement_reseeds = 1;
+  // Final graceful-degradation step: when every candidate level failed,
+  // try mapping without folding before declaring the design infeasible.
+  bool try_no_folding = true;
+};
+
 struct FlowOptions {
   ArchParams arch = ArchParams::paper_instance();
   Objective objective = Objective::kAreaDelayProduct;
@@ -65,11 +125,28 @@ struct FlowOptions {
   int threads = 0;
   PlacementOptions placement;
   RouterOptions router;
+  RecoveryOptions recovery;
+  // Deterministic fault injection: "site:N[:check|input|alloc]" arms
+  // util/fault.h's injector for the duration of this run (empty = off).
+  // The CLI exposes it as --fault / the NM_FAULT environment variable.
+  std::string fault_plan;
 };
+
+// Rejects out-of-range options (negative threads, batch_size < 1,
+// max_iterations < 1, negative constraints, ...) with an InputError whose
+// message names the offending field. run_nanomap calls this before doing
+// any work; callers wanting exit-code 2 semantics can call it themselves.
+void validate_flow_options(const FlowOptions& options);
 
 struct FlowResult {
   bool feasible = false;
   std::string message;  // why infeasible / which fallbacks happened
+  // Dominant failure kind (kNone when feasible) and the full typed trail
+  // of every retry/escalation/fallback the flow performed. Never thrown
+  // away: stage exceptions (CheckError, InputError, bad_alloc) are
+  // converted into trail entries and a clean feasible=false result.
+  FlowErrorKind error_kind = FlowErrorKind::kNone;
+  FlowDiagnostics diagnostics;
 
   CircuitParams params;
   FoldingConfig folding;

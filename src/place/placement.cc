@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "place/annealer.h"
+#include "util/fault.h"
 #include "util/log.h"
 
 namespace nanomap {
@@ -204,6 +205,10 @@ PlacementResult place_design(const ClusteredDesign& cd,
                              const ArchParams& arch,
                              const PlacementOptions& options,
                              ThreadPool* pool) {
+  // Fault boundary for the whole placement stage (including the screen
+  // verdict the flow reads). Sequential code: hit N is the Nth
+  // place_design call regardless of thread count.
+  NM_FAULT_POINT("place.screen");
   const int restarts = std::max(1, options.restarts);
   std::vector<PlacementResult> candidates(
       static_cast<std::size_t>(restarts));

@@ -6,6 +6,7 @@
 #include <memory>
 #include <queue>
 
+#include "util/fault.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -284,6 +285,7 @@ class CycleRouter {
 RoutingResult route_design(const ClusteredDesign& cd,
                            const Placement& placement, const RrGraph& rr,
                            const RouterOptions& options, ThreadPool* pool) {
+  NM_FAULT_POINT("route.converge");
   RoutingResult result;
   std::vector<std::vector<int>> per_cycle(
       static_cast<std::size_t>(cd.num_cycles));
@@ -292,6 +294,9 @@ RoutingResult route_design(const ClusteredDesign& cd,
         static_cast<int>(i));
 
   for (int c = 0; c < cd.num_cycles; ++c) {
+    // Per-cycle router state allocation (the cycle loop is sequential, so
+    // hit N is folding cycle N regardless of thread count).
+    NM_FAULT_POINT("route.alloc");
     CycleRouter router(cd, placement, rr, options, pool);
     int iters = 0;
     long overused =

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "util/fault.h"
+
 namespace nanomap {
 
 double manhattan_net_delay_ps(const ArchParams& arch, int dx, int dy) {
@@ -26,6 +28,7 @@ TimingReport analyze_timing(const Design& design,
                             const Placement& placement,
                             const RoutingResult* routing,
                             const ArchParams& arch) {
+  NM_FAULT_POINT("sta.analyze");
   const LutNetwork& net = design.net;
   TimingReport report;
   report.cycle_period_ps.assign(static_cast<std::size_t>(cd.num_cycles),

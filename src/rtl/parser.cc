@@ -148,6 +148,13 @@ void handle_lut(ParserState& st, std::vector<std::string> args) {
   }
   std::uint64_t truth;
   if (has_truth) {
+    // Validate before std::stoull: it throws std::invalid_argument /
+    // std::out_of_range (not InputError) on garbage or >64-bit values.
+    if (truth_text.empty() || truth_text.size() > 16 ||
+        truth_text.find_first_not_of("0123456789abcdefABCDEF") !=
+            std::string::npos)
+      st.fail("lut truth table '" + truth_text +
+              "' must be 1-16 hex digits");
     truth = std::stoull(truth_text, nullptr, 16);
   } else {
     // Default: odd parity of the inputs.

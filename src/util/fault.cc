@@ -1,0 +1,119 @@
+#include "util/fault.h"
+
+#include <new>
+
+namespace nanomap {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCheck: return "check";
+    case FaultKind::kInput: return "input";
+    case FaultKind::kAlloc: return "alloc";
+  }
+  return "?";
+}
+
+FaultPlan parse_fault_plan(const std::string& text) {
+  FaultPlan plan;
+  std::size_t c1 = text.find(':');
+  plan.site = text.substr(0, c1);
+  if (plan.site.empty())
+    throw InputError("fault plan '" + text + "': empty site name");
+  if (c1 == std::string::npos) return plan;
+
+  std::size_t c2 = text.find(':', c1 + 1);
+  std::string nth = text.substr(c1 + 1, c2 == std::string::npos
+                                            ? std::string::npos
+                                            : c2 - c1 - 1);
+  plan.nth_hit = 0;
+  for (char ch : nth) {
+    if (ch < '0' || ch > '9' || plan.nth_hit > 1000000)
+      throw InputError("fault plan '" + text +
+                       "': hit count must be a small positive integer");
+    plan.nth_hit = plan.nth_hit * 10 + (ch - '0');
+  }
+  if (nth.empty() || plan.nth_hit < 1)
+    throw InputError("fault plan '" + text +
+                     "': hit count must be a positive integer");
+  if (c2 == std::string::npos) return plan;
+
+  std::string kind = text.substr(c2 + 1);
+  if (kind == "check") plan.kind = FaultKind::kCheck;
+  else if (kind == "input") plan.kind = FaultKind::kInput;
+  else if (kind == "alloc") plan.kind = FaultKind::kAlloc;
+  else
+    throw InputError("fault plan '" + text + "': unknown kind '" + kind +
+                     "' (expected check|input|alloc)");
+  return plan;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+std::atomic<bool>& FaultInjector::armed_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+const std::vector<std::string>& FaultInjector::known_sites() {
+  // One entry per NM_FAULT_POINT in the codebase (DESIGN.md §5e).
+  static const std::vector<std::string> sites = {
+      "fds.schedule",    // core/fds.cc: plane scheduling
+      "cluster.verify",  // core/temporal_cluster.cc: clustering invariants
+      "place.screen",    // place/placement.cc: placement + screen verdict
+      "route.converge",  // route/pathfinder.cc: whole-design routing
+      "route.alloc",     // route/pathfinder.cc: per-cycle router setup
+      "sta.analyze",     // route/sta.cc: timing analysis
+      "bitmap.emit",     // bitstream/bitmap.cc: configuration emission
+  };
+  return sites;
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  const std::vector<std::string>& sites = known_sites();
+  bool known = false;
+  for (const std::string& s : sites) known = known || s == plan.site;
+  if (!known)
+    throw InputError("fault plan targets unknown site '" + plan.site + "'");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = plan;
+    has_plan_ = true;
+    hits_.clear();
+  }
+  armed_flag().store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_plan_ = false;
+  armed_flag().store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::on_hit(const char* site) {
+  FaultKind kind;
+  std::string what;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!has_plan_) return;  // raced with disarm(); nothing to do
+    long n = ++hits_[site];
+    if (plan_.site != site || n != plan_.nth_hit) return;
+    kind = plan_.kind;
+    what = "injected fault at '" + plan_.site + "' (hit " +
+           std::to_string(plan_.nth_hit) + ")";
+  }
+  switch (kind) {
+    case FaultKind::kCheck: throw CheckError(what);
+    case FaultKind::kInput: throw InputError(what);
+    case FaultKind::kAlloc: throw std::bad_alloc();
+  }
+}
+
+std::map<std::string, long> FaultInjector::hit_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+}  // namespace nanomap

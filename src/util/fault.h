@@ -1,0 +1,116 @@
+// Deterministic fault injection for the flow's resilience tests.
+//
+// Stages mark recoverable failure boundaries with NM_FAULT_POINT("site");
+// a test (or the --fault CLI knob / NM_FAULT env var) arms the process-wide
+// FaultInjector with a plan "site:N[:kind]" meaning "the Nth execution of
+// fault point `site` throws an exception of `kind`". Everything else about
+// the run is untouched, so the sweep in tests/fault_injection_test.cc can
+// prove that every stage boundary either recovers or degrades into a clean
+// infeasible FlowResult — never a crash, never a lost failure reason.
+//
+// Determinism contract: every fault point sits in sequential flow code
+// (never inside a parallel_for body), so the Nth hit of a site is the same
+// hit at any --threads value and the armed flow stays byte-identical
+// across thread counts. Keep it that way when adding sites.
+//
+// Cost when disarmed: one relaxed atomic load per fault point (the
+// process-wide armed flag), no lock, no string work.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace nanomap {
+
+// What the armed fault point throws.
+enum class FaultKind {
+  kCheck,  // CheckError — an internal invariant violation
+  kInput,  // InputError — a malformed-input style failure
+  kAlloc,  // std::bad_alloc — resource exhaustion
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultPlan {
+  std::string site;        // which NM_FAULT_POINT name to target
+  long nth_hit = 1;        // fire on the Nth execution (1-based)
+  FaultKind kind = FaultKind::kCheck;
+};
+
+// Parses "site:N[:check|input|alloc]" (N defaults to 1 when the plan is
+// just "site"). Throws InputError on malformed text.
+FaultPlan parse_fault_plan(const std::string& text);
+
+class FaultInjector {
+ public:
+  // The process-wide injector used by NM_FAULT_POINT.
+  static FaultInjector& instance();
+
+  // True iff some plan is armed. Relaxed: the flag only gates the slow
+  // path, and tests arm/disarm strictly between flow runs.
+  static bool armed() {
+    return armed_flag().load(std::memory_order_relaxed);
+  }
+
+  // Arms `plan` and resets all hit counters. Throws InputError if the
+  // site is not in known_sites() (catches typos in test plans and CLI
+  // arguments before a silently-armed-nowhere run).
+  void arm(const FaultPlan& plan);
+  void arm(const std::string& plan_text) { arm(parse_fault_plan(plan_text)); }
+  void disarm();
+
+  // Slow path behind NM_FAULT_POINT: counts the hit and throws when the
+  // armed plan matches this site's Nth execution.
+  void on_hit(const char* site);
+
+  // Hits per site since the last arm() (sites never hit are absent).
+  std::map<std::string, long> hit_counts() const;
+
+  // The canonical site registry. Tests sweep this list; adding an
+  // NM_FAULT_POINT with a name not listed here fails the coverage test.
+  static const std::vector<std::string>& known_sites();
+
+ private:
+  static std::atomic<bool>& armed_flag();
+
+  mutable std::mutex mu_;
+  bool has_plan_ = false;
+  FaultPlan plan_;
+  std::map<std::string, long> hits_;
+};
+
+// RAII arm/disarm for one flow run. An empty plan string is a no-op, so
+// run_nanomap can construct one unconditionally from FlowOptions.
+class FaultScope {
+ public:
+  explicit FaultScope(const std::string& plan_text) {
+    if (!plan_text.empty()) {
+      FaultInjector::instance().arm(plan_text);
+      armed_ = true;
+    }
+  }
+  ~FaultScope() {
+    if (armed_) FaultInjector::instance().disarm();
+  }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+ private:
+  bool armed_ = false;
+};
+
+}  // namespace nanomap
+
+// Marks one recoverable failure boundary. Near-free when nothing is
+// armed; see the determinism contract above before placing one inside
+// parallel code (don't).
+#define NM_FAULT_POINT(site)                                   \
+  do {                                                         \
+    if (::nanomap::FaultInjector::armed())                     \
+      ::nanomap::FaultInjector::instance().on_hit(site);       \
+  } while (0)

@@ -6,6 +6,7 @@
 #include "map/bench_format.h"
 #include "rtl/blif.h"
 #include "rtl/parser.h"
+#include "rtl/verilog.h"
 #include "rtl/vhdl.h"
 #include "util/rng.h"
 
@@ -73,6 +74,141 @@ TEST(FuzzParsers, BenchSurvivesTokenSoup) {
       {"INPUT(a)", "OUTPUT(z)", "z", "=", "AND(a, b)", "NAND(a,b,c)",
        "DFF(a)", "NOT(a)", "G1", "G2", "(", ")", ",", "#", "="},
       404, 300);
+}
+
+TEST(FuzzParsers, VerilogSurvivesTokenSoup) {
+  expect_no_crash(
+      [](const std::string& t) { return parse_verilog(t); },
+      {"module", "endmodule", "input", "output", "wire", "reg", "assign",
+       "always", "@", "(", ")", ";", ",", "=", "<=", "?", ":", "posedge",
+       "begin", "end", "and", "nand", "not", "buf", "[7:0]", "[0]", "m",
+       "clk", "a", "b", "g1", "+", "*", "&", "|", "^", "//"},
+      505, 300);
+}
+
+// --- structured hostile corpora ---------------------------------------------
+//
+// Beyond token soup: every parser must turn (a) valid programs truncated
+// at arbitrary byte offsets, (b) valid programs with embedded NUL bytes,
+// and (c) grammatical programs carrying absurdly oversized tokens into a
+// parsed design or an InputError — never a CheckError, bad_alloc, or an
+// uncaught std::stoull-style exception.
+
+const char kValidNmap[] =
+    "circuit c\ninput a 4\ninput b 4\nreg r 4\n"
+    "module m adder a b\nconnect r m\noutput o m\n"
+    "lut g a[0] b[1] truth=6\n";
+const char kValidBlif[] =
+    ".model m\n.inputs a b\n.outputs y\n.latch a q 0\n"
+    ".names a b y\n11 1\n.end\n";
+const char kValidVhdl[] =
+    "entity e is port (a : in std_logic; b : in std_logic;\n"
+    "  y : out std_logic);\nend e;\n"
+    "architecture rtl of e is begin\n  y <= a and b;\nend rtl;\n";
+const char kValidVerilog[] =
+    "module m(a, b, y);\n  input a, b;\n  output y;\n"
+    "  assign y = a & b;\nendmodule\n";
+
+template <typename ParseFn>
+void expect_clean_rejection(ParseFn parse, const std::string& text) {
+  try {
+    parse(text);  // accepting is fine if it really parsed
+  } catch (const InputError&) {
+    // expected rejection path
+  }
+  // Anything else (CheckError, std::out_of_range, ...) fails the test.
+}
+
+template <typename ParseFn>
+void truncation_sweep(ParseFn parse, const std::string& program) {
+  for (std::size_t cut = 0; cut <= program.size(); ++cut)
+    expect_clean_rejection(parse, program.substr(0, cut));
+}
+
+template <typename ParseFn>
+void embedded_nul_sweep(ParseFn parse, const std::string& program,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < 64; ++i) {
+    std::string text = program;
+    int nuls = rng.next_int(1, 4);
+    for (int n = 0; n < nuls; ++n)
+      text[static_cast<std::size_t>(rng.next_below(text.size()))] = '\0';
+    expect_clean_rejection(parse, text);
+  }
+}
+
+TEST(FuzzParsers, TruncatedProgramsRejectCleanly) {
+  truncation_sweep([](const std::string& t) { return parse_nmap(t); },
+                   kValidNmap);
+  truncation_sweep([](const std::string& t) { return parse_blif(t); },
+                   kValidBlif);
+  truncation_sweep([](const std::string& t) { return parse_vhdl(t); },
+                   kValidVhdl);
+  truncation_sweep([](const std::string& t) { return parse_verilog(t); },
+                   kValidVerilog);
+}
+
+TEST(FuzzParsers, EmbeddedNulBytesRejectCleanly) {
+  embedded_nul_sweep([](const std::string& t) { return parse_nmap(t); },
+                     kValidNmap, 11);
+  embedded_nul_sweep([](const std::string& t) { return parse_blif(t); },
+                     kValidBlif, 22);
+  embedded_nul_sweep([](const std::string& t) { return parse_vhdl(t); },
+                     kValidVhdl, 33);
+  embedded_nul_sweep([](const std::string& t) { return parse_verilog(t); },
+                     kValidVerilog, 44);
+}
+
+TEST(FuzzParsers, OversizedTokensRejectCleanly) {
+  const std::string huge_name(70000, 'a');
+  const std::string huge_hex(5000, 'f');
+  const std::string huge_digits(300, '9');
+
+  // nmap: >64-bit / non-hex truth tables hit the std::stoull guard;
+  // giant widths and identifiers must not blow up allocation-side.
+  expect_clean_rejection(
+      [](const std::string& t) { return parse_nmap(t); },
+      "circuit c\ninput a 1\nlut g a truth=" + huge_hex + "\n");
+  expect_clean_rejection(
+      [](const std::string& t) { return parse_nmap(t); },
+      "circuit c\ninput a 1\nlut g a truth=zz\n");
+  expect_clean_rejection(
+      [](const std::string& t) { return parse_nmap(t); },
+      "circuit c\ninput a " + huge_digits + "\noutput o a\n");
+  expect_clean_rejection(
+      [](const std::string& t) { return parse_nmap(t); },
+      "circuit " + huge_name + "\ninput a 4\noutput o a\n");
+
+  // BLIF: oversized cube rows and identifiers.
+  expect_clean_rejection(
+      [](const std::string& t) { return parse_blif(t); },
+      ".model m\n.inputs a\n.outputs y\n.names a y\n" +
+          std::string(100000, '1') + " 1\n.end\n");
+  expect_clean_rejection(
+      [](const std::string& t) { return parse_blif(t); },
+      ".model " + huge_name + "\n.inputs a\n.outputs y\n.names a y\n1 1\n"
+      ".end\n");
+
+  // VHDL: astronomical ranges must reject, not allocate terabytes.
+  expect_clean_rejection(
+      [](const std::string& t) { return parse_vhdl(t); },
+      "entity e is port (a : in std_logic_vector(" + huge_digits +
+          " downto 0); y : out std_logic);\nend e;\n"
+          "architecture rtl of e is begin y <= a(0); end rtl;\n");
+  expect_clean_rejection(
+      [](const std::string& t) { return parse_vhdl(t); },
+      "entity " + huge_name + " is port (a : in std_logic);\nend e;\n");
+
+  // Verilog: giant vector bounds and bit selects.
+  expect_clean_rejection(
+      [](const std::string& t) { return parse_verilog(t); },
+      "module m(a, y);\n  input [" + huge_digits +
+          ":0] a;\n  output y;\n  assign y = a[0];\nendmodule\n");
+  expect_clean_rejection(
+      [](const std::string& t) { return parse_verilog(t); },
+      "module m(a, y);\n  input a;\n  output y;\n  assign y = a[" +
+          huge_digits + "];\nendmodule\n");
 }
 
 TEST(FuzzParsers, AcceptedNmapInputsAlwaysValidate) {

@@ -111,6 +111,91 @@ TEST(ThreadPool, ParallelForRethrowsLowestFailingIndex) {
   }
 }
 
+TEST(ThreadPool, StressConcurrentMultiFailureIsDeterministic) {
+  // Randomized failing index sets with mixed exception *types*: whatever
+  // races the workers run, parallel_for must (a) attempt every index,
+  // (b) rethrow exactly the lowest failing index's exception, preserving
+  // its message — the error contract the flow's recovery ladder and the
+  // fault-injection sweep build on.
+  auto fail_message = [](int i) { return "task " + std::to_string(i); };
+  auto fail_with_mixed_type = [&](int i) {
+    switch (i % 3) {
+      case 0: throw std::runtime_error(fail_message(i));
+      case 1: throw std::logic_error(fail_message(i));
+      default: throw std::out_of_range(fail_message(i));
+    }
+  };
+  for (int threads : {2, 4, 8}) {
+    ThreadPool pool(threads);
+    Rng rng(static_cast<std::uint64_t>(threads) * 1000 + 7);
+    for (int round = 0; round < 50; ++round) {
+      const int n = rng.next_int(1, 128);
+      std::vector<char> fails(static_cast<std::size_t>(n), 0);
+      const int num_failures = rng.next_int(1, 8);
+      for (int k = 0; k < num_failures; ++k)
+        fails[static_cast<std::size_t>(rng.next_int(0, n - 1))] = 1;
+      int lowest = 0;
+      while (!fails[static_cast<std::size_t>(lowest)]) ++lowest;
+
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+      for (auto& h : hits) h = 0;
+      try {
+        pool.parallel_for(n, [&](int i) {
+          ++hits[static_cast<std::size_t>(i)];
+          if (fails[static_cast<std::size_t>(i)]) fail_with_mixed_type(i);
+        });
+        FAIL() << "expected an exception (threads=" << threads
+               << " round=" << round << ")";
+      } catch (const std::exception& e) {
+        EXPECT_EQ(std::string(e.what()), fail_message(lowest))
+            << "threads=" << threads << " round=" << round;
+      }
+      for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForPreservesExceptionTypeOfLowestIndex) {
+  // Index 4 throws logic_error, index 7 runtime_error: the caller must
+  // see index 4's *type*, not just its message, at every thread count.
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    bool caught_logic = false;
+    try {
+      pool.parallel_for(16, [](int i) {
+        if (i == 4) throw std::logic_error("logic 4");
+        if (i == 7) throw std::runtime_error("runtime 7");
+      });
+    } catch (const std::logic_error& e) {
+      caught_logic = true;
+      EXPECT_STREQ(e.what(), "logic 4");
+    } catch (const std::exception&) {
+    }
+    EXPECT_TRUE(caught_logic) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, ParallelForEveryIndexFailing) {
+  // The degenerate worst case: all 128 indices throw. Still: full
+  // coverage, lowest index (0) reported, pool reusable afterwards.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(128);
+  for (auto& h : hits) h = 0;
+  try {
+    pool.parallel_for(128, [&](int i) {
+      ++hits[static_cast<std::size_t>(i)];
+      throw std::runtime_error("all " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "all 0");
+  }
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  std::atomic<long> sum{0};
+  pool.parallel_for(16, [&](int i) { sum += i; });
+  EXPECT_EQ(sum.load(), 120);
+}
+
 TEST(ThreadPool, ParallelForIsReentrantFromWorkers) {
   // A parallel_for inside a pool task must run inline instead of
   // deadlocking on the pool's own queue.

@@ -26,11 +26,23 @@
 //   --sweep           run netlist cleanup (DCE/CSE/constants) first
 //   --power           print the power/energy report
 //   --report          print per-stage usage and wire statistics
+//   --explain-failure print the typed retry/escalation diagnostics trail
+//   --fault PLAN      arm deterministic fault injection ("site:N[:kind]",
+//                     see util/fault.h; NM_FAULT env var is the fallback)
 //   --quiet           only print the one-line summary
+//
+// Exit codes (documented in README):
+//   0  feasible mapping produced
+//   1  clean infeasible (constraints / congestion; see --explain-failure)
+//   2  input error (bad file, bad option value, bad arch params)
+//   3  internal error or resource exhaustion (CheckError / bad_alloc)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
+
+#include "util/fault.h"
 
 #include "circuits/benchmarks.h"
 #include "flow/nanomap_flow.h"
@@ -70,9 +82,29 @@ int usage(const char* argv0) {
                "at|delay|area|both] [--area N] [--delay NS] [--level L] "
                "[--k N] [--no-share] [--seed S] [--threads N] "
                "[--restarts N] [--route-batch N] [--out FILE] "
-               "[--blif-out FILE] [--report] [--quiet]\n",
+               "[--blif-out FILE] [--report] [--explain-failure] "
+               "[--fault SITE:N[:KIND]] [--quiet]\n",
                argv0);
   return 2;
+}
+
+// Exit-code taxonomy: the flow returns clean results with a typed error
+// kind instead of throwing, so the code is derived from the result; the
+// catch blocks below only see input/internal errors raised outside
+// run_nanomap (parsing, file IO, option validation).
+constexpr int kExitFeasible = 0;
+constexpr int kExitInfeasible = 1;
+constexpr int kExitInputError = 2;
+constexpr int kExitInternalError = 3;
+
+int exit_code_for(const FlowResult& r) {
+  if (r.feasible) return kExitFeasible;
+  switch (r.error_kind) {
+    case FlowErrorKind::kInput: return kExitInputError;
+    case FlowErrorKind::kInternal:
+    case FlowErrorKind::kResourceExhausted: return kExitInternalError;
+    default: return kExitInfeasible;
+  }
 }
 
 }  // namespace
@@ -84,6 +116,9 @@ int main(int argc, char** argv) {
   opts.arch = ArchParams::paper_instance();
   std::string out_path, blif_out;
   bool report = false, quiet = false, do_sweep = false, power = false;
+  bool explain_failure = false;
+  if (const char* env_fault = std::getenv("NM_FAULT"))
+    opts.fault_plan = env_fault;
 
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -114,7 +149,7 @@ int main(int argc, char** argv) {
         opts.arch = parse_arch_file(next(), opts.arch);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
-        return 1;
+        return kExitInputError;
       }
     } else if (arg == "--dump-arch") {
       std::printf("%s", write_arch(opts.arch).c_str());
@@ -129,6 +164,10 @@ int main(int argc, char** argv) {
       opts.placement.restarts = std::atoi(next().c_str());
     } else if (arg == "--route-batch") {
       opts.router.batch_size = std::atoi(next().c_str());
+    } else if (arg == "--fault") {
+      opts.fault_plan = next();
+    } else if (arg == "--explain-failure") {
+      explain_failure = true;
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--blif-out") {
@@ -177,10 +216,17 @@ int main(int argc, char** argv) {
 
     FlowResult r = run_nanomap(design, opts);
     if (!r.feasible) {
-      std::printf("INFEASIBLE: %s\n", r.message.c_str());
-      return 1;
+      std::printf("INFEASIBLE [%s]: %s\n",
+                  flow_error_kind_name(r.error_kind), r.message.c_str());
+      if (explain_failure && !r.diagnostics.empty())
+        std::printf("diagnostics trail:\n%s",
+                    r.diagnostics.to_string().c_str());
+      return exit_code_for(r);
     }
     std::printf("%s\n", summarize(r).c_str());
+    if (explain_failure && !r.diagnostics.empty())
+      std::printf("diagnostics trail (recovered along the way):\n%s",
+                  r.diagnostics.to_string().c_str());
 
     if (report) {
       std::printf("\nper-stage usage:\n");
@@ -230,9 +276,15 @@ int main(int argc, char** argv) {
         std::printf("wrote %zu-byte bitmap to %s\n", bytes.size(),
                     out_path.c_str());
     }
-    return 0;
+    return kExitFeasible;
+  } catch (const InputError& e) {
+    std::fprintf(stderr, "input error: %s\n", e.what());
+    return kExitInputError;
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return kExitInternalError;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitInternalError;
   }
 }
