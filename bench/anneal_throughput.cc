@@ -26,6 +26,7 @@
 #include "core/temporal_cluster.h"
 #include "netlist/plane.h"
 #include "place/annealer.h"
+#include "util/json.h"
 
 using namespace nanomap;
 
@@ -322,29 +323,34 @@ int main(int argc, char** argv) {
     rows.push_back(measure("synthetic-fanout" + std::to_string(fanout),
                            synthetic_fanout(256, 512, fanout, 99), 1.0));
 
-  std::ofstream out(out_path);
-  out << "{\n  \"unit\": \"moves/sec\",\n"
-      << "  \"legacy\": \"seed annealer, O(fanout) bbox recompute per "
-         "incident net per move\",\n"
-      << "  \"incremental\": \"PR 2 cached-bbox kernel (net_bbox.h)\",\n"
-      << "  \"rows\": [\n";
+  // Emit BENCH_anneal.json (schema in docs/FORMATS.md) through the shared
+  // JSON writer — same escaping and dialect as the --report=json output.
+  // Rates round to whole moves/sec, ratios and fanout to two decimals.
+  auto round2 = [](double v) { return std::round(v * 100.0) / 100.0; };
+  JsonWriter w;
+  w.begin_object();
+  w.field("unit", "moves/sec");
+  w.field("legacy",
+          "seed annealer, O(fanout) bbox recompute per incident net per "
+          "move");
+  w.field("incremental", "PR 2 cached-bbox kernel (net_bbox.h)");
+  w.key("rows");
+  w.begin_array();
   bool all_identical = true;
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
+  for (const Row& r : rows) {
     all_identical = all_identical && r.identical;
-    char buf[512];
-    std::snprintf(
-        buf, sizeof buf,
-        "    {\"circuit\": \"%s\", \"smbs\": %d, \"nets\": %d, "
-        "\"avg_fanout\": %.2f, \"legacy_moves_per_sec\": %.0f, "
-        "\"incremental_moves_per_sec\": %.0f, \"speedup\": %.2f, "
-        "\"identical_placement\": %s}%s\n",
-        r.name.c_str(), r.smbs, r.nets, r.avg_fanout, r.legacy_mps,
-        r.incremental_mps,
-        r.legacy_mps > 0 ? r.incremental_mps / r.legacy_mps : 0.0,
-        r.identical ? "true" : "false",
-        i + 1 < rows.size() ? "," : "");
-    out << buf;
+    w.begin_object();
+    w.field("circuit", r.name);
+    w.field("smbs", r.smbs);
+    w.field("nets", r.nets);
+    w.field("avg_fanout", round2(r.avg_fanout));
+    w.field("legacy_moves_per_sec", std::round(r.legacy_mps));
+    w.field("incremental_moves_per_sec", std::round(r.incremental_mps));
+    w.field("speedup",
+            round2(r.legacy_mps > 0 ? r.incremental_mps / r.legacy_mps
+                                    : 0.0));
+    w.field("identical_placement", r.identical);
+    w.end();
     std::printf("%-22s smbs %4d nets %4d fanout %5.2f  legacy %10.0f  "
                 "incremental %10.0f  speedup %5.2fx  identical %s\n",
                 r.name.c_str(), r.smbs, r.nets, r.avg_fanout, r.legacy_mps,
@@ -352,7 +358,10 @@ int main(int argc, char** argv) {
                 r.legacy_mps > 0 ? r.incremental_mps / r.legacy_mps : 0.0,
                 r.identical ? "yes" : "NO");
   }
-  out << "  ]\n}\n";
+  w.end();
+  w.end();
+  std::ofstream out(out_path);
+  out << w.str();
   std::printf("wrote %s\n", out_path.c_str());
   return all_identical ? 0 : 1;
 }

@@ -8,6 +8,7 @@
 //   ./bench/fds_throughput [out.json]     (default BENCH_fds.json)
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -20,6 +21,7 @@
 #include "core/fds.h"
 #include "core/fds_reference.h"
 #include "netlist/plane.h"
+#include "util/json.h"
 #include "util/thread_pool.h"
 
 using namespace nanomap;
@@ -137,29 +139,36 @@ int main(int argc, char** argv) {
     rows.push_back(measure("random-dag" + std::to_string(luts),
                            random_dag_graphs(luts, 40 + luts), &pool));
 
-  std::ofstream out(out_path);
-  out << "{\n  \"unit\": \"pins/sec (scheduled nodes per second, all "
-         "planes, refine included)\",\n"
-      << "  \"reference\": \"retained from-scratch scheduler "
-         "(core/fds_reference.cc)\",\n"
-      << "  \"kernel\": \"incremental FDS kernel (core/fds_kernel.h)\",\n"
-      << "  \"rows\": [\n";
+  // Emit BENCH_fds.json (schema in docs/FORMATS.md) through the shared
+  // JSON writer — same escaping and dialect as the --report=json output.
+  // Rates round to whole pins/sec, ratios to two decimals.
+  auto round2 = [](double v) { return std::round(v * 100.0) / 100.0; };
+  JsonWriter w;
+  w.begin_object();
+  w.field("unit",
+          "pins/sec (scheduled nodes per second, all planes, refine "
+          "included)");
+  w.field("reference",
+          "retained from-scratch scheduler (core/fds_reference.cc)");
+  w.field("kernel", "incremental FDS kernel (core/fds_kernel.h)");
+  w.key("rows");
+  w.begin_array();
   bool all_identical = true;
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
+  for (const Row& r : rows) {
     all_identical = all_identical && r.identical;
-    char buf[512];
-    std::snprintf(
-        buf, sizeof buf,
-        "    {\"circuit\": \"%s\", \"nodes\": %d, \"stages\": %d, "
-        "\"reference_pins_per_sec\": %.0f, \"kernel_pins_per_sec\": %.0f, "
-        "\"kernel_pool_pins_per_sec\": %.0f, \"speedup\": %.2f, "
-        "\"pool_speedup\": %.2f, \"identical_schedule\": %s}%s\n",
-        r.name.c_str(), r.nodes, r.stages, r.ref_pps, r.kernel_pps,
-        r.pool_pps, r.ref_pps > 0 ? r.kernel_pps / r.ref_pps : 0.0,
-        r.ref_pps > 0 ? r.pool_pps / r.ref_pps : 0.0,
-        r.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
-    out << buf;
+    w.begin_object();
+    w.field("circuit", r.name);
+    w.field("nodes", r.nodes);
+    w.field("stages", r.stages);
+    w.field("reference_pins_per_sec", std::round(r.ref_pps));
+    w.field("kernel_pins_per_sec", std::round(r.kernel_pps));
+    w.field("kernel_pool_pins_per_sec", std::round(r.pool_pps));
+    w.field("speedup",
+            round2(r.ref_pps > 0 ? r.kernel_pps / r.ref_pps : 0.0));
+    w.field("pool_speedup",
+            round2(r.ref_pps > 0 ? r.pool_pps / r.ref_pps : 0.0));
+    w.field("identical_schedule", r.identical);
+    w.end();
     std::printf("%-14s nodes %5d stages %2d  ref %9.0f  kernel %9.0f  "
                 "pool %9.0f  speedup %6.2fx / %6.2fx  identical %s\n",
                 r.name.c_str(), r.nodes, r.stages, r.ref_pps, r.kernel_pps,
@@ -167,7 +176,10 @@ int main(int argc, char** argv) {
                 r.ref_pps > 0 ? r.pool_pps / r.ref_pps : 0.0,
                 r.identical ? "yes" : "NO");
   }
-  out << "  ]\n}\n";
+  w.end();
+  w.end();
+  std::ofstream out(out_path);
+  out << w.str();
   std::printf("wrote %s\n", out_path.c_str());
   return all_identical ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include "core/fds_kernel.h"
 #include "util/fault.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace nanomap {
 namespace {
@@ -274,6 +275,7 @@ FdsResult schedule_plane(const PlaneScheduleGraph& graph,
                          const ArchParams& arch, const FdsOptions& options,
                          ThreadPool* pool) {
   NM_FAULT_POINT("fds.schedule");
+  NM_TRACE_SPAN("fds.plane");
   const int n = static_cast<int>(graph.nodes.size());
   FdsResult result;
   result.stage_of.assign(static_cast<std::size_t>(n), 0);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/trace.h"
+
 namespace nanomap {
 namespace {
 
@@ -137,6 +139,7 @@ FdsScheduler::FdsScheduler(const PlaneScheduleGraph& graph,
 bool FdsScheduler::run(std::vector<int>* stage_of_ptr) {
   std::vector<int>& stage_of = *stage_of_ptr;
   bool feasible = true;
+  NM_TRACE_COUNT("fds.schedule_calls", 1);
 
   compute_time_frames_into(graph_, stage_of, topo_, &frames_);
   if (!frames_.feasible) feasible = false;
@@ -162,6 +165,9 @@ bool FdsScheduler::run(std::vector<int>* stage_of_ptr) {
           node_dirty_[static_cast<std::size_t>(i)])
         dirty_list_.push_back(i);
     }
+    NM_TRACE_COUNT("fds.candidates_scored",
+                   static_cast<long>(dirty_list_.size()));
+    NM_TRACE_VALUE("fds.dirty_per_pin", dirty_list_.size());
     pool_for_each(pool_, static_cast<int>(dirty_list_.size()), [&](int k) {
       score_node(dirty_list_[static_cast<std::size_t>(k)], stage_of);
     });
@@ -208,6 +214,7 @@ bool FdsScheduler::run(std::vector<int>* stage_of_ptr) {
 
     stage_of[static_cast<std::size_t>(best_node)] = best_stage;
     --remaining;
+    NM_TRACE_COUNT("fds.pins", 1);
     pin_update(best_node, stage_of);
     if (!frames_.feasible) feasible = false;
   }

@@ -10,6 +10,7 @@
 #include "util/fault.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace nanomap {
 namespace {
@@ -74,6 +75,7 @@ class FlowEngine {
 
     for (int level : candidates) {
       ++result.levels_tried;
+      NM_TRACE_COUNT("flow.levels_tried", 1);
       Candidate& cand = evaluate_cached(level);
       if (!cand.valid) {
         log_ << " | L" << level << ": infeasible schedule";
@@ -134,6 +136,11 @@ class FlowEngine {
       log_ << " | L" << event.level << ": " << event.detail;
     else
       log_ << " | " << event.detail;
+    NM_TRACE_COUNT("flow.events", 1);
+    if (event.action == "retry" || event.action == "escalate" ||
+        event.action == "fallback" || event.action == "degrade" ||
+        event.action == "recovered")
+      NM_TRACE_COUNT("flow.recovery.events", 1);
     diag_.add(std::move(event));
   }
 
@@ -281,29 +288,44 @@ class FlowEngine {
         options_.use_fds ? options_.scheduler : SchedulerKind::kAsap;
     fds_opts.refine = options_.refine_schedule;
     bool feasible = true;
-    bool ok = guard("schedule", level, 0, [&] {
-      for (int p = 0; p < params_.num_plane; ++p) {
-        PlaneScheduleGraph graph = build_schedule_graph(design_, p, cand.cfg);
-        if (!graph.feasible) {
-          feasible = false;
-          return;
+    bool ok;
+    {
+      NM_TRACE_SPAN("schedule");
+      ok = guard("schedule", level, 0, [&] {
+        for (int p = 0; p < params_.num_plane; ++p) {
+          PlaneScheduleGraph graph =
+              build_schedule_graph(design_, p, cand.cfg);
+          if (!graph.feasible) {
+            feasible = false;
+            return;
+          }
+          FdsResult fr =
+              schedule_plane(graph, options_.arch, fds_opts, &pool_);
+          if (!fr.feasible) {
+            feasible = false;
+            return;
+          }
+          sched.graphs.push_back(std::move(graph));
+          sched.plane_results.push_back(std::move(fr));
         }
-        FdsResult fr = schedule_plane(graph, options_.arch, fds_opts, &pool_);
-        if (!fr.feasible) {
-          feasible = false;
-          return;
-        }
-        sched.graphs.push_back(std::move(graph));
-        sched.plane_results.push_back(std::move(fr));
-      }
-    });
+      });
+    }
     if (!ok || !feasible) return cand;
 
-    ok = guard("cluster", level, 0, [&] {
-      cand.clustered = temporal_cluster(design_, sched, options_.arch);
-      verify_clustering(design_, sched, options_.arch, cand.clustered);
-    });
+    {
+      NM_TRACE_SPAN("cluster");
+      ok = guard("cluster", level, 0, [&] {
+        cand.clustered = temporal_cluster(design_, sched, options_.arch);
+        verify_clustering(design_, sched, options_.arch, cand.clustered);
+      });
+    }
     if (!ok) return cand;
+    if (Trace::enabled() && cand.clustered.num_smbs > 0) {
+      NM_TRACE_VALUE("cluster.le_utilization",
+                     static_cast<double>(cand.clustered.les_used) /
+                         (static_cast<double>(cand.clustered.num_smbs) *
+                          options_.arch.les_per_smb()));
+    }
 
     cand.les = cand.clustered.les_used;
     cand.est_delay_ns =
@@ -368,6 +390,7 @@ class FlowEngine {
                           RoutingResult* routed, ArchParams* arch_used,
                           bool* fatal) {
     *fatal = false;
+    NM_TRACE_SPAN("route");
     const std::vector<RouteRung> rungs = route_ladder();
     for (std::size_t r = 0; r < rungs.size(); ++r) {
       const RouteRung& rung = rungs[r];
@@ -383,6 +406,15 @@ class FlowEngine {
         return false;
       }
       if (routed->success) {
+        // Occupancy of the per-cycle RR graph, averaged over the folding
+        // cycles the wire usage was summed across.
+        if (Trace::enabled() && rr_nodes > 0 &&
+            cand.clustered.num_cycles > 0) {
+          NM_TRACE_VALUE("route.channel_occupancy",
+                         static_cast<double>(routed->usage.total()) /
+                             (static_cast<double>(rr_nodes) *
+                              cand.clustered.num_cycles));
+        }
         if (r > 0 || attempt > 0)
           record({"route", cand.level, attempt, FlowErrorKind::kNone,
                   "recovered",
@@ -429,6 +461,11 @@ class FlowEngine {
         cand.clustered.num_smbs * options_.arch.smb_area_um2();
     result->estimated_delay_ns = cand.est_delay_ns;
     result->plane_schedules = cand.plane_results;
+    if (Trace::enabled()) {
+      for (const FdsResult& fr : cand.plane_results)
+        for (std::size_t s = 1; s < fr.le_count.size(); ++s)
+          NM_TRACE_VALUE("fds.le_per_stage", fr.le_count[s]);
+    }
 
     if (!options_.run_physical) {
       result->delay_ns = cand.est_delay_ns;
@@ -464,11 +501,15 @@ class FlowEngine {
                 "re-seeded placement restart " + std::to_string(attempt) +
                     " of " + std::to_string(reseeds)});
       }
-      if (!guard("place", cand.level, attempt, [&] {
-            placed = place_design(cand.clustered, options_.arch, popts,
-                                  &pool_);
-          }))
-        return false;
+      bool place_ok;
+      {
+        NM_TRACE_SPAN("place");
+        place_ok = guard("place", cand.level, attempt, [&] {
+          placed = place_design(cand.clustered, options_.arch, popts,
+                                &pool_);
+        });
+      }
+      if (!place_ok) return false;
       if (!placed.screen_passed) {
         // Advisory only — the router below is the authoritative check.
         record({"place", cand.level, attempt,
@@ -490,20 +531,30 @@ class FlowEngine {
     }
 
     TimingReport timing;
-    if (!guard("sta", cand.level, 0, [&] {
-          timing = analyze_timing(design_, cand.schedule, cand.clustered,
-                                  placed.placement, &routed, arch_used);
-        }))
-      return false;
+    bool stage_ok;
+    {
+      NM_TRACE_SPAN("sta");
+      stage_ok = guard("sta", cand.level, 0, [&] {
+        timing = analyze_timing(design_, cand.schedule, cand.clustered,
+                                placed.placement, &routed, arch_used);
+      });
+    }
+    if (!stage_ok) return false;
 
     result->delay_ns = timing.circuit_delay_ns;
     result->folding_cycle_ns = timing.folding_cycle_ns;
-    if (!guard("bitmap", cand.level, 0, [&] {
-          result->bitmap = generate_bitmap(design_, cand.schedule,
-                                           cand.clustered, &routed,
-                                           arch_used);
-        }))
-      return false;
+    {
+      NM_TRACE_SPAN("bitmap");
+      stage_ok = guard("bitmap", cand.level, 0, [&] {
+        result->bitmap = generate_bitmap(design_, cand.schedule,
+                                         cand.clustered, &routed,
+                                         arch_used);
+      });
+    }
+    if (!stage_ok) return false;
+    NM_TRACE_COUNT("bitmap.configs", result->bitmap.num_cycles);
+    NM_TRACE_COUNT("bitmap.bits",
+                   static_cast<long>(result->bitmap.total_bits));
     if (!result->bitmap.fits_nram(options_.arch)) {
       record({"bitmap", cand.level, 0, FlowErrorKind::kInfeasibleConstraint,
               "fallback", "bitmap exceeds NRAM depth"});
@@ -544,6 +595,7 @@ class FlowEngine {
       return;
     }
     ++result->levels_tried;
+    NM_TRACE_COUNT("flow.levels_tried", 1);
     if (!finish(cand, result)) return;
     if (options_.delay_constraint_ns > 0.0 &&
         result->delay_ns > options_.delay_constraint_ns) {
@@ -664,6 +716,18 @@ FlowResult run_nanomap(const Design& design, const FlowOptions& options) {
   // (InputError); everything past this point returns a clean result.
   validate_flow_options(options);
   FaultScope faults(options.fault_plan);
+  TraceScope trace(options.collect_trace);
+
+  // Snapshot the collector (after the "flow" span closed) and attach the
+  // machine-readable report. Used on the success and the error path, so
+  // --report=json always has a document to write.
+  auto finalize = [&](FlowResult r) {
+    r.report = build_run_report(options, r,
+                                options.collect_trace
+                                    ? Trace::instance().snapshot()
+                                    : TraceSnapshot{});
+    return r;
+  };
 
   // Last-resort boundary: the per-stage guards inside FlowEngine handle
   // stage failures with retry/fallback; this catch covers engine-level
@@ -675,10 +739,15 @@ FlowResult run_nanomap(const Design& design, const FlowOptions& options) {
     r.error_kind = kind;
     r.diagnostics.add({"flow", -1, 0, kind, "error", what});
     r.message = std::string(flow_error_kind_name(kind)) + " error: " + what;
-    return r;
+    return finalize(std::move(r));
   };
   try {
-    return FlowEngine(design, options).run();
+    FlowResult r;
+    {
+      NM_TRACE_SPAN("flow");
+      r = FlowEngine(design, options).run();
+    }
+    return finalize(std::move(r));
   } catch (const InputError& e) {
     return error_result(FlowErrorKind::kInput, e.what());
   } catch (const CheckError& e) {

@@ -19,6 +19,8 @@
 
 #include <string>
 
+#include "util/trace.h"
+
 #include "bitstream/bitmap.h"
 #include "core/estimate.h"
 #include "core/fds.h"
@@ -77,6 +79,68 @@ struct FlowDiagnostics {
   std::string to_string() const;
 };
 
+// Versioned, machine-readable summary of one run_nanomap call — the
+// payload behind the CLI's --report=json flag and the programmatic
+// FlowResult::report. The JSON schema (version 1) is documented in
+// docs/FORMATS.md and validated structurally by tests/report_test.cc.
+//
+// The stages/counters/values sections are filled from the trace
+// collector when FlowOptions::collect_trace was set and are empty
+// otherwise; everything else is always populated. With
+// include_timings=false, to_json() masks the wall-clock fields
+// (cpu_seconds and every stage's wall_ms print as 0) so the document is
+// byte-identical run-to-run for a fixed (input, seed) at any --threads.
+struct RunReport {
+  static constexpr int kSchemaVersion = 1;
+
+  int version = kSchemaVersion;
+
+  // Run identity.
+  std::string objective;
+  std::uint64_t seed = 0;
+  int threads = 0;          // as requested (0 = hardware concurrency)
+  bool trace_enabled = false;
+
+  // Outcome.
+  bool feasible = false;
+  std::string error_kind;   // flow_error_kind_name(FlowResult::error_kind)
+  int levels_tried = 0;
+  double cpu_seconds = 0.0;  // wall-clock; masked by to_json(false)
+
+  // Circuit parameters (always known, even for infeasible runs).
+  int num_planes = 0;
+  int total_luts = 0;
+  int total_flipflops = 0;
+  int depth_max = 0;
+
+  // Result summary (zeros when infeasible).
+  int folding_level = 0;
+  int stages_per_plane = 1;
+  int num_cycles = 0;
+  int num_les = 0;
+  int num_smbs = 0;
+  double area_um2 = 0.0;
+  int peak_ffs = 0;
+  double delay_ns = 0.0;
+  double folding_cycle_ns = 0.0;
+  double estimated_delay_ns = 0.0;
+  double area_delay_product = 0.0;
+  long bitmap_bits = 0;
+  int router_iterations = 0;  // worst PathFinder iteration count
+
+  // The typed diagnostic trail (same entries as FlowResult::diagnostics).
+  std::vector<FlowEvent> events;
+
+  // Per-stage timing table (TraceSnapshot::aggregate_spans(): slash-
+  // joined paths, call counts, accumulated wall ms) and the counter /
+  // value-histogram tables, sorted by site name.
+  std::vector<TraceSpan> stages;
+  std::vector<TraceCounterRow> counters;
+  std::vector<TraceValueRow> values;
+
+  std::string to_json(bool include_timings = true) const;
+};
+
 // Bounds for the recovery ladder run_nanomap climbs before abandoning a
 // folding level (DESIGN.md §5e): raised router budgets, then widened
 // routing channels, then re-seeded placements, then the level falls back;
@@ -130,6 +194,12 @@ struct FlowOptions {
   // util/fault.h's injector for the duration of this run (empty = off).
   // The CLI exposes it as --fault / the NM_FAULT environment variable.
   std::string fault_plan;
+  // Collect per-stage spans / counters / value histograms (util/trace.h)
+  // for this run and fill FlowResult::report's stages/counters/values
+  // sections. Off (the default) costs one relaxed atomic load per site
+  // and on it never changes a result byte (tests/trace_test.cc). The CLI
+  // exposes it as --trace and --report=json.
+  bool collect_trace = false;
 };
 
 // Rejects out-of-range options (negative threads, batch_size < 1,
@@ -175,12 +245,24 @@ struct FlowResult {
   int levels_tried = 0;
   double cpu_seconds = 0.0;
 
+  // Machine-readable run summary (--report=json). Always populated;
+  // its stages/counters/values sections are non-empty only when the run
+  // collected a trace (FlowOptions::collect_trace).
+  RunReport report;
+
   double area_delay_product() const {
     return static_cast<double>(num_les) * delay_ns;
   }
 };
 
 FlowResult run_nanomap(const Design& design, const FlowOptions& options);
+
+// Assembles the report from a finished result and a trace snapshot
+// (pass a default-constructed snapshot when tracing was off).
+// run_nanomap does this itself; exposed for tests and tools.
+RunReport build_run_report(const FlowOptions& options,
+                           const FlowResult& result,
+                           const TraceSnapshot& trace);
 
 // One-line summary for reports.
 std::string summarize(const FlowResult& result);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/trace.h"
+
 namespace nanomap {
 
 Annealer::Annealer(const ClusteredDesign& cd, const Placement& initial,
@@ -253,6 +255,10 @@ void Annealer::run(double effort) {
     for (long i = 0; i < moves_per_t; ++i) {
       if (try_move(t, rlim)) ++accepted;
     }
+    // Runs on pool workers during placement restarts, so both sites
+    // record only integral values (exact, order-independent totals).
+    NM_TRACE_COUNT("place.temperatures", 1);
+    NM_TRACE_VALUE("place.accepted_per_temp", accepted);
     double rate = static_cast<double>(accepted) /
                   static_cast<double>(moves_per_t);
     // VPR temperature update.

@@ -6,6 +6,7 @@
 #include "place/annealer.h"
 #include "util/fault.h"
 #include "util/log.h"
+#include "util/trace.h"
 
 namespace nanomap {
 namespace {
@@ -209,7 +210,9 @@ PlacementResult place_design(const ClusteredDesign& cd,
   // verdict the flow reads). Sequential code: hit N is the Nth
   // place_design call regardless of thread count.
   NM_FAULT_POINT("place.screen");
+  NM_TRACE_COUNT("place.calls", 1);
   const int restarts = std::max(1, options.restarts);
+  NM_TRACE_COUNT("place.restarts", restarts);
   std::vector<PlacementResult> candidates(
       static_cast<std::size_t>(restarts));
   // Each restart is one pool task with its own RNG stream; restart r's
@@ -239,6 +242,9 @@ PlacementResult place_design(const ClusteredDesign& cd,
     result.moves_accepted +=
         candidates[static_cast<std::size_t>(r)].moves_accepted;
   }
+  NM_TRACE_COUNT("place.moves", result.moves_attempted);
+  NM_TRACE_COUNT("place.accepted", result.moves_accepted);
+  NM_TRACE_VALUE("place.cost", result.cost);
   NM_LOG(kDebug) << "placement: cost " << result.cost << " wl "
                  << result.wirelength << " peak-util "
                  << result.routability.peak_utilization << " (restart "

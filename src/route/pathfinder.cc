@@ -9,6 +9,7 @@
 #include "util/fault.h"
 #include "util/log.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace nanomap {
 namespace {
@@ -80,8 +81,12 @@ class CycleRouter {
     long overused = 0;
     int iter = 0;
     for (iter = 1; iter <= options_.max_iterations; ++iter) {
+      // Sequential section (the parallel part is inside pool_for_each):
+      // every iteration rips up and reroutes all num_nets nets.
+      NM_TRACE_VALUE("route.rip_ups_per_iter", num_nets);
       for (int start = 0; start < num_nets; start += batch) {
         const int bn = std::min(batch, num_nets - start);
+        NM_TRACE_COUNT("route.reroutes", bn);
         for (int k = 0; k < bn; ++k)
           rip_up(trees[static_cast<std::size_t>(start + k)]);
         pool_for_each(pool_, bn, [&](int k) {
@@ -286,6 +291,7 @@ RoutingResult route_design(const ClusteredDesign& cd,
                            const Placement& placement, const RrGraph& rr,
                            const RouterOptions& options, ThreadPool* pool) {
   NM_FAULT_POINT("route.converge");
+  NM_TRACE_COUNT("route.calls", 1);
   RoutingResult result;
   std::vector<std::vector<int>> per_cycle(
       static_cast<std::size_t>(cd.num_cycles));
@@ -299,12 +305,21 @@ RoutingResult route_design(const ClusteredDesign& cd,
     NM_FAULT_POINT("route.alloc");
     CycleRouter router(cd, placement, rr, options, pool);
     int iters = 0;
+    const std::size_t nets_before = result.nets.size();
     long overused =
         router.route_cycle(per_cycle[static_cast<std::size_t>(c)],
                            &result.nets, &iters);
     result.worst_iterations = std::max(result.worst_iterations, iters);
     result.overused_nodes += overused;
     if (overused > 0) result.success = false;
+    if (Trace::enabled()) {
+      long wire_nodes = 0;
+      for (std::size_t i = nets_before; i < result.nets.size(); ++i)
+        wire_nodes += static_cast<long>(result.nets[i].wire_nodes.size());
+      NM_TRACE_VALUE("route.iterations_per_cycle", iters);
+      NM_TRACE_VALUE("route.overuse_per_cycle", overused);
+      NM_TRACE_VALUE("route.wire_nodes_per_cycle", wire_nodes);
+    }
   }
 
   for (const NetRoute& nr : result.nets) {

@@ -1,0 +1,344 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace nanomap {
+
+// --- writing ---------------------------------------------------------------
+
+std::string json_quote(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  double integral;
+  if (std::modf(value, &integral) == 0.0 && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", value);
+    return buf;
+  }
+  // Shortest representation that strtod parses back to the same bits;
+  // %.17g always does, shorter precisions often do (0.25 -> "0.25").
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+void JsonWriter::open(char bracket) {
+  separator();
+  out_.push_back(bracket);
+  stack_.push_back(bracket);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::end() {
+  NM_CHECK_MSG(!stack_.empty(), "JsonWriter: end() with no open scope");
+  NM_CHECK_MSG(!pending_key_, "JsonWriter: end() right after key()");
+  char bracket = stack_.back() == '{' ? '}' : ']';
+  bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) {
+    out_.push_back('\n');
+    indent();
+  }
+  out_.push_back(bracket);
+}
+
+void JsonWriter::key(const std::string& name) {
+  NM_CHECK_MSG(!stack_.empty() && stack_.back() == '{',
+               "JsonWriter: key() outside an object");
+  NM_CHECK_MSG(!pending_key_, "JsonWriter: key() twice in a row");
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+  out_.push_back('\n');
+  indent();
+  out_ += json_quote(name);
+  out_ += ": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::scalar(const std::string& text) {
+  separator();
+  out_ += text;
+}
+
+// Emits the positional glue (comma/newline/indent) owed before the next
+// item; a value following key() was already glued by the key.
+void JsonWriter::separator() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;  // document root
+  NM_CHECK_MSG(stack_.back() == '[',
+               "JsonWriter: value inside an object needs a key()");
+  if (has_items_.back()) out_.push_back(',');
+  has_items_.back() = true;
+  out_.push_back('\n');
+  indent();
+}
+
+void JsonWriter::indent() {
+  out_.append(2 * stack_.size(), ' ');
+}
+
+std::string JsonWriter::str() const {
+  NM_CHECK_MSG(stack_.empty(), "JsonWriter: unclosed scope in str()");
+  return out_ + "\n";
+}
+
+// --- parsing ---------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size())
+      fail("trailing characters after the JSON document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw InputError("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > 64) fail("nesting too deep");
+    char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't': case 'f': return parse_keyword_bool();
+      case 'n': {
+        consume_keyword("null");
+        return JsonValue{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    if (try_consume('}')) return v;
+    while (true) {
+      if (peek() != '"') fail("expected a quoted object key");
+      std::string key = parse_string();
+      expect(':');
+      v.fields.emplace_back(std::move(key), parse_value(depth + 1));
+      if (try_consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    if (try_consume(']')) return v;
+    while (true) {
+      v.items.push_back(parse_value(depth + 1));
+      if (try_consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_utf8(parse_hex4(), &out); break;
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) fail("truncated \\u escape");
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return v;
+  }
+
+  // BMP-only UTF-8 encoding (surrogate pairs collapse to U+FFFD — the
+  // reports we parse never leave ASCII).
+  static void append_utf8(unsigned cp, std::string* out) {
+    if (cp >= 0xd800 && cp <= 0xdfff) cp = 0xfffd;
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  JsonValue parse_keyword_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_[pos_] == 't') {
+      consume_keyword("true");
+      v.boolean = true;
+    } else {
+      consume_keyword("false");
+      v.boolean = false;
+    }
+    return v;
+  }
+
+  void consume_keyword(const char* word) {
+    for (const char* p = word; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p)
+        fail(std::string("expected '") + word + "'");
+      ++pos_;
+    }
+  }
+
+  JsonValue parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      eat_digits();
+    }
+    if (!digits) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& name) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [key, value] : fields)
+    if (key == name) return &value;
+  return nullptr;
+}
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+}  // namespace nanomap

@@ -1,0 +1,108 @@
+// Minimal JSON support shared by the run-report serializer, the bench
+// runners and the schema tests.
+//
+// Writer: a streaming builder (JsonWriter) that owns escaping, separators
+// and indentation, so every producer in the repo emits the same dialect —
+// doubles are printed with the shortest digit string that strtod parses
+// back to the identical bits, so a written report re-parses bit-exactly.
+//
+// Reader: a small recursive-descent parser for the full JSON grammar
+// (objects, arrays, strings with escapes, numbers, true/false/null) used
+// by tests/report_test.cc to validate the run-report schema for real
+// instead of grepping for substrings. Malformed input throws InputError.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nanomap {
+
+// --- writing ---------------------------------------------------------------
+
+// "text" -> "\"text\"" with all mandatory JSON escapes applied.
+std::string json_quote(const std::string& text);
+
+// Canonical number formatting: integers print without a fraction,
+// everything else as the shortest string that round-trips through strtod
+// bit-exactly; non-finite values (illegal in JSON) print as 0.
+std::string json_number(double value);
+
+// Streaming JSON builder. The caller provides structure (begin/end object
+// or array, keys); the writer provides separators, newlines and two-space
+// indentation. Values written through the typed helpers are always legal
+// JSON. Usage:
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.key("rows"); w.begin_array();
+//   w.begin_object(); w.field("name", "ex1"); w.field("luts", 50); w.end();
+//   w.end();  // array
+//   w.end();  // object
+//   std::string text = w.str();
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void begin_array() { open('['); }
+  void end();  // closes the innermost object/array
+
+  // Key of the next value inside an object.
+  void key(const std::string& name);
+
+  // Scalar values (usable as array elements or after key()).
+  void value(const std::string& v) { scalar(json_quote(v)); }
+  void value(const char* v) { scalar(json_quote(v)); }
+  void value(double v) { scalar(json_number(v)); }
+  void value(long v) { scalar(std::to_string(v)); }
+  void value(long long v) { scalar(std::to_string(v)); }
+  void value(int v) { scalar(std::to_string(v)); }
+  void value(unsigned long long v) { scalar(std::to_string(v)); }
+  void value(bool v) { scalar(v ? "true" : "false"); }
+
+  // key() + value() in one call.
+  template <typename T>
+  void field(const std::string& name, T v) {
+    key(name);
+    value(v);
+  }
+
+  // Finished document (all scopes must be closed).
+  std::string str() const;
+
+ private:
+  void open(char bracket);
+  void scalar(const std::string& text);
+  void separator();
+  void indent();
+
+  std::string out_;
+  std::vector<char> stack_;      // '{' or '[' per open scope
+  std::vector<bool> has_items_;  // whether the scope printed an item yet
+  bool pending_key_ = false;
+};
+
+// --- parsing ---------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> fields;   // kObject, in order
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& name) const;
+};
+
+// Parses one JSON document (trailing garbage rejected). Throws InputError
+// on malformed text or nesting deeper than 64 levels.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace nanomap

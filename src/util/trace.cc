@@ -1,0 +1,265 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+namespace nanomap {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct ValueStat {
+  long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct SpanRecord {
+  const char* name;
+  int parent;
+  int depth;
+  Clock::time_point begin;
+  Clock::time_point end;
+  bool open = true;
+};
+
+// Per-thread span nesting stack (indices into Impl::spans). Thread-local
+// so a stray span on a worker thread nests within that thread only
+// instead of corrupting the flow's stage tree. tls_epoch invalidates a
+// thread's stale stack when a new collection window begins.
+thread_local std::vector<int> tls_span_stack;
+thread_local long tls_epoch = -1;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+struct Trace::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, long> counters;
+  std::map<std::string, ValueStat> values;
+  std::vector<SpanRecord> spans;
+  // Epoch guard: bumped by enable(), so end_span ids from a previous
+  // collection window can't write into the new one.
+  long epoch = 0;
+};
+
+Trace::Trace() : impl_(new Impl) {}
+Trace::~Trace() { delete impl_; }
+
+Trace& Trace::instance() {
+  static Trace trace;
+  return trace;
+}
+
+std::atomic<bool>& Trace::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void Trace::enable() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->counters.clear();
+    impl_->values.clear();
+    impl_->spans.clear();
+    ++impl_->epoch;
+  }
+  enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+void Trace::disable() {
+  enabled_flag().store(false, std::memory_order_relaxed);
+}
+
+void Trace::count(const char* site, long delta) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->counters[site] += delta;
+}
+
+void Trace::value(const char* site, double v) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  ValueStat& s = impl_->values[site];
+  if (s.count == 0) {
+    s.min = v;
+    s.max = v;
+  } else {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  ++s.count;
+  s.sum += v;
+}
+
+int Trace::begin_span(const char* name) {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (tls_epoch != impl_->epoch) {
+    tls_span_stack.clear();
+    tls_epoch = impl_->epoch;
+  }
+  SpanRecord rec;
+  rec.name = name;
+  rec.parent = tls_span_stack.empty() ? -1 : tls_span_stack.back();
+  rec.depth = static_cast<int>(tls_span_stack.size());
+  rec.begin = now;
+  rec.end = now;
+  int id = static_cast<int>(impl_->spans.size());
+  impl_->spans.push_back(rec);
+  tls_span_stack.push_back(id);
+  // Encode the epoch so an id outliving a disable/enable cycle is inert.
+  return static_cast<int>(impl_->epoch % 1024) * 1000000 + id;
+}
+
+void Trace::end_span(int id) {
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (id / 1000000 != static_cast<int>(impl_->epoch % 1024)) return;
+  int index = id % 1000000;
+  if (index < 0 || index >= static_cast<int>(impl_->spans.size())) return;
+  SpanRecord& rec = impl_->spans[static_cast<std::size_t>(index)];
+  rec.end = now;
+  rec.open = false;
+  if (tls_epoch == impl_->epoch && !tls_span_stack.empty() &&
+      tls_span_stack.back() == index)
+    tls_span_stack.pop_back();
+}
+
+TraceSnapshot Trace::snapshot() const {
+  const Clock::time_point now = Clock::now();
+  TraceSnapshot snap;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  snap.spans.reserve(impl_->spans.size());
+  for (const SpanRecord& rec : impl_->spans) {
+    TraceSpan s;
+    s.name = rec.name;
+    s.parent = rec.parent;
+    s.depth = rec.depth;
+    s.wall_ms = ms_between(rec.begin, rec.open ? now : rec.end);
+    snap.spans.push_back(std::move(s));
+  }
+  for (const auto& [site, value] : impl_->counters)
+    snap.counters.push_back({site, value});
+  for (const auto& [site, stat] : impl_->values)
+    snap.values.push_back({site, stat.count, stat.sum, stat.min, stat.max});
+  return snap;
+}
+
+std::vector<TraceSpan> TraceSnapshot::aggregate_spans() const {
+  // Fold spans that share a path (root/.../name). Paths are built from
+  // parent links; order is first occurrence in begin order, which the
+  // sequential-spans contract makes deterministic.
+  std::vector<std::string> path_of(spans.size());
+  std::vector<TraceSpan> rows;
+  std::map<std::string, std::size_t> row_of;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const TraceSpan& s = spans[i];
+    path_of[i] = s.parent < 0
+                     ? s.name
+                     : path_of[static_cast<std::size_t>(s.parent)] + "/" +
+                           s.name;
+    auto it = row_of.find(path_of[i]);
+    if (it == row_of.end()) {
+      TraceSpan row = s;
+      row.name = path_of[i];
+      row.calls = 1;
+      row_of.emplace(path_of[i], rows.size());
+      rows.push_back(std::move(row));
+    } else {
+      TraceSpan& row = rows[it->second];
+      ++row.calls;
+      row.wall_ms += s.wall_ms;
+    }
+  }
+  return rows;
+}
+
+std::string TraceSnapshot::render() const {
+  std::ostringstream os;
+  os << "trace: stage tree (wall ms)\n";
+  for (const TraceSpan& s : spans) {
+    os << "  ";
+    for (int d = 0; d < s.depth; ++d) os << "  ";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", s.wall_ms);
+    os << s.name << "  " << buf << " ms\n";
+  }
+  if (!counters.empty()) {
+    os << "trace: counters\n";
+    for (const TraceCounterRow& c : counters)
+      os << "  " << c.site << " = " << c.value << "\n";
+  }
+  if (!values.empty()) {
+    os << "trace: values (count / sum / min / max)\n";
+    for (const TraceValueRow& v : values) {
+      os << "  " << v.site << " = " << v.count << " / " << v.sum << " / "
+         << v.min << " / " << v.max << "\n";
+    }
+  }
+  return os.str();
+}
+
+const std::vector<std::string>& Trace::known_counter_sites() {
+  // One entry per NM_TRACE_COUNT site (docs/OBSERVABILITY.md).
+  static const std::vector<std::string> sites = {
+      "bitmap.bits",           // flow: configuration bits emitted
+      "bitmap.configs",        // flow: NRAM configuration sets emitted
+      "fds.candidates_scored", // core/fds_kernel: dirty (node,stage) rescored
+      "fds.pins",              // core/fds_kernel: nodes pinned to a stage
+      "fds.schedule_calls",    // core/fds_kernel: FDS scheduler invocations
+      "flow.events",           // flow: typed diagnostic trail entries
+      "flow.levels_tried",     // flow: folding levels given to the physical flow
+      "flow.recovery.events",  // flow: retry/escalate/fallback/degrade events
+      "place.accepted",        // place: SA moves accepted (all restarts)
+      "place.calls",           // place: place_design invocations
+      "place.moves",           // place: SA moves attempted (all restarts)
+      "place.restarts",        // place: independent annealing chains run
+      "place.temperatures",    // place/annealer: temperature steps annealed
+      "route.calls",           // route: route_design invocations
+      "route.reroutes",        // route/pathfinder: net reroutes (all iterations)
+  };
+  return sites;
+}
+
+const std::vector<std::string>& Trace::known_value_sites() {
+  // One entry per NM_TRACE_VALUE site (docs/OBSERVABILITY.md).
+  static const std::vector<std::string> sites = {
+      "cluster.le_utilization",     // flow: LEs used / LE capacity, per candidate
+      "fds.dirty_per_pin",          // core/fds_kernel: candidates rescored per pin
+      "fds.le_per_stage",           // flow: LE usage of each folding stage
+      "place.accepted_per_temp",    // place/annealer: accepts per temperature
+      "place.cost",                 // place: winning placement cost
+      "route.channel_occupancy",    // flow: wire nodes used / RR nodes, per route
+      "route.iterations_per_cycle", // route: PathFinder iterations per cycle
+      "route.overuse_per_cycle",    // route: residual overused nodes per cycle
+      "route.rip_ups_per_iter",     // route: nets ripped up per iteration
+      "route.wire_nodes_per_cycle", // route: wire nodes claimed per cycle
+  };
+  return sites;
+}
+
+const std::vector<std::string>& Trace::known_span_names() {
+  // One entry per NM_TRACE_SPAN name (docs/OBSERVABILITY.md). Paths in
+  // reports are slash-joined from these (e.g. "flow/place").
+  static const std::vector<std::string> sites = {
+      "bitmap",    // flow: configuration bitmap emission
+      "cluster",   // flow: temporal clustering + verification
+      "fds.plane", // core/fds: one plane's scheduling (any scheduler kind)
+      "flow",      // flow: whole run_nanomap body
+      "place",     // flow: placement (all restarts + screen)
+      "route",     // flow: routing ladder for one placement attempt
+      "schedule",  // flow: scheduling of all planes at one level
+      "sta",       // flow: static timing analysis
+  };
+  return sites;
+}
+
+}  // namespace nanomap

@@ -1,0 +1,191 @@
+// Deterministic, thread-safe tracing and metrics for the flow
+// (DESIGN.md §5f, docs/OBSERVABILITY.md).
+//
+// Three primitives, all keyed by a static site name from the registry
+// below:
+//
+//   NM_TRACE_SPAN("place");          RAII wall-clock span (stage tree)
+//   NM_TRACE_COUNT("fds.pins", 1);   monotonic counter
+//   NM_TRACE_VALUE("route.iterations_per_cycle", iters);  value histogram
+//                                    (count / sum / min / max summary)
+//
+// Cost when disabled: one relaxed atomic load per site (the process-wide
+// enabled flag — the same pattern as util/fault.h's disarmed fast path).
+// No lock, no clock read, no string work.
+//
+// Determinism contract (enforced by tests/trace_test.cc):
+//   * Observability never feeds back: no algorithmic decision reads the
+//     trace, so enabling it never changes a result byte. When you add a
+//     site, keep it write-only.
+//   * Counter totals and value summaries are thread-count independent.
+//     Counts and integral sums are exact under any interleaving; sites
+//     that record from pool workers (e.g. the annealer's per-temperature
+//     values, which run inside placement restarts) must therefore record
+//     only integral values. Doubles are fine at sites in sequential flow
+//     code.
+//   * Spans live in sequential flow code (same rule as NM_FAULT_POINT),
+//     so the span tree's shape and order are identical at any --threads;
+//     only the recorded wall times vary run to run. Serializers that need
+//     byte-determinism mask the times (RunReport::to_json(false)).
+//
+// One traced flow run at a time: the collector is process-wide (like the
+// fault injector); run_nanomap brackets the run with a TraceScope.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace nanomap {
+
+// One completed (or still open) span, in begin order. parent indexes into
+// the same vector (-1 for a root), so the stage tree can be re-walked.
+struct TraceSpan {
+  std::string name;
+  int parent = -1;
+  int depth = 0;
+  long calls = 1;       // always 1 in the raw record; >1 after aggregation
+  double wall_ms = 0.0;
+};
+
+struct TraceCounterRow {
+  std::string site;
+  long value = 0;
+};
+
+struct TraceValueRow {
+  std::string site;
+  long count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Point-in-time copy of everything the collector holds. Counter and value
+// rows are sorted by site name (never by first-hit order, which could
+// depend on thread interleaving); spans are in begin order.
+struct TraceSnapshot {
+  std::vector<TraceSpan> spans;
+  std::vector<TraceCounterRow> counters;
+  std::vector<TraceValueRow> values;
+
+  // Spans folded by path (root/child/...), begin order of first
+  // occurrence, calls and wall_ms accumulated — the per-stage timing
+  // table of the run report.
+  std::vector<TraceSpan> aggregate_spans() const;
+
+  // Human-readable stage tree with timings + counter/value tables (the
+  // CLI's --trace output).
+  std::string render() const;
+};
+
+class Trace {
+ public:
+  // The process-wide collector used by the NM_TRACE_* macros.
+  static Trace& instance();
+
+  // True iff some TraceScope is collecting. Relaxed: the flag only gates
+  // the slow path and scopes bracket whole flow runs.
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  // Clears all collected data and starts/stops collection. Prefer
+  // TraceScope over calling these directly.
+  void enable();
+  void disable();
+
+  // Slow paths behind the macros (safe to call from pool workers).
+  void count(const char* site, long delta);
+  void value(const char* site, double v);
+
+  // Span recording: begin returns an id for end. Nesting is tracked with
+  // a thread-local stack, so a span opened on a worker thread would
+  // parent under that thread's own stack — keep spans in sequential flow
+  // code (see the contract above).
+  int begin_span(const char* name);
+  void end_span(int id);
+
+  TraceSnapshot snapshot() const;
+
+  // The canonical site registries (docs/OBSERVABILITY.md mirrors these).
+  // tests/trace_test.cc asserts every site a traced flow run hits is
+  // listed here — add the entry with the NM_TRACE_* call.
+  static const std::vector<std::string>& known_counter_sites();
+  static const std::vector<std::string>& known_value_sites();
+  static const std::vector<std::string>& known_span_names();
+
+ private:
+  struct Impl;
+
+  Trace();
+  ~Trace();
+  static std::atomic<bool>& enabled_flag();
+
+  Impl* impl_;
+};
+
+// RAII collection window for one flow run. `wanted = false` is a no-op,
+// so run_nanomap constructs one unconditionally from FlowOptions.
+class TraceScope {
+ public:
+  explicit TraceScope(bool wanted) {
+    if (wanted) {
+      Trace::instance().enable();
+      active_ = true;
+    }
+  }
+  ~TraceScope() {
+    if (active_) Trace::instance().disable();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+namespace internal {
+
+// RAII helper behind NM_TRACE_SPAN. The enabled check happens once at
+// construction; a span that straddles enable/disable is simply dropped.
+class ScopedTraceSpan {
+ public:
+  explicit ScopedTraceSpan(const char* name) {
+    if (Trace::enabled()) id_ = Trace::instance().begin_span(name);
+  }
+  ~ScopedTraceSpan() {
+    if (id_ >= 0) Trace::instance().end_span(id_);
+  }
+  ScopedTraceSpan(const ScopedTraceSpan&) = delete;
+  ScopedTraceSpan& operator=(const ScopedTraceSpan&) = delete;
+
+ private:
+  int id_ = -1;
+};
+
+}  // namespace internal
+}  // namespace nanomap
+
+#define NM_TRACE_CONCAT_INNER(a, b) a##b
+#define NM_TRACE_CONCAT(a, b) NM_TRACE_CONCAT_INNER(a, b)
+
+// Times the enclosing scope as one stage/sub-stage span.
+#define NM_TRACE_SPAN(name)                        \
+  ::nanomap::internal::ScopedTraceSpan NM_TRACE_CONCAT( \
+      nm_trace_span_, __LINE__)(name)
+
+// Adds `delta` to the monotonic counter `site`.
+#define NM_TRACE_COUNT(site, delta)                                \
+  do {                                                             \
+    if (::nanomap::Trace::enabled())                               \
+      ::nanomap::Trace::instance().count(site, delta);             \
+  } while (0)
+
+// Records one observation of `v` into the value histogram `site`.
+#define NM_TRACE_VALUE(site, v)                                    \
+  do {                                                             \
+    if (::nanomap::Trace::enabled())                               \
+      ::nanomap::Trace::instance().value(                          \
+          site, static_cast<double>(v));                           \
+  } while (0)

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Check that every intra-repo markdown link resolves.
+
+Scans all tracked *.md files for inline links and images
+(``[text](target)``), skips external schemes (http/https/mailto), and
+verifies that
+
+* a relative path target exists (resolved against the linking file),
+* an in-file anchor (``#section``) matches a heading's GitHub-style
+  slug in the target file.
+
+Run from anywhere inside the repo:
+
+    python3 tools/check_markdown_links.py
+
+Exit code 0 when every link resolves, 1 otherwise (one line per broken
+link: ``file:line: broken link -> target``). CI runs this in the docs
+job; keep it dependency-free.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+# Inline code spans: links inside backticks are illustrative, not links.
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+
+
+def repo_root():
+    out = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def tracked_markdown(root):
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "--cached", "--others",
+         "--exclude-standard"],
+        capture_output=True, text=True, check=True, cwd=root)
+    return [line for line in out.stdout.splitlines() if line]
+
+
+def github_slug(heading):
+    """GitHub's heading -> anchor slug transformation."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path):
+    slugs = set()
+    counts = {}
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if not m:
+                continue
+            slug = github_slug(m.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(root, relpath, slug_cache):
+    path = os.path.join(root, relpath)
+    errors = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            stripped = CODE_SPAN_RE.sub("", line)
+            for m in LINK_RE.finditer(stripped):
+                target = m.group(1)
+                if EXTERNAL_RE.match(target):
+                    continue
+                target, _, anchor = target.partition("#")
+                if target:
+                    dest = os.path.normpath(
+                        os.path.join(os.path.dirname(path), target))
+                else:
+                    dest = path  # pure in-file anchor
+                if not os.path.exists(dest):
+                    errors.append((relpath, lineno, m.group(1)))
+                    continue
+                if anchor and dest.endswith(".md"):
+                    if dest not in slug_cache:
+                        slug_cache[dest] = heading_slugs(dest)
+                    if anchor not in slug_cache[dest]:
+                        errors.append((relpath, lineno, m.group(1)))
+    return errors
+
+
+def main():
+    root = repo_root()
+    slug_cache = {}
+    errors = []
+    files = tracked_markdown(root)
+    for relpath in files:
+        errors.extend(check_file(root, relpath, slug_cache))
+    for relpath, lineno, target in errors:
+        print(f"{relpath}:{lineno}: broken link -> {target}")
+    print(f"checked {len(files)} markdown files, "
+          f"{len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,13 @@
 //   --sweep           run netlist cleanup (DCE/CSE/constants) first
 //   --power           print the power/energy report
 //   --report          print per-stage usage and wire statistics
+//   --report=json FILE  write the machine-readable run report (schema in
+//                     docs/FORMATS.md). Wall-clock fields are zeroed so
+//                     the file is byte-deterministic for a fixed seed;
+//                     add --trace to include real timings instead.
+//   --trace           collect stage spans/counters and pretty-print the
+//                     stage tree with timings to stderr (docs/
+//                     OBSERVABILITY.md). Never changes results.
 //   --explain-failure print the typed retry/escalation diagnostics trail
 //   --fault PLAN      arm deterministic fault injection ("site:N[:kind]",
 //                     see util/fault.h; NM_FAULT env var is the fallback)
@@ -43,6 +50,7 @@
 #include <string>
 
 #include "util/fault.h"
+#include "util/trace.h"
 
 #include "circuits/benchmarks.h"
 #include "flow/nanomap_flow.h"
@@ -82,7 +90,8 @@ int usage(const char* argv0) {
                "at|delay|area|both] [--area N] [--delay NS] [--level L] "
                "[--k N] [--no-share] [--seed S] [--threads N] "
                "[--restarts N] [--route-batch N] [--out FILE] "
-               "[--blif-out FILE] [--report] [--explain-failure] "
+               "[--blif-out FILE] [--report] [--report=json FILE] "
+               "[--trace] [--explain-failure] "
                "[--fault SITE:N[:KIND]] [--quiet]\n",
                argv0);
   return 2;
@@ -114,9 +123,9 @@ int main(int argc, char** argv) {
   std::string input = argv[1];
   FlowOptions opts;
   opts.arch = ArchParams::paper_instance();
-  std::string out_path, blif_out;
+  std::string out_path, blif_out, report_json;
   bool report = false, quiet = false, do_sweep = false, power = false;
-  bool explain_failure = false;
+  bool explain_failure = false, trace = false;
   if (const char* env_fault = std::getenv("NM_FAULT"))
     opts.fault_plan = env_fault;
 
@@ -178,6 +187,10 @@ int main(int argc, char** argv) {
       power = true;
     } else if (arg == "--report") {
       report = true;
+    } else if (arg == "--report=json") {
+      report_json = next();
+    } else if (arg == "--trace") {
+      trace = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -214,7 +227,20 @@ int main(int argc, char** argv) {
       if (!quiet) std::printf("wrote netlist to %s\n", blif_out.c_str());
     }
 
+    opts.collect_trace = trace || !report_json.empty();
     FlowResult r = run_nanomap(design, opts);
+    if (trace)
+      std::fprintf(stderr, "%s",
+                   Trace::instance().snapshot().render().c_str());
+    if (!report_json.empty()) {
+      std::ofstream out(report_json);
+      if (!out) throw InputError("cannot write " + report_json);
+      // Timings are masked unless --trace asked for them, so the file is
+      // byte-deterministic for a fixed (input, seed) at any --threads.
+      out << r.report.to_json(/*include_timings=*/trace);
+      if (!quiet)
+        std::printf("wrote run report to %s\n", report_json.c_str());
+    }
     if (!r.feasible) {
       std::printf("INFEASIBLE [%s]: %s\n",
                   flow_error_kind_name(r.error_kind), r.message.c_str());
