@@ -1,0 +1,361 @@
+// PathFinder routing throughput: the incremental kernel
+// (route/pathfinder.cc) vs. the retained verbatim seed router
+// (route_nets_reference), on congested narrowed-channel random DAGs.
+// Besides the wall-clock comparison, every run *asserts* byte-identity —
+// trees, delays, iteration counts — between the reference and the
+// incremental router at batch_size 1 and 4, each at 1 and 4 pool
+// threads, so the benchmark doubles as an end-to-end identity check and
+// exits nonzero on any divergence.
+//
+// Three scenarios per circuit (schema in docs/FORMATS.md):
+//   converge  one cold route_design call with full budgets — measures the
+//             incremental bookkeeping overhead against the seed router
+//             when nothing can be reused (expected ~parity);
+//   ladder    the flow's recovery-ladder walk (starved budgets, raised
+//             budgets, widened channels), stopping at the first rung that
+//             converges — the reference rebuilds the RR graph and
+//             re-routes cold at every rung, the kernel shares one
+//             in-place-widened graph and one RouteState across rungs;
+//   warm      a repeat route_design call against an already-populated
+//             RouteState (the recovery-ladder / re-entrant flow path) —
+//             every folding cycle replays from cache, and the result is
+//             asserted byte-identical to the cold reference run. This is
+//             the headline incremental speedup.
+//
+//   ./bench/route_throughput [--smoke] [out.json]   (default BENCH_route.json)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "circuits/random_dag.h"
+#include "core/estimate.h"
+#include "core/fds.h"
+#include "core/folding.h"
+#include "core/schedule_graph.h"
+#include "core/temporal_cluster.h"
+#include "place/placement.h"
+#include "route/pathfinder.h"
+#include "route/pathfinder_reference.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+using namespace nanomap;
+
+namespace {
+
+struct Physical {
+  ClusteredDesign cd;
+  Placement p;
+};
+
+// Random DAG -> folding -> FDS -> temporal clustering -> placement.
+Physical build_physical(int planes, int luts, int depth, int level,
+                        std::uint64_t seed, const ArchParams& arch) {
+  RandomDagSpec spec;
+  spec.num_planes = planes;
+  spec.luts_per_plane = luts;
+  spec.depth = depth;
+  spec.num_inputs = 24;
+  spec.seed = seed;
+  Design d = make_random_design(spec);
+  CircuitParams params = extract_circuit_params(d.net);
+  DesignSchedule sched;
+  sched.folding = make_folding_config(params, level);
+  sched.planes_share = !sched.folding.no_folding();
+  for (int plane = 0; plane < params.num_plane; ++plane) {
+    PlaneScheduleGraph g = build_schedule_graph(d, plane, sched.folding);
+    sched.plane_results.push_back(schedule_plane(g, arch));
+    sched.graphs.push_back(std::move(g));
+  }
+  Physical ph;
+  ph.cd = temporal_cluster(d, sched, arch);
+  PlacementOptions popts;
+  popts.fast_effort = 0.3;
+  popts.detailed_effort = 1.0;
+  PlacementResult pr = place_design(ph.cd, arch, popts);
+  ph.p = pr.placement;
+  return ph;
+}
+
+// The congested fabric every row routes on: small SMBs (2x2 LEs) so the
+// designs spread over many SMBs, and channels narrowed until PathFinder
+// needs real negotiation (several rip-up iterations) yet still converges
+// under full budgets.
+ArchParams narrow_fabric() {
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  arch.les_per_mb = 2;
+  arch.mbs_per_smb = 2;
+  arch.direct_links_per_side = 2;
+  arch.len1_tracks = 4;
+  arch.len4_tracks = 2;
+  arch.global_tracks = 2;
+  return arch;
+}
+
+bool identical(const RoutingResult& a, const RoutingResult& b) {
+  if (a.success != b.success || a.worst_iterations != b.worst_iterations ||
+      a.overused_nodes != b.overused_nodes ||
+      a.nets.size() != b.nets.size())
+    return false;
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    if (a.nets[i].net_index != b.nets[i].net_index ||
+        a.nets[i].sink_smbs != b.nets[i].sink_smbs ||
+        a.nets[i].sink_delay_ps != b.nets[i].sink_delay_ps ||
+        a.nets[i].wire_nodes != b.nets[i].wire_nodes)
+      return false;
+  }
+  return a.usage.direct == b.usage.direct && a.usage.len1 == b.usage.len1 &&
+         a.usage.len4 == b.usage.len4 && a.usage.global == b.usage.global;
+}
+
+// Reference vs kernel at batch_size {1,4} x pool threads {1,4}: all six
+// results byte-identical per batch size (the batch size changes the
+// negotiation schedule; the router implementation and the thread count
+// never change a byte). The warm replay path is checked too: a second
+// route_design call against the populated RouteState must reproduce the
+// cold result exactly.
+bool check_identity(const Physical& ph, const RrGraph& rr,
+                    const RouterOptions& base) {
+  ThreadPool pool1(1), pool4(4);
+  for (int batch : {1, 4}) {
+    RouterOptions opts = base;
+    opts.batch_size = batch;
+    RoutingResult want = route_nets_reference(ph.cd, ph.p, rr, opts, &pool1);
+    if (!identical(want, route_nets_reference(ph.cd, ph.p, rr, opts, &pool4)))
+      return false;
+    for (ThreadPool* pool : {&pool1, &pool4}) {
+      RouteState state;
+      if (!identical(want,
+                     route_design(ph.cd, ph.p, rr, opts, pool, &state)))
+        return false;
+      RoutingResult warm = route_design(ph.cd, ph.p, rr, opts, pool, &state);
+      if (!identical(want, warm)) return false;
+      if (warm.reuse.cycles_reused != ph.cd.num_cycles) return false;
+    }
+  }
+  return true;
+}
+
+// The recovery-ladder walk the flow performs when budgets are starved:
+// starved budgets, raised budgets, then a channel bump (same formulas as
+// flow/nanomap_flow.cc). The walk stops at the first rung that converges.
+struct Rung {
+  ArchParams arch;
+  RouterOptions router;
+};
+
+std::vector<Rung> ladder_rungs(const ArchParams& base,
+                               const RouterOptions& starved) {
+  RouterOptions raised = starved;
+  raised.max_iterations = std::max(starved.max_iterations * 3,
+                                   starved.max_iterations + 40);
+  raised.pres_fac_mult = 1.0 + (starved.pres_fac_mult - 1.0) * 1.5;
+  raised.hist_fac = starved.hist_fac * 1.5;
+  ArchParams widened = base;
+  widened.len1_tracks = std::max(base.len1_tracks + 1,
+                                 static_cast<int>(std::ceil(
+                                     base.len1_tracks * 1.25)));
+  widened.len4_tracks = std::max(base.len4_tracks + 1,
+                                 static_cast<int>(std::ceil(
+                                     base.len4_tracks * 1.25)));
+  widened.global_tracks = std::max(base.global_tracks + 1,
+                                   static_cast<int>(std::ceil(
+                                       base.global_tracks * 1.25)));
+  return {{base, starved}, {base, raised}, {widened, raised}};
+}
+
+template <typename Fn>
+double measure_ms(int min_reps, Fn body) {
+  double seconds = 0.0;
+  int reps = 0;
+  while (reps < min_reps || (seconds < 0.2 && reps < 500)) {
+    auto t0 = std::chrono::steady_clock::now();
+    body();
+    auto t1 = std::chrono::steady_clock::now();
+    if (reps > 0 || min_reps == 1)
+      seconds += std::chrono::duration<double>(t1 - t0).count();
+    ++reps;
+  }
+  const int timed = min_reps == 1 ? reps : reps - 1;
+  return timed > 0 ? seconds * 1000.0 / timed : 0.0;
+}
+
+struct Row {
+  std::string name;
+  int luts = 0;
+  int nets = 0;
+  int cycles = 0;
+  int worst_iterations = 0;     // full-budget negotiation depth
+  bool converged = false;       // full-budget routing is overuse-free
+  double ref_ms = 0.0;          // converge scenario, reference router
+  double kernel_ms = 0.0;       // converge scenario, incremental kernel
+  double warm_ms = 0.0;         // warm scenario, replay call
+  long warm_reused = 0;         // warm scenario, cycles replayed
+  double ladder_ref_ms = 0.0;   // ladder walk, cold reference per rung
+  double ladder_kernel_ms = 0.0;  // ladder walk, shared graph + state
+  int ladder_rung = 0;          // winning rung index
+  long ladder_reused = 0;       // ladder walk, net searches skipped
+  long skipped_nets = 0;        // converge scenario, clean-net skips
+  bool identical = false;
+};
+
+Row measure(const std::string& name, int planes, int luts, int depth,
+            int level, std::uint64_t seed, bool smoke) {
+  const ArchParams arch = narrow_fabric();
+  Physical ph = build_physical(planes, luts, depth, level, seed, arch);
+  RrGraph rr(ph.p.grid, arch);
+  RouterOptions full;  // defaults: max_iterations 60, full negotiation
+
+  Row row;
+  row.name = name;
+  row.luts = planes * luts;
+  row.nets = static_cast<int>(ph.cd.nets.size());
+  row.cycles = ph.cd.num_cycles;
+  row.identical = check_identity(ph, rr, full);
+
+  const int reps = smoke ? 1 : 3;
+  RoutingResult last;
+  row.ref_ms = measure_ms(reps, [&] {
+    last = route_nets_reference(ph.cd, ph.p, rr, full);
+  });
+  row.converged = last.success;
+  row.worst_iterations = last.worst_iterations;
+  row.kernel_ms = measure_ms(reps, [&] {
+    last = route_design(ph.cd, ph.p, rr, full);
+  });
+  row.skipped_nets = last.reuse.nets_skipped;
+
+  // Warm replay: populate the state once, then measure repeat calls.
+  {
+    RouteState state;
+    route_design(ph.cd, ph.p, rr, full, nullptr, &state);
+    row.warm_ms = measure_ms(reps, [&] {
+      last = route_design(ph.cd, ph.p, rr, full, nullptr, &state);
+    });
+    row.warm_reused = last.reuse.cycles_reused;
+  }
+
+  RouterOptions starved = full;
+  starved.max_iterations = 2;
+  const std::vector<Rung> rungs = ladder_rungs(arch, starved);
+  row.ladder_ref_ms = measure_ms(reps, [&] {
+    for (std::size_t i = 0; i < rungs.size(); ++i) {
+      RrGraph cold(ph.p.grid, rungs[i].arch);
+      last = route_nets_reference(ph.cd, ph.p, cold, rungs[i].router);
+      if (last.success) {
+        row.ladder_rung = static_cast<int>(i);
+        break;
+      }
+    }
+  });
+  row.ladder_kernel_ms = measure_ms(reps, [&] {
+    RrGraph warm(ph.p.grid, rungs.front().arch);
+    RouteState state;
+    long skipped = 0;
+    for (const Rung& rung : rungs) {
+      if (&rung != &rungs.front() &&
+          can_widen_in_place(warm.arch(), rung.arch) &&
+          (warm.arch().len1_tracks != rung.arch.len1_tracks ||
+           warm.arch().len4_tracks != rung.arch.len4_tracks ||
+           warm.arch().global_tracks != rung.arch.global_tracks))
+        warm.widen_channels(rung.arch);
+      last = route_design(ph.cd, ph.p, warm, rung.router, nullptr, &state);
+      skipped += last.reuse.nets_skipped;
+      if (last.success) break;
+    }
+    row.ladder_reused = skipped;
+  });
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_route.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke")
+      smoke = true;
+    else
+      out_path = arg;
+  }
+
+  std::vector<Row> rows;
+  //                          planes luts depth level seed
+  rows.push_back(measure("random-dag120", 1, 120, 10, 1, 127, smoke));
+  if (!smoke) {
+    rows.push_back(measure("random-dag160", 1, 160, 12, 1, 167, smoke));
+    rows.push_back(measure("random-dag4x80", 4, 80, 6, 1, 87, smoke));
+    rows.push_back(measure("random-dag120-l2", 1, 120, 10, 2, 127, smoke));
+  }
+
+  // Emit BENCH_route.json (schema in docs/FORMATS.md) through the shared
+  // JSON writer — same escaping and dialect as the --report=json output.
+  auto round2 = [](double v) { return std::round(v * 100.0) / 100.0; };
+  JsonWriter w;
+  w.begin_object();
+  w.field("unit", "milliseconds per routing scenario (lower is better)");
+  w.field("reference",
+          "verbatim seed router (route/pathfinder_reference.cc)");
+  w.field("kernel", "incremental PathFinder kernel (route/pathfinder.cc)");
+  w.field("fabric",
+          "narrowed channels: 2x2-LE SMBs, direct 2, len1 4, len4 2, "
+          "global 2 (paper_instance_unbounded_k otherwise)");
+  w.field("smoke", smoke);
+  w.key("rows");
+  w.begin_array();
+  bool all_identical = true;
+  for (const Row& r : rows) {
+    all_identical = all_identical && r.identical;
+    w.begin_object();
+    w.field("circuit", r.name);
+    w.field("luts", r.luts);
+    w.field("nets", r.nets);
+    w.field("cycles", r.cycles);
+    w.field("worst_iterations", r.worst_iterations);
+    w.field("converged", r.converged);
+    w.field("reference_ms", round2(r.ref_ms));
+    w.field("kernel_cold_ms", round2(r.kernel_ms));
+    w.field("cold_speedup",
+            round2(r.kernel_ms > 0 ? r.ref_ms / r.kernel_ms : 0.0));
+    w.field("kernel_warm_ms", round2(r.warm_ms));
+    w.field("warm_speedup",
+            round2(r.warm_ms > 0 ? r.ref_ms / r.warm_ms : 0.0));
+    w.field("warm_reused_cycles", r.warm_reused);
+    w.field("ladder_reference_ms", round2(r.ladder_ref_ms));
+    w.field("ladder_kernel_ms", round2(r.ladder_kernel_ms));
+    w.field("ladder_speedup",
+            round2(r.ladder_kernel_ms > 0
+                       ? r.ladder_ref_ms / r.ladder_kernel_ms
+                       : 0.0));
+    w.field("ladder_winning_rung", r.ladder_rung);
+    w.field("ladder_skipped_net_searches", r.ladder_reused);
+    w.field("cold_skipped_net_searches", r.skipped_nets);
+    w.field("identical_routing", r.identical);
+    w.end();
+    std::printf(
+        "%-16s luts %4d nets %4d cycles %2d wi %2d  "
+        "cold %7.2f -> %7.2f ms (%5.2fx)  warm %7.3f ms (%6.2fx, %ld "
+        "cycles replayed)  ladder %7.2f -> %7.2f ms (%5.2fx, rung %d)  "
+        "identical %s\n",
+        r.name.c_str(), r.luts, r.nets, r.cycles, r.worst_iterations,
+        r.ref_ms, r.kernel_ms,
+        r.kernel_ms > 0 ? r.ref_ms / r.kernel_ms : 0.0, r.warm_ms,
+        r.warm_ms > 0 ? r.ref_ms / r.warm_ms : 0.0, r.warm_reused,
+        r.ladder_ref_ms, r.ladder_kernel_ms,
+        r.ladder_kernel_ms > 0 ? r.ladder_ref_ms / r.ladder_kernel_ms : 0.0,
+        r.ladder_rung, r.identical ? "yes" : "NO");
+  }
+  w.end();
+  w.end();
+  std::ofstream out(out_path);
+  out << w.str();
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 
@@ -379,27 +380,48 @@ class FlowEngine {
     return rungs;
   }
 
-  // Climbs the routing ladder for one placement. On success *arch_used is
-  // the arch of the winning rung (widened rungs route — and are then
-  // timed / emitted — against their own interconnect). Returns false
-  // when every rung failed; *fatal is set when a rung died on an
-  // exception (already recorded), which aborts the level instead of
-  // climbing further.
+  // Climbs the routing ladder for one placement. On success *arch_used /
+  // *router_used are the arch and router budgets of the winning rung
+  // (widened rungs route — and are then timed / emitted — against their
+  // own interconnect). Returns false when every rung failed; *fatal is
+  // set when a rung died on an exception (already recorded), which aborts
+  // the level instead of climbing further.
+  //
+  // The RR graph and the router's cycle cache persist across rungs:
+  // budget rungs re-route on the very same graph, channel rungs widen it
+  // in place (same node ids, bumped capacity epoch), and folding cycles
+  // whose replay is provably identical are served from the RouteState
+  // instead of re-negotiated. Both are scoped to this climb — an
+  // abandoned or faulted climb drops all incremental state with them.
   bool climb_route_ladder(const Candidate& cand,
                           const PlacementResult& placed, int attempt,
                           RoutingResult* routed, ArchParams* arch_used,
-                          bool* fatal) {
+                          RouterOptions* router_used, bool* fatal) {
     *fatal = false;
     NM_TRACE_SPAN("route");
     const std::vector<RouteRung> rungs = route_ladder();
+    std::optional<RrGraph> rr;
+    RouteState route_state;
+    auto tracks_differ = [](const ArchParams& a, const ArchParams& b) {
+      return a.direct_links_per_side != b.direct_links_per_side ||
+             a.len1_tracks != b.len1_tracks ||
+             a.len4_tracks != b.len4_tracks ||
+             a.global_tracks != b.global_tracks;
+    };
     for (std::size_t r = 0; r < rungs.size(); ++r) {
       const RouteRung& rung = rungs[r];
       int rr_nodes = 0;
       bool ok = guard("route", cand.level, attempt, [&] {
-        RrGraph rr(placed.placement.grid, rung.arch);
-        rr_nodes = rr.size();
-        *routed = route_design(cand.clustered, placed.placement, rr,
-                               rung.router, &pool_);
+        if (!rr) {
+          rr.emplace(placed.placement.grid, rung.arch);
+        } else if (!can_widen_in_place(rr->arch(), rung.arch)) {
+          rr.emplace(placed.placement.grid, rung.arch);  // full rebuild
+        } else if (tracks_differ(rr->arch(), rung.arch)) {
+          rr->widen_channels(rung.arch);
+        }
+        rr_nodes = rr->size();
+        *routed = route_design(cand.clustered, placed.placement, *rr,
+                               rung.router, &pool_, &route_state);
       });
       if (!ok) {
         *fatal = true;
@@ -422,8 +444,16 @@ class FlowEngine {
                       (attempt > 0
                            ? ", reseeded placement " + std::to_string(attempt)
                            : "") +
-                      ")"});
+                      ", reused " +
+                      std::to_string(routed->reuse.cycles_reused) + " of " +
+                      std::to_string(routed->reuse.cycles_total) +
+                      " cycles / " +
+                      std::to_string(routed->reuse.nets_reused) +
+                      " nets, skipped " +
+                      std::to_string(routed->reuse.nets_skipped) +
+                      " repeat searches)"});
         *arch_used = rung.arch;
+        *router_used = rung.router;
         return true;
       }
       record({"route", cand.level, attempt,
@@ -487,6 +517,7 @@ class FlowEngine {
     PlacementResult placed;
     RoutingResult routed;
     ArchParams arch_used = options_.arch;
+    RouterOptions router_used = options_.router;
     bool route_ok = false;
     const int reseeds = options_.recovery.placement_reseeds;
     for (int attempt = 0; attempt <= reseeds && !route_ok; ++attempt) {
@@ -520,7 +551,7 @@ class FlowEngine {
       }
       bool fatal = false;
       route_ok = climb_route_ladder(cand, placed, attempt, &routed,
-                                    &arch_used, &fatal);
+                                    &arch_used, &router_used, &fatal);
       if (fatal) return false;
     }
     if (!route_ok) {
@@ -562,6 +593,8 @@ class FlowEngine {
     }
     result->timing = std::move(timing);
     result->routing = std::move(routed);
+    result->routed_arch = arch_used;
+    result->routed_router = router_used;
     result->placement = std::move(placed);
     result->schedule = std::move(cand.schedule);
     result->clustered = std::move(cand.clustered);

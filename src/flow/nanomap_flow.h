@@ -242,6 +242,14 @@ struct FlowResult {
   TimingReport timing;
   ConfigBitmap bitmap;
 
+  // Interconnect and router options of the winning routing rung (the arch
+  // may be a widened copy of FlowOptions::arch). Together with clustered
+  // and placement these are everything needed to rebuild the RR graph and
+  // re-route the result — tests byte-compare that replay against the
+  // reference router.
+  ArchParams routed_arch;
+  RouterOptions routed_router;
+
   int levels_tried = 0;
   double cpu_seconds = 0.0;
 

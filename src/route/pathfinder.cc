@@ -1,15 +1,35 @@
+// Incremental PathFinder kernel. Byte-identical to the seed router (kept
+// verbatim in pathfinder_reference.cc); see DESIGN.md §5g for the replay
+// argument that justifies every skip:
+//   * An A* search's outcome is a deterministic function of the static
+//     graph, the sink sequence, and the costs of exactly the nodes it
+//     relaxed ("touched"). A net is re-searched only when one of those
+//     inputs can have changed: a touched node's occupancy-in-snapshot or
+//     history cost moved (tracked with monotone stamps), or the search
+//     read a present-congestion term and pres_fac has since grown.
+//   * A whole folding cycle is replayed from a RouteState cache when the
+//     graph identity and the subset of options its negotiation actually
+//     consumed are unchanged — including across in-place channel
+//     widenings, where capacity growth can only alter costs the cached
+//     negotiation never read (it converged in one iteration and never saw
+//     an over-capacity term).
 #include "route/pathfinder.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <memory>
 #include <queue>
+#include <sstream>
 
 #include "util/fault.h"
 #include "util/log.h"
-#include "util/rng.h"
 #include "util/trace.h"
+
+#ifdef NANOMAP_AUDIT_ROUTE
+#include "route/pathfinder_reference.h"
+#endif
 
 namespace nanomap {
 namespace {
@@ -41,6 +61,27 @@ struct SearchState {
         in_tree(static_cast<std::size_t>(nodes), 0) {}
 };
 
+// Sink SMBs of one net ordered farthest-from-driver first (classic
+// heuristic), ties by SMB index — a pure function of the placement, so
+// it is computed once per net per route_design call.
+std::vector<int> sinks_farthest_first(const ClusteredDesign& cd,
+                                      const Placement& placement,
+                                      int net_index) {
+  const PlacedNet& pn = cd.nets[static_cast<std::size_t>(net_index)];
+  const int sx = placement.x_of(pn.driver_smb);
+  const int sy = placement.y_of(pn.driver_smb);
+  std::vector<int> sinks = pn.sink_smbs;
+  std::sort(sinks.begin(), sinks.end(), [&](int a, int b) {
+    int da = std::abs(placement.x_of(a) - sx) +
+             std::abs(placement.y_of(a) - sy);
+    int db = std::abs(placement.x_of(b) - sx) +
+             std::abs(placement.y_of(b) - sy);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  return sinks;
+}
+
 class CycleRouter {
  public:
   CycleRouter(const ClusteredDesign& cd, const Placement& placement,
@@ -50,6 +91,7 @@ class CycleRouter {
         pool_(pool) {
     occ_.assign(static_cast<std::size_t>(rr.size()), 0);
     hist_.assign(static_cast<std::size_t>(rr.size()), 0.0);
+    node_stamp_.assign(static_cast<std::size_t>(rr.size()), 0);
   }
 
   // Routes all nets of one folding cycle; returns residual overuse count.
@@ -62,70 +104,149 @@ class CycleRouter {
   // SearchState — so the result is identical at any thread count, and
   // batch_size = 1 reproduces the classical sequential PathFinder
   // negotiation exactly.
+  //
+  // Incremental skip: a batch member whose last search provably reads the
+  // same costs again (no touched node re-stamped, no pres_fac sensitivity)
+  // keeps its previous tree and NetRoute instead of re-running A* — the
+  // rip-up/commit of its unchanged occupancy still happens, so every other
+  // net sees exactly the snapshot the seed router would produce.
   long route_cycle(const std::vector<int>& net_indices,
-                   std::vector<NetRoute>* out, int* iterations_used) {
+                   const std::vector<std::vector<int>>& sorted_sinks,
+                   std::vector<NetRoute>* out, int* iterations_used,
+                   RouteReuseStats* stats, bool* cycle_saw_over) {
     const int num_nets = static_cast<int>(net_indices.size());
     std::vector<std::vector<int>> trees(net_indices.size());
     std::vector<NetRoute> routes(net_indices.size());
-    // Sink order (farthest-first) depends only on the fixed placement, so
-    // sort once per net here instead of on every rip-up/reroute iteration
-    // inside route_net. Identical order, identical routing.
-    std::vector<std::vector<int>> sorted_sinks(net_indices.size());
-    for (std::size_t ni = 0; ni < net_indices.size(); ++ni)
-      sorted_sinks[ni] = sinks_farthest_first(net_indices[ni]);
     const int batch = std::max(1, options_.batch_size);
     std::vector<std::unique_ptr<SearchState>> states(
         static_cast<std::size_t>(std::min(batch, std::max(num_nets, 1))));
+
+    touched_.assign(net_indices.size(), {});
+    routed_stamp_.assign(net_indices.size(), -1);
+    searched_pres_fac_.assign(net_indices.size(), 0.0);
+    net_saw_pres_.assign(net_indices.size(), 0);
+    std::vector<char> dirty(static_cast<std::size_t>(batch), 1);
+    std::vector<std::vector<int>> old_trees(static_cast<std::size_t>(batch));
+    bool saw_over = false;
 
     double pres_fac = options_.initial_pres_fac;
     long overused = 0;
     int iter = 0;
     for (iter = 1; iter <= options_.max_iterations; ++iter) {
-      // Sequential section (the parallel part is inside pool_for_each):
-      // every iteration rips up and reroutes all num_nets nets.
+      // Occupancy-wise every net is still ripped up and recommitted each
+      // iteration (that is what keeps the snapshots seed-identical); only
+      // the A* searches are skipped.
       NM_TRACE_VALUE("route.rip_ups_per_iter", num_nets);
       for (int start = 0; start < num_nets; start += batch) {
         const int bn = std::min(batch, num_nets - start);
-        NM_TRACE_COUNT("route.reroutes", bn);
-        for (int k = 0; k < bn; ++k)
-          rip_up(trees[static_cast<std::size_t>(start + k)]);
+        int dirty_count = 0;
+        for (int k = 0; k < bn; ++k) {
+          const std::size_t ni = static_cast<std::size_t>(start + k);
+          dirty[static_cast<std::size_t>(k)] =
+              is_dirty(ni, pres_fac) ? 1 : 0;
+          dirty_count += dirty[static_cast<std::size_t>(k)];
+        }
+        NM_TRACE_COUNT("route.reroutes", dirty_count);
+        stats->nets_rerouted += dirty_count;
+        stats->nets_skipped += bn - dirty_count;
+        for (int k = 0; k < bn; ++k) {
+          for (int n : trees[static_cast<std::size_t>(start + k)])
+            --occ_[static_cast<std::size_t>(n)];
+          if (dirty[static_cast<std::size_t>(k)]) {
+            old_trees[static_cast<std::size_t>(k)] =
+                std::move(trees[static_cast<std::size_t>(start + k)]);
+            trees[static_cast<std::size_t>(start + k)].clear();
+          }
+        }
+        const std::int64_t search_stamp = stamp_;
         pool_for_each(pool_, bn, [&](int k) {
+          if (!dirty[static_cast<std::size_t>(k)]) return;
           const std::size_t ni = static_cast<std::size_t>(start + k);
           std::unique_ptr<SearchState>& state =
               states[static_cast<std::size_t>(k)];
           if (!state) state = std::make_unique<SearchState>(rr_.size());
           routes[ni] = route_net(net_indices[ni], sorted_sinks[ni],
-                                 pres_fac, &trees[ni], state.get());
+                                 pres_fac, &trees[ni], state.get(),
+                                 &touched_[ni], &net_saw_pres_[ni]);
+          routed_stamp_[ni] = search_stamp;
+          searched_pres_fac_[ni] = pres_fac;
         });
-        for (int k = 0; k < bn; ++k)
-          for (int n : trees[static_cast<std::size_t>(start + k)])
-            ++occ_[static_cast<std::size_t>(n)];
+        ++stamp_;
+        for (int k = 0; k < bn; ++k) {
+          const std::size_t ni = static_cast<std::size_t>(start + k);
+          if (dirty[static_cast<std::size_t>(k)]) {
+            mark_diff(old_trees[static_cast<std::size_t>(k)], trees[ni]);
+            if (net_saw_pres_[ni]) saw_over = true;
+          }
+          for (int n : trees[ni]) ++occ_[static_cast<std::size_t>(n)];
+        }
       }
       overused = 0;
+      ++stamp_;
       for (int n = 0; n < rr_.size(); ++n) {
         int over = occ_[static_cast<std::size_t>(n)] -
                    rr_.node(n).capacity;
         if (over > 0) {
           ++overused;
           hist_[static_cast<std::size_t>(n)] += options_.hist_fac * over;
+          node_stamp_[static_cast<std::size_t>(n)] = stamp_;
         }
       }
       if (overused == 0) break;
       pres_fac *= options_.pres_fac_mult;
     }
     *iterations_used = std::min(iter, options_.max_iterations);
+    *cycle_saw_over = saw_over;
     out->insert(out->end(), routes.begin(), routes.end());
     return overused;
   }
 
  private:
+  // True when net slot `ni` must actually re-run A*: never searched, or
+  // its last search read a present-congestion term and pres_fac has moved
+  // since, or any node it touched was re-stamped (occupancy delta at some
+  // batch commit, or a history bump at some iteration end) after the
+  // stamp its snapshot was taken at. Marks from batches committed before
+  // the search carry stamps <= routed_stamp, so they never falsely dirty
+  // a net whose snapshot already included them.
+  bool is_dirty(std::size_t ni, double pres_fac) const {
+    if (routed_stamp_[ni] < 0) return true;
+    if (net_saw_pres_[ni] && pres_fac != searched_pres_fac_[ni]) return true;
+    const std::int64_t since = routed_stamp_[ni];
+    for (int n : touched_[ni])
+      if (node_stamp_[static_cast<std::size_t>(n)] > since) return true;
+    return false;
+  }
+
+  // Stamps every node whose occupancy contribution changed between two
+  // sorted, deduplicated trees (symmetric difference).
+  void mark_diff(const std::vector<int>& a, const std::vector<int>& b) {
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+      if (j == b.size() || (i < a.size() && a[i] < b[j]))
+        node_stamp_[static_cast<std::size_t>(a[i++])] = stamp_;
+      else if (i == a.size() || b[j] < a[i])
+        node_stamp_[static_cast<std::size_t>(b[j++])] = stamp_;
+      else {
+        ++i;
+        ++j;
+      }
+    }
+  }
+
   // Congestion cost blended with the node's delay for critical nets
   // (timing-driven routing). The present/history congestion terms always
-  // apply so legality is never traded away.
-  double node_cost(int n, double pres_fac, double crit) const {
+  // apply so legality is never traded away. `saw_pres` (never null inside
+  // a search) records that the returned value depends on pres_fac.
+  double node_cost(int n, double pres_fac, double crit,
+                   bool* saw_pres) const {
     const RrNode& node = rr_.node(n);
     int over = occ_[static_cast<std::size_t>(n)] + 1 - node.capacity;
-    double pres = over > 0 ? 1.0 + pres_fac * over : 1.0;
+    double pres = 1.0;
+    if (over > 0) {
+      pres = 1.0 + pres_fac * over;
+      *saw_pres = true;
+    }
     double base = node.base_cost;
     if (options_.timing_driven) {
       base = (1.0 - crit) * node.base_cost +
@@ -134,41 +255,26 @@ class CycleRouter {
     return (base + hist_[static_cast<std::size_t>(n)]) * pres;
   }
 
-  void rip_up(std::vector<int>& tree) {
-    for (int n : tree) --occ_[static_cast<std::size_t>(n)];
-    tree.clear();
-  }
-
-  // Sink SMBs of one net ordered farthest-from-driver first (classic
-  // heuristic), ties by SMB index — a pure function of the placement, so
-  // route_cycle computes it once per net, not per PathFinder iteration.
-  std::vector<int> sinks_farthest_first(int net_index) const {
-    const PlacedNet& pn = cd_.nets[static_cast<std::size_t>(net_index)];
-    const int sx = placement_.x_of(pn.driver_smb);
-    const int sy = placement_.y_of(pn.driver_smb);
-    std::vector<int> sinks = pn.sink_smbs;
-    std::sort(sinks.begin(), sinks.end(), [&](int a, int b) {
-      int da = std::abs(placement_.x_of(a) - sx) +
-               std::abs(placement_.y_of(a) - sy);
-      int db = std::abs(placement_.x_of(b) - sx) +
-               std::abs(placement_.y_of(b) - sy);
-      if (da != db) return da > db;
-      return a < b;
-    });
-    return sinks;
-  }
-
   // Routes one net against the current occupancy/history snapshot. Reads
   // occ_/hist_ only; all mutable search state lives in `ss`, which is
   // left fully reset on return so the slot can be reused by the next
   // batch. The caller commits the returned tree's occupancy.
+  // `net_touched` receives every node any of the net's sink searches
+  // relaxed (a superset of every node whose cost was read). It is left
+  // unsorted and may hold a node once per sink search — is_dirty's linear
+  // scan tolerates duplicates, and skipping the per-net sort keeps the
+  // cold (no-reuse) path close to the seed router's cost. `saw_pres_out`
+  // records whether any read cost carried the present-congestion factor.
   NetRoute route_net(int net_index, const std::vector<int>& sinks,
                      double pres_fac, std::vector<int>* tree,
-                     SearchState* ss) const {
+                     SearchState* ss, std::vector<int>* net_touched,
+                     char* saw_pres_out) const {
     const PlacedNet& pn = cd_.nets[static_cast<std::size_t>(net_index)];
     const double crit = pn.criticality;
     NetRoute route;
     route.net_index = net_index;
+    net_touched->clear();
+    bool saw_pres = false;
 
     const int sx = placement_.x_of(pn.driver_smb);
     const int sy = placement_.y_of(pn.driver_smb);
@@ -186,12 +292,14 @@ class CycleRouter {
       std::priority_queue<QueueEntry, std::vector<QueueEntry>,
                           std::greater<QueueEntry>>
           pq;
-      std::vector<int> touched;
+      // This sink's first-touches live in net_touched[sink_begin..): the
+      // suffix doubles as the reset list, so no per-sink scratch vector.
+      const std::size_t sink_begin = net_touched->size();
       auto relax = [&](int n, double cost, int par) {
         if (cost >= ss->best_cost[static_cast<std::size_t>(n)]) return;
         if (ss->best_cost[static_cast<std::size_t>(n)] ==
             std::numeric_limits<double>::infinity())
-          touched.push_back(n);
+          net_touched->push_back(n);
         ss->best_cost[static_cast<std::size_t>(n)] = cost;
         ss->parent[static_cast<std::size_t>(n)] = par;
         const RrNode& node = rr_.node(n);
@@ -215,7 +323,7 @@ class CycleRouter {
         for (int next : node.edges) {
           relax(next,
                 ss->best_cost[static_cast<std::size_t>(n)] +
-                    node_cost(next, pres_fac, crit),
+                    node_cost(next, pres_fac, crit, &saw_pres),
                 n);
         }
       }
@@ -250,11 +358,11 @@ class CycleRouter {
       route.sink_delay_ps.push_back(
           ss->delay_at[static_cast<std::size_t>(target)]);
 
-      // Reset search state.
-      for (int n : touched) {
-        ss->best_cost[static_cast<std::size_t>(n)] =
-            std::numeric_limits<double>::infinity();
-        ss->parent[static_cast<std::size_t>(n)] = -1;
+      // Reset search state; the touched suffix feeds the skip logic.
+      for (std::size_t i = sink_begin; i < net_touched->size(); ++i) {
+        const std::size_t n = static_cast<std::size_t>((*net_touched)[i]);
+        ss->best_cost[n] = std::numeric_limits<double>::infinity();
+        ss->parent[n] = -1;
       }
       // Seeds were marked in_tree only after path walk; mark all.
       for (int n : tree_nodes) ss->in_tree[static_cast<std::size_t>(n)] = 1;
@@ -271,6 +379,7 @@ class CycleRouter {
       if (t != RrType::kOpin && t != RrType::kIpin)
         route.wire_nodes.push_back(n);
     }
+    *saw_pres_out = saw_pres ? 1 : 0;
     *tree = tree_nodes;
     return route;
   }
@@ -283,16 +392,104 @@ class CycleRouter {
 
   std::vector<int> occ_;
   std::vector<double> hist_;
+
+  // Incremental skip state (per cycle). node_stamp_[n] is the last stamp
+  // at which node n's cost inputs possibly changed; routed_stamp_[ni] the
+  // stamp net slot ni's snapshot was taken at.
+  std::int64_t stamp_ = 0;
+  std::vector<std::int64_t> node_stamp_;
+  std::vector<std::vector<int>> touched_;
+  std::vector<std::int64_t> routed_stamp_;
+  std::vector<double> searched_pres_fac_;
+  std::vector<char> net_saw_pres_;
 };
+
+// Exact geometric identity of one folding cycle's routing problem: for
+// each net (in cycle-net order) the driver coordinates, the criticality
+// bit pattern, and the sink coordinates in the farthest-first order the
+// router will visit them. Two cycles with equal signatures on the same
+// graph are the same routing problem, SMB renaming aside.
+std::vector<std::int64_t> cycle_signature(
+    const ClusteredDesign& cd, const Placement& placement,
+    const std::vector<int>& net_indices,
+    const std::vector<std::vector<int>>& sorted_sinks) {
+  std::vector<std::int64_t> sig;
+  for (std::size_t j = 0; j < net_indices.size(); ++j) {
+    const PlacedNet& pn =
+        cd.nets[static_cast<std::size_t>(net_indices[j])];
+    sig.push_back(placement.x_of(pn.driver_smb));
+    sig.push_back(placement.y_of(pn.driver_smb));
+    static_assert(sizeof(double) == sizeof(std::int64_t));
+    std::int64_t crit_bits = 0;
+    std::memcpy(&crit_bits, &pn.criticality, sizeof(crit_bits));
+    sig.push_back(crit_bits);
+    sig.push_back(static_cast<std::int64_t>(sorted_sinks[j].size()));
+    for (int s : sorted_sinks[j]) {
+      sig.push_back(placement.x_of(s));
+      sig.push_back(placement.y_of(s));
+    }
+  }
+  return sig;
+}
+
+// Replaying a cached cycle is valid when the replay would provably run
+// the exact same negotiation. Same graph generation + same full option
+// set always qualifies; a cycle that converged in one clean iteration
+// only consumed the iteration-1 options; and after in-place widenings
+// (same uid, higher epoch) it additionally must never have read a cost
+// with the present-congestion term active — the only cost component a
+// pure capacity raise can change.
+bool entry_replayable(const RouteState::Entry& e, const RrGraph& rr,
+                      const RouterOptions& o) {
+  if (e.graph_uid != rr.uid()) return false;
+  if (e.timing_driven != o.timing_driven ||
+      e.initial_pres_fac != o.initial_pres_fac ||
+      e.astar_weight != o.astar_weight ||
+      e.delay_norm_ps != o.delay_norm_ps ||
+      e.batch_size != std::max(1, o.batch_size))
+    return false;
+  const bool one_clean_iter = e.iterations == 1 && e.overused == 0;
+  if (e.capacity_epoch == rr.capacity_epoch()) {
+    if (one_clean_iter) return true;
+    return e.max_iterations == o.max_iterations &&
+           e.pres_fac_mult == o.pres_fac_mult && e.hist_fac == o.hist_fac;
+  }
+  return e.capacity_epoch < rr.capacity_epoch() && one_clean_iter &&
+         !e.saw_over;
+}
+
+#ifdef NANOMAP_AUDIT_ROUTE
+void audit_against_reference(const RoutingResult& got,
+                             const RoutingResult& want) {
+  NM_CHECK_MSG(got.success == want.success &&
+                   got.worst_iterations == want.worst_iterations &&
+                   got.overused_nodes == want.overused_nodes &&
+                   got.nets.size() == want.nets.size(),
+               "route audit: result summary diverged from reference");
+  for (std::size_t i = 0; i < got.nets.size(); ++i) {
+    const NetRoute& a = got.nets[i];
+    const NetRoute& b = want.nets[i];
+    NM_CHECK_MSG(a.net_index == b.net_index &&
+                     a.sink_smbs == b.sink_smbs &&
+                     a.sink_delay_ps == b.sink_delay_ps &&
+                     a.wire_nodes == b.wire_nodes,
+                 "route audit: net " << a.net_index
+                                     << " diverged from reference");
+  }
+}
+#endif
 
 }  // namespace
 
 RoutingResult route_design(const ClusteredDesign& cd,
                            const Placement& placement, const RrGraph& rr,
-                           const RouterOptions& options, ThreadPool* pool) {
+                           const RouterOptions& options, ThreadPool* pool,
+                           RouteState* reuse) {
   NM_FAULT_POINT("route.converge");
   NM_TRACE_COUNT("route.calls", 1);
   RoutingResult result;
+  RouteState local_state;  // cross-cycle reuse even without a caller cache
+  RouteState* state = reuse ? reuse : &local_state;
   std::vector<std::vector<int>> per_cycle(
       static_cast<std::size_t>(cd.num_cycles));
   for (std::size_t i = 0; i < cd.nets.size(); ++i)
@@ -301,14 +498,62 @@ RoutingResult route_design(const ClusteredDesign& cd,
 
   for (int c = 0; c < cd.num_cycles; ++c) {
     // Per-cycle router state allocation (the cycle loop is sequential, so
-    // hit N is folding cycle N regardless of thread count).
+    // hit N is folding cycle N regardless of thread count or reuse).
     NM_FAULT_POINT("route.alloc");
-    CycleRouter router(cd, placement, rr, options, pool);
+    const std::vector<int>& nets_idx =
+        per_cycle[static_cast<std::size_t>(c)];
+    std::vector<std::vector<int>> sorted_sinks(nets_idx.size());
+    for (std::size_t j = 0; j < nets_idx.size(); ++j)
+      sorted_sinks[j] = sinks_farthest_first(cd, placement, nets_idx[j]);
+    std::vector<std::int64_t> sig =
+        cycle_signature(cd, placement, nets_idx, sorted_sinks);
+    ++result.reuse.cycles_total;
+
     int iters = 0;
+    long overused = 0;
     const std::size_t nets_before = result.nets.size();
-    long overused =
-        router.route_cycle(per_cycle[static_cast<std::size_t>(c)],
-                           &result.nets, &iters);
+    auto it = state->entries().find(sig);
+    if (it != state->entries().end() &&
+        entry_replayable(it->second, rr, options)) {
+      // Replay: emit the cached trees under this cycle's net identities.
+      const RouteState::Entry& e = it->second;
+      for (std::size_t j = 0; j < nets_idx.size(); ++j) {
+        NetRoute nr;
+        nr.net_index = nets_idx[j];
+        nr.sink_smbs = sorted_sinks[j];
+        nr.sink_delay_ps = e.nets[j].sink_delay_ps;
+        nr.wire_nodes = e.nets[j].wire_nodes;
+        result.nets.push_back(std::move(nr));
+      }
+      iters = e.iterations;
+      overused = e.overused;
+      ++result.reuse.cycles_reused;
+      result.reuse.nets_reused += static_cast<long>(nets_idx.size());
+      NM_TRACE_COUNT("route.cycles_reused", 1);
+    } else {
+      CycleRouter router(cd, placement, rr, options, pool);
+      bool saw_over = false;
+      overused = router.route_cycle(nets_idx, sorted_sinks, &result.nets,
+                                    &iters, &result.reuse, &saw_over);
+      RouteState::Entry e;
+      e.graph_uid = rr.uid();
+      e.capacity_epoch = rr.capacity_epoch();
+      e.timing_driven = options.timing_driven;
+      e.initial_pres_fac = options.initial_pres_fac;
+      e.astar_weight = options.astar_weight;
+      e.delay_norm_ps = options.delay_norm_ps;
+      e.batch_size = std::max(1, options.batch_size);
+      e.max_iterations = options.max_iterations;
+      e.pres_fac_mult = options.pres_fac_mult;
+      e.hist_fac = options.hist_fac;
+      e.iterations = iters;
+      e.overused = overused;
+      e.saw_over = saw_over;
+      for (std::size_t i = nets_before; i < result.nets.size(); ++i)
+        e.nets.push_back({result.nets[i].wire_nodes,
+                          result.nets[i].sink_delay_ps});
+      state->entries()[std::move(sig)] = std::move(e);
+    }
     result.worst_iterations = std::max(result.worst_iterations, iters);
     result.overused_nodes += overused;
     if (overused > 0) result.success = false;
@@ -336,8 +581,125 @@ RoutingResult route_design(const ClusteredDesign& cd,
   NM_LOG(kDebug) << "routing: " << result.nets.size() << " nets, usage d/1/4/g "
                  << result.usage.direct << "/" << result.usage.len1 << "/"
                  << result.usage.len4 << "/" << result.usage.global
-                 << (result.success ? "" : " [OVERUSED]");
+                 << (result.success ? "" : " [OVERUSED]") << ", reuse c/n/s "
+                 << result.reuse.cycles_reused << "/"
+                 << result.reuse.nets_reused << "/"
+                 << result.reuse.nets_skipped;
+#ifdef NANOMAP_AUDIT_ROUTE
+  audit_against_reference(result,
+                          route_nets_reference(cd, placement, rr, options,
+                                               pool));
+#endif
   return result;
+}
+
+bool validate_routing(const ClusteredDesign& cd, const Placement& placement,
+                      const RrGraph& rr, const RoutingResult& result,
+                      std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why) *why = msg;
+    return false;
+  };
+  std::vector<int> seen(cd.nets.size(), 0);
+  for (const NetRoute& nr : result.nets) {
+    if (nr.net_index < 0 ||
+        nr.net_index >= static_cast<int>(cd.nets.size()))
+      return fail("net_index out of range");
+    ++seen[static_cast<std::size_t>(nr.net_index)];
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i)
+    if (seen[i] != 1) {
+      std::ostringstream os;
+      os << "net " << i << " routed " << seen[i] << " times";
+      return fail(os.str());
+    }
+
+  // Per-cycle occupancy over full trees (wires + pins).
+  std::vector<std::vector<int>> occ(
+      static_cast<std::size_t>(cd.num_cycles),
+      std::vector<int>(static_cast<std::size_t>(rr.size()), 0));
+
+  // Membership / visited maps versioned per net to avoid re-allocation.
+  std::vector<int> member(static_cast<std::size_t>(rr.size()), -1);
+  std::vector<int> visited(static_cast<std::size_t>(rr.size()), -1);
+  int version = 0;
+
+  for (const NetRoute& nr : result.nets) {
+    const PlacedNet& pn = cd.nets[static_cast<std::size_t>(nr.net_index)];
+    std::ostringstream tag;
+    tag << "net " << nr.net_index << ": ";
+
+    std::vector<int> want_sinks = pn.sink_smbs;
+    std::vector<int> got_sinks = nr.sink_smbs;
+    std::sort(want_sinks.begin(), want_sinks.end());
+    std::sort(got_sinks.begin(), got_sinks.end());
+    if (want_sinks != got_sinks)
+      return fail(tag.str() + "sink set does not match the design");
+    if (nr.sink_delay_ps.size() != nr.sink_smbs.size())
+      return fail(tag.str() + "sink delay count mismatch");
+
+    ++version;
+    std::vector<int> tree;
+    tree.push_back(rr.opin(placement.x_of(pn.driver_smb),
+                           placement.y_of(pn.driver_smb)));
+    for (int s : pn.sink_smbs)
+      tree.push_back(rr.ipin(placement.x_of(s), placement.y_of(s)));
+    for (int n : nr.wire_nodes) {
+      if (n < 0 || n >= rr.size())
+        return fail(tag.str() + "wire node out of range");
+      RrType t = rr.node(n).type;
+      if (t == RrType::kOpin || t == RrType::kIpin)
+        return fail(tag.str() + "pin listed as wire node");
+      tree.push_back(n);
+    }
+    for (int n : tree) {
+      if (member[static_cast<std::size_t>(n)] == version)
+        return fail(tag.str() + "duplicate node " + rr.describe(n));
+      member[static_cast<std::size_t>(n)] = version;
+      ++occ[static_cast<std::size_t>(pn.cycle)]
+           [static_cast<std::size_t>(n)];
+    }
+
+    // BFS over the induced subgraph from the driver OPIN: every tree node
+    // (no orphaned occupancy) and every sink IPIN must be reached.
+    std::queue<int> q;
+    q.push(tree[0]);
+    visited[static_cast<std::size_t>(tree[0])] = version;
+    int reached = 1;
+    while (!q.empty()) {
+      int v = q.front();
+      q.pop();
+      for (int e : rr.node(v).edges) {
+        if (member[static_cast<std::size_t>(e)] != version ||
+            visited[static_cast<std::size_t>(e)] == version)
+          continue;
+        visited[static_cast<std::size_t>(e)] = version;
+        ++reached;
+        q.push(e);
+      }
+    }
+    if (reached != static_cast<int>(tree.size()))
+      return fail(tag.str() + "route tree is not connected to the driver");
+    for (int s : pn.sink_smbs) {
+      int ip = rr.ipin(placement.x_of(s), placement.y_of(s));
+      if (visited[static_cast<std::size_t>(ip)] != version)
+        return fail(tag.str() + "sink unreachable inside the route tree");
+    }
+  }
+
+  if (result.success) {
+    for (int c = 0; c < cd.num_cycles; ++c)
+      for (int n = 0; n < rr.size(); ++n)
+        if (occ[static_cast<std::size_t>(c)][static_cast<std::size_t>(n)] >
+            rr.node(n).capacity) {
+          std::ostringstream os;
+          os << "cycle " << c << ": " << rr.describe(n)
+             << " over capacity despite success";
+          return fail(os.str());
+        }
+  }
+  if (why) why->clear();
+  return true;
 }
 
 }  // namespace nanomap

@@ -11,8 +11,25 @@
 //
 // The hierarchical preference (direct links, then length-1, length-4,
 // global) emerges from the nodes' base costs and delays.
+//
+// Incremental kernel (DESIGN.md §5g). The router is byte-identical to the
+// seed algorithm (kept alive as route_nets_reference) but avoids repeating
+// work it can prove redundant:
+//   * within a cycle, a net is re-searched only when some RR node its last
+//     A* read has changed cost inputs since (occupancy, history, or the
+//     present-congestion factor), tracked with monotone stamps;
+//   * across cycles / route_design calls, a RouteState caches each cycle's
+//     routed trees keyed by an exact geometric signature and replays them
+//     when the graph and the effective options make the replay provably
+//     identical — including across in-place channel widenings.
+// Building with -DNANOMAP_AUDIT_ROUTE=ON (CMake option, wired into the
+// tsan preset) cross-checks every route_design call against the reference
+// router, bit-exact.
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "place/placement.h"
@@ -58,21 +75,90 @@ struct WireUsage {
   long total() const { return direct + len1 + len4 + global; }
 };
 
+// Work the incremental kernel proved redundant and skipped. Purely
+// informational: the routed trees never depend on what was reused.
+struct RouteReuseStats {
+  long cycles_total = 0;
+  long cycles_reused = 0;   // folding cycles replayed from a RouteState
+  long nets_reused = 0;     // nets inside those replayed cycles
+  long nets_skipped = 0;    // clean-net skips inside live PathFinder loops
+  long nets_rerouted = 0;   // A* searches actually executed
+};
+
 struct RoutingResult {
   bool success = true;     // all cycles legal (no overuse)
   int worst_iterations = 0;
   long overused_nodes = 0; // residual overuse across cycles (0 on success)
   std::vector<NetRoute> nets;
   WireUsage usage;         // wire-node occupancy summed over all cycles
+  RouteReuseStats reuse;
+};
+
+// Cross-call route cache. Hand the same RouteState to successive
+// route_design calls (e.g. the recovery ladder's rungs) and any folding
+// cycle whose replay is provably byte-identical is served from the cache
+// instead of re-negotiated. Entries are keyed by an exact geometric
+// signature (driver/sink coordinates + criticalities) and validated
+// against the RR graph's uid/capacity_epoch and the routing options; a
+// cycle routed on a narrower graph is replayable after widen_channels only
+// if it converged in one iteration without ever reading a congested cost.
+// The contents are internal to the router — treat as opaque.
+class RouteState {
+ public:
+  struct CachedNet {
+    std::vector<int> wire_nodes;        // sorted, deduplicated
+    std::vector<double> sink_delay_ps;  // farthest-first sink order
+  };
+  struct Entry {
+    std::uint64_t graph_uid = 0;
+    int capacity_epoch = 0;
+    // Options that shape PathFinder iteration 1 (sufficient key for
+    // cycles that converged immediately):
+    bool timing_driven = true;
+    double initial_pres_fac = 0.0;
+    double astar_weight = 0.0;
+    double delay_norm_ps = 0.0;
+    int batch_size = 1;  // effective (clamped) batch size
+    // Options that only matter from iteration 2 on:
+    int max_iterations = 0;
+    double pres_fac_mult = 0.0;
+    double hist_fac = 0.0;
+    int iterations = 0;     // iterations the cached negotiation took
+    long overused = 0;      // residual overuse of the cached result
+    bool saw_over = false;  // any cost read had the present term active
+    std::vector<CachedNet> nets;  // cycle-net order
+  };
+
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+
+  // Internal (router-only): signature -> cached cycle.
+  std::map<std::vector<std::int64_t>, Entry>& entries() { return entries_; }
+
+ private:
+  std::map<std::vector<std::int64_t>, Entry> entries_;
 };
 
 // Routes every folding cycle. With a pool and options.batch_size > 1 the
 // nets inside a rip-up batch are rerouted concurrently; the routed trees
 // are a pure function of (cd, placement, rr, options) — never of the
-// pool or its thread count.
+// pool, its thread count, or the contents of `reuse`. A non-null `reuse`
+// carries provably-identical cycle routings across calls (cycles also
+// reuse each other within one call either way).
 RoutingResult route_design(const ClusteredDesign& cd,
                            const Placement& placement, const RrGraph& rr,
                            const RouterOptions& options = {},
-                           ThreadPool* pool = nullptr);
+                           ThreadPool* pool = nullptr,
+                           RouteState* reuse = nullptr);
+
+// Structural audit of a routing result against the design it routes:
+// every net present exactly once; every route a connected tree rooted at
+// the driver OPIN that reaches all sink IPINs with no orphaned wire
+// nodes; per-cycle occupancy within capacity when the result claims
+// success. Returns false and fills `why` (if given) on the first
+// violation.
+bool validate_routing(const ClusteredDesign& cd, const Placement& placement,
+                      const RrGraph& rr, const RoutingResult& result,
+                      std::string* why = nullptr);
 
 }  // namespace nanomap

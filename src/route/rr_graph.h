@@ -18,6 +18,7 @@
 //   IPIN(site)         -> (sink)
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,13 @@ struct RrNode {
   std::vector<int> edges;  // outgoing neighbor node ids
 };
 
+// True when an RR graph built for `from` can be morphed into one for `to`
+// without adding or removing nodes or edges: only channel track counts may
+// change, each non-decreasing, and a channel type that was absent (zero
+// tracks, so its nodes were never built) must stay absent. Everything else
+// — grid-independent topology knobs, delays, logic hierarchy — must match.
+bool can_widen_in_place(const ArchParams& from, const ArchParams& to);
+
 class RrGraph {
  public:
   RrGraph(const GridSize& grid, const ArchParams& arch);
@@ -55,6 +63,22 @@ class RrGraph {
     return nodes_[static_cast<std::size_t>(id)];
   }
   const GridSize& grid() const { return grid_; }
+  const ArchParams& arch() const { return arch_; }
+
+  // Identity of this graph instance (construction order; never reused).
+  // Cached route state keyed on a uid is invalid against any other graph.
+  std::uint64_t uid() const { return uid_; }
+  // Bumped by every widen_channels call. Route trees proven legal at epoch
+  // e stay legal at any epoch >= e (capacities only ever grow), but cost
+  // equality across epochs additionally needs the "never saw overuse"
+  // guarantee tracked by the router.
+  int capacity_epoch() const { return capacity_epoch_; }
+
+  // Raises channel capacities in place to `to`'s track counts without
+  // touching topology, delays or base costs — the incremental router's
+  // occupancy/history arrays stay index-compatible. Requires
+  // can_widen_in_place(arch(), to).
+  void widen_channels(const ArchParams& to);
 
   int opin(int x, int y) const;
   int ipin(int x, int y) const;
@@ -68,6 +92,9 @@ class RrGraph {
   void build(const ArchParams& arch);
 
   GridSize grid_;
+  ArchParams arch_;
+  std::uint64_t uid_ = 0;
+  int capacity_epoch_ = 0;
   std::vector<RrNode> nodes_;
   std::vector<int> opin_;  // site -> node id
   std::vector<int> ipin_;

@@ -224,7 +224,8 @@ const std::vector<std::string>& Trace::known_counter_sites() {
       "place.restarts",        // place: independent annealing chains run
       "place.temperatures",    // place/annealer: temperature steps annealed
       "route.calls",           // route: route_design invocations
-      "route.reroutes",        // route/pathfinder: net reroutes (all iterations)
+      "route.cycles_reused",   // route/pathfinder: cycles replayed from cache
+      "route.reroutes",        // route/pathfinder: A* net searches executed
   };
   return sites;
 }

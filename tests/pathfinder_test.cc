@@ -1,6 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "circuits/random_dag.h"
+#include "core/folding.h"
+#include "core/schedule_graph.h"
+#include "core/temporal_cluster.h"
 #include "route/pathfinder.h"
+#include "route/pathfinder_reference.h"
 
 namespace nanomap {
 namespace {
@@ -152,6 +159,300 @@ TEST(PathFinder, DeterministicResults) {
   for (std::size_t i = 0; i < a.nets.size(); ++i) {
     EXPECT_EQ(a.nets[i].wire_nodes, b.nets[i].wire_nodes);
     EXPECT_EQ(a.nets[i].sink_delay_ps, b.nets[i].sink_delay_ps);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Differential route-equivalence harness: the incremental kernel must be
+// byte-identical to the verbatim seed router for any input (DESIGN.md §5g).
+
+void expect_identical(const RoutingResult& got, const RoutingResult& want,
+                      const std::string& ctx) {
+  EXPECT_EQ(got.success, want.success) << ctx;
+  EXPECT_EQ(got.worst_iterations, want.worst_iterations) << ctx;
+  EXPECT_EQ(got.overused_nodes, want.overused_nodes) << ctx;
+  EXPECT_EQ(got.usage.direct, want.usage.direct) << ctx;
+  EXPECT_EQ(got.usage.len1, want.usage.len1) << ctx;
+  EXPECT_EQ(got.usage.len4, want.usage.len4) << ctx;
+  EXPECT_EQ(got.usage.global, want.usage.global) << ctx;
+  ASSERT_EQ(got.nets.size(), want.nets.size()) << ctx;
+  for (std::size_t i = 0; i < got.nets.size(); ++i) {
+    EXPECT_EQ(got.nets[i].net_index, want.nets[i].net_index) << ctx;
+    EXPECT_EQ(got.nets[i].sink_smbs, want.nets[i].sink_smbs) << ctx;
+    EXPECT_EQ(got.nets[i].sink_delay_ps, want.nets[i].sink_delay_ps) << ctx;
+    EXPECT_EQ(got.nets[i].wire_nodes, want.nets[i].wire_nodes) << ctx;
+  }
+}
+
+// Schedules, clusters and places a random DAG at one folding level — a
+// miniature of the flow's front end, so the router sees realistic
+// multi-cycle nets without paying for the whole flow per config.
+struct Physical {
+  Design d;
+  DesignSchedule sched;
+  ClusteredDesign cd;
+  Placement p;
+};
+
+Physical build_physical(const RandomDagSpec& spec, int level,
+                        const ArchParams& arch) {
+  Physical ph;
+  ph.d = make_random_design(spec);
+  CircuitParams params = extract_circuit_params(ph.d.net);
+  ph.sched.folding = make_folding_config(params, level);
+  ph.sched.planes_share = !ph.sched.folding.no_folding();
+  for (int plane = 0; plane < params.num_plane; ++plane) {
+    PlaneScheduleGraph g =
+        build_schedule_graph(ph.d, plane, ph.sched.folding);
+    ph.sched.plane_results.push_back(schedule_plane(g, arch));
+    ph.sched.graphs.push_back(std::move(g));
+  }
+  ph.cd = temporal_cluster(ph.d, ph.sched, arch);
+  PlacementOptions popts;
+  popts.fast_effort = 0.3;  // cheap placements; the router is under test
+  popts.detailed_effort = 1.0;
+  PlacementResult pr = place_design(ph.cd, arch, popts);
+  ph.p = pr.placement;
+  return ph;
+}
+
+TEST(PathFinderDifferential, SweepSeedsLevelsChannels) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    for (int level : {0, 1, 2}) {
+      for (bool narrow : {false, true}) {
+        ArchParams arch = ArchParams::paper_instance_unbounded_k();
+        if (narrow) {
+          arch.direct_links_per_side = 2;
+          arch.len1_tracks = 4;
+          arch.len4_tracks = 2;
+          arch.global_tracks = 2;
+        }
+        RandomDagSpec spec;
+        spec.luts_per_plane = 30;
+        spec.depth = 4;
+        spec.num_inputs = 10;
+        spec.seed = seed;
+        Physical ph = build_physical(spec, level, arch);
+        RrGraph rr(ph.p.grid, arch);
+        std::string ctx = "seed " + std::to_string(seed) + " level " +
+                          std::to_string(level) +
+                          (narrow ? " narrow" : " normal");
+        RouterOptions opts;
+        opts.max_iterations = 20;  // allow honest failures on narrow fabrics
+        expect_identical(route_design(ph.cd, ph.p, rr, opts),
+                         route_nets_reference(ph.cd, ph.p, rr, opts), ctx);
+        if (seed == 1) {  // batched negotiation, pooled vs. reference
+          opts.batch_size = 4;
+          ThreadPool pool(4);
+          expect_identical(
+              route_design(ph.cd, ph.p, rr, opts, &pool),
+              route_nets_reference(ph.cd, ph.p, rr, opts),
+              ctx + " batch4");
+        }
+      }
+    }
+  }
+}
+
+TEST(PathFinderDifferential, LadderReplayMatchesColdReference) {
+  // Cycle 0 is trivially routable, cycle 1 is congested: climbing a
+  // budget rung and then a channel rung must replay cycle 0 from the
+  // cache while staying byte-identical to a cold reference route.
+  ArchParams arch = ArchParams::paper_instance();
+  arch.direct_links_per_side = 2;
+  arch.len1_tracks = 4;
+  arch.len4_tracks = 2;
+  arch.global_tracks = 2;
+  std::vector<PlacedNet> nets;
+  nets.push_back(net(100, 0, 2, {3}));
+  for (int i = 0; i < 9; ++i) nets.push_back(net(i, 1, 0, {1}));
+  ClusteredDesign cd = synthetic(4, 2, std::move(nets));
+  Placement p = row_placement(4, 4);
+  RrGraph rr(p.grid, arch);
+  RouteState state;
+
+  RouterOptions starved;
+  starved.max_iterations = 2;
+  RoutingResult r0 = route_design(cd, p, rr, starved, nullptr, &state);
+  expect_identical(r0, route_nets_reference(cd, p, rr, starved), "rung 0");
+
+  // Budget rung: same graph, raised iteration budget. The easy cycle
+  // converged in one clean iteration, so it replays from the cache.
+  RouterOptions raised = starved;
+  raised.max_iterations = 60;
+  raised.pres_fac_mult = 1.0 + (raised.pres_fac_mult - 1.0) * 1.5;
+  raised.hist_fac *= 1.5;
+  RoutingResult r1 = route_design(cd, p, rr, raised, nullptr, &state);
+  expect_identical(r1, route_nets_reference(cd, p, rr, raised), "rung 1");
+  EXPECT_GE(r1.reuse.cycles_reused, 1);
+
+  // Channel rung: widen in place; the easy cycle (which never read a
+  // congested cost) must survive the capacity epoch bump.
+  ArchParams wide = arch;
+  wide.len1_tracks += 2;
+  wide.len4_tracks += 1;
+  wide.global_tracks += 1;
+  rr.widen_channels(wide);
+  RoutingResult r2 = route_design(cd, p, rr, raised, nullptr, &state);
+  expect_identical(r2, route_nets_reference(cd, p, rr, raised), "rung 2");
+  EXPECT_GE(r2.reuse.cycles_reused, 1);
+  EXPECT_TRUE(r2.success);
+}
+
+TEST(PathFinderIncremental, CrossCycleReuseWithinOneCall) {
+  // Three folding cycles with the same geometry: cycles 1 and 2 replay
+  // cycle 0's negotiation instead of re-running it.
+  std::vector<PlacedNet> nets;
+  for (int c = 0; c < 3; ++c) {
+    nets.push_back(net(c * 2, c, 0, {1, 2}));
+    nets.push_back(net(c * 2 + 1, c, 3, {0}));
+  }
+  ClusteredDesign cd = synthetic(4, 3, std::move(nets));
+  Placement p = row_placement(4, 3);
+  ArchParams arch = ArchParams::paper_instance();
+  RrGraph rr(p.grid, arch);
+  RoutingResult r = route_design(cd, p, rr);
+  expect_identical(r, route_nets_reference(cd, p, rr), "cross-cycle");
+  EXPECT_EQ(r.reuse.cycles_total, 3);
+  EXPECT_EQ(r.reuse.cycles_reused, 2);
+  EXPECT_EQ(r.reuse.nets_reused, 4);
+}
+
+TEST(PathFinderIncremental, CleanNetsSkipRepeatSearches) {
+  // Nine nets fight over one corner while two far-away nets route
+  // congestion-free: once searched, the far nets skip every subsequent
+  // PathFinder iteration (their touched nodes never get re-stamped).
+  ArchParams arch = ArchParams::paper_instance();
+  arch.direct_links_per_side = 2;
+  arch.len1_tracks = 4;
+  arch.len4_tracks = 2;
+  arch.global_tracks = 2;
+  std::vector<PlacedNet> nets;
+  for (int i = 0; i < 9; ++i) nets.push_back(net(i, 0, 0, {1}));
+  nets.push_back(net(9, 0, 6, {7}));
+  nets.push_back(net(10, 0, 7, {6}));
+  ClusteredDesign cd = synthetic(8, 1, std::move(nets));
+  Placement p = row_placement(8, 4);
+  RrGraph rr(p.grid, arch);
+  RoutingResult r = route_design(cd, p, rr);
+  expect_identical(r, route_nets_reference(cd, p, rr), "skip");
+  ASSERT_GT(r.worst_iterations, 1);  // the corner actually negotiated
+  EXPECT_GT(r.reuse.nets_skipped, 0);
+  EXPECT_TRUE(r.success);
+}
+
+// ---------------------------------------------------------------------------
+// Route-tree property/invariant checks (validate_routing) and fuzzed
+// incremental edit sequences.
+
+TEST(ValidateRouting, AcceptsRealResultsRejectsCorruptions) {
+  // Needs a design big enough to span several SMBs: a single-SMB
+  // clustering has no inter-SMB nets, and every corruption below would
+  // be a no-op.
+  Physical ph;
+  {
+    RandomDagSpec spec;
+    spec.luts_per_plane = 96;
+    spec.depth = 4;
+    spec.num_inputs = 20;
+    spec.seed = 3;
+    ArchParams arch = ArchParams::paper_instance_unbounded_k();
+    ph = build_physical(spec, 1, arch);
+  }
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  RrGraph rr(ph.p.grid, arch);
+  RoutingResult r = route_design(ph.cd, ph.p, rr);
+  ASSERT_TRUE(r.success);
+  ASSERT_FALSE(r.nets.empty());
+  std::string why;
+  EXPECT_TRUE(validate_routing(ph.cd, ph.p, rr, r, &why)) << why;
+
+  // OPINs never feed IPINs directly, so stripping a net's wire nodes is
+  // guaranteed to disconnect its sinks from the driver.
+  RoutingResult broken = r;
+  bool corrupted = false;
+  for (NetRoute& nr : broken.nets) {
+    if (!nr.wire_nodes.empty()) {
+      nr.wire_nodes.clear();
+      corrupted = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(corrupted) << "no net with wire nodes to corrupt";
+  EXPECT_FALSE(validate_routing(ph.cd, ph.p, rr, broken, &why));
+  EXPECT_FALSE(why.empty());
+
+  // A node listed twice violates the tree-set invariant.
+  RoutingResult duped = r;
+  for (NetRoute& nr : duped.nets) {
+    if (!nr.wire_nodes.empty()) {
+      nr.wire_nodes.push_back(nr.wire_nodes.front());
+      break;
+    }
+  }
+  EXPECT_FALSE(validate_routing(ph.cd, ph.p, rr, duped, &why));
+
+  RoutingResult missing = r;
+  missing.nets.pop_back();
+  EXPECT_FALSE(validate_routing(ph.cd, ph.p, rr, missing, &why));
+
+  RoutingResult doubled = r;
+  doubled.nets.push_back(doubled.nets.front());
+  EXPECT_FALSE(validate_routing(ph.cd, ph.p, rr, doubled, &why));
+}
+
+TEST(PathFinderIncremental, FuzzedEditSequencesStayIdentical) {
+  // Random ladder walks: widen channels in place, jiggle router budgets
+  // and batch sizes, re-route with a persistent RouteState — after every
+  // edit the incremental result must equal a cold reference route on the
+  // same graph and pass the structural invariants.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    ArchParams arch = ArchParams::paper_instance_unbounded_k();
+    arch.direct_links_per_side = 2;
+    arch.len1_tracks = 3;
+    arch.len4_tracks = 2;
+    arch.global_tracks = 2;
+    RandomDagSpec spec;
+    spec.luts_per_plane = 24;
+    spec.depth = 3;
+    spec.num_inputs = 8;
+    spec.seed = 40 + seed;
+    Physical ph = build_physical(spec, 1, arch);
+    RrGraph rr(ph.p.grid, arch);
+    RouteState state;
+    RouterOptions opts;
+    opts.max_iterations = 12;
+    std::mt19937 rng(static_cast<unsigned>(1000 + seed));
+    for (int step = 0; step < 6; ++step) {
+      switch (rng() % 3) {
+        case 0: {  // in-place channel widening
+          ArchParams wide = rr.arch();
+          wide.len1_tracks += 1 + static_cast<int>(rng() % 2);
+          wide.len4_tracks += static_cast<int>(rng() % 2);
+          wide.global_tracks += static_cast<int>(rng() % 2);
+          rr.widen_channels(wide);
+          break;
+        }
+        case 1: {  // budget escalation
+          opts.max_iterations += static_cast<int>(rng() % 20);
+          opts.pres_fac_mult = 1.0 + (opts.pres_fac_mult - 1.0) * 1.3;
+          opts.hist_fac *= 1.2;
+          break;
+        }
+        default: {  // batched negotiation schedule
+          opts.batch_size = 1 << (rng() % 3);
+          break;
+        }
+      }
+      RoutingResult inc = route_design(ph.cd, ph.p, rr, opts, nullptr,
+                                       &state);
+      RoutingResult ref = route_nets_reference(ph.cd, ph.p, rr, opts);
+      expect_identical(inc, ref,
+                       "fuzz seed " + std::to_string(seed) + " step " +
+                           std::to_string(step));
+      std::string why;
+      EXPECT_TRUE(validate_routing(ph.cd, ph.p, rr, inc, &why)) << why;
+    }
   }
 }
 
