@@ -1,12 +1,18 @@
 // Ablation A3 (DESIGN.md): the area/delay trade-off curve across folding
 // levels (paper §2.2: "increasing the folding level leads to a higher
 // clock period, but smaller cycle count ... much higher resource usage").
+//
+// Driven through the design-space explorer (flow/explore.h): one
+// run_nanomap_explore call per circuit evaluates every level — the same
+// candidates the old hand-rolled loop ran one forced-level run_nanomap at
+// a time — and the table is printed from the explore outcomes. Rows on
+// the sweep's Pareto front over (#LEs, delay, cycles) are starred.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "circuits/benchmarks.h"
-#include "flow/nanomap_flow.h"
+#include "flow/explore.h"
 
 using namespace nanomap;
 
@@ -19,33 +25,34 @@ int main() {
     std::printf("%s (depth %d):\n", name.c_str(), p.depth_max);
     std::printf("  %8s | %6s %7s %9s %12s %10s\n", "level", "#LEs",
                 "stages", "delay ns", "cycle ns", "AT (LE*ns)");
-    std::vector<int> levels{1, 2, 3, 4, 6, 8};
-    for (int lv : levels) {
-      if (lv > p.depth_max) continue;
-      FlowOptions opts;
-      opts.arch = ArchParams::paper_instance_unbounded_k();
-      opts.forced_folding_level = lv;
-      FlowResult r = run_nanomap(d, opts);
-      if (!r.feasible) {
-        std::printf("  %8d | INFEASIBLE\n", lv);
-        continue;
-      }
-      std::printf("  %8d | %6d %7d %9.2f %12.3f %10.0f\n", lv, r.num_les,
-                  r.folding.stages_per_plane, r.delay_ns,
-                  r.folding_cycle_ns, r.area_delay_product());
-    }
     FlowOptions opts;
     opts.arch = ArchParams::paper_instance_unbounded_k();
-    opts.forced_folding_level = 0;
-    FlowResult flat = run_nanomap(d, opts);
-    if (flat.feasible) {
-      std::printf("  %8s | %6d %7d %9.2f %12s %10.0f\n", "no-fold",
-                  flat.num_les, 1, flat.delay_ns, "-",
-                  flat.area_delay_product());
+    ExploreOptions eopts;
+    for (int lv : {1, 2, 3, 4, 6, 8})
+      if (lv <= p.depth_max) eopts.levels.push_back(lv);
+    eopts.levels.push_back(0);  // the flat (no-fold) reference row
+    ExploreResult ex = run_nanomap_explore(d, opts, eopts);
+    for (const ExploreCandidateOutcome& o : ex.explore.outcomes) {
+      if (!o.feasible) {
+        std::printf("  %8s | INFEASIBLE\n", o.label.c_str());
+        continue;
+      }
+      const FlowResult& r = ex.results[static_cast<std::size_t>(o.index)];
+      if (o.level == 0) {
+        std::printf("  %8s | %6d %7d %9.2f %12s %10.0f%s\n", "no-fold",
+                    r.num_les, 1, r.delay_ns, "-", r.area_delay_product(),
+                    o.on_pareto_front ? "  *" : "");
+      } else {
+        std::printf("  %8d | %6d %7d %9.2f %12.3f %10.0f%s\n", o.level,
+                    r.num_les, r.folding.stages_per_plane, r.delay_ns,
+                    r.folding_cycle_ns, r.area_delay_product(),
+                    o.on_pareto_front ? "  *" : "");
+      }
     }
     std::printf("\n");
   }
   std::printf("expected shape: #LEs grows ~linearly with level; delay "
-              "falls then flattens; AT minimum sits at low levels.\n");
+              "falls then flattens; AT minimum sits at low levels "
+              "(* = Pareto front over #LEs x delay x cycles).\n");
   return 0;
 }

@@ -20,17 +20,14 @@ namespace {
 // ladder, far away from the restart streams place_design derives itself.
 constexpr std::uint64_t kReseedStreamBase = 0x5eedu;
 
-// A scheduled+clustered candidate at one folding level.
-struct Candidate {
-  bool valid = false;
-  int level = -1;  // 0 = no folding
-  FoldingConfig cfg;
-  DesignSchedule schedule;
-  ClusteredDesign clustered;
-  std::vector<FdsResult> plane_results;
-  int les = 0;
-  double est_delay_ns = 0.0;
-};
+// The candidate unit the search evaluates (declared in the header so the
+// explorer can snapshot/donate one).
+using Candidate = ScheduledCandidate;
+
+bool placements_equal(const Placement& a, const Placement& b) {
+  return a.grid.width == b.grid.width && a.grid.height == b.grid.height &&
+         a.site_of_smb == b.site_of_smb;
+}
 
 std::string fmt(double v) {
   std::ostringstream os;
@@ -48,8 +45,9 @@ struct RouteRung {
 
 class FlowEngine {
  public:
-  FlowEngine(const Design& design, const FlowOptions& options)
-      : design_(design), options_(options),
+  FlowEngine(const Design& design, const FlowOptions& options,
+             FlowWarmStart* warm)
+      : design_(design), options_(options), warm_(warm),
         pool_(options.threads > 0 ? options.threads
                                   : ThreadPool::hardware_threads()) {
     options_.arch.validate();
@@ -183,58 +181,8 @@ class FlowEngine {
 
   // --- candidate generation ------------------------------------------------
 
-  int min_level() const { return min_folding_level(params_, options_.arch); }
-
-  bool no_folding_fits_area() const {
-    if (options_.area_constraint_le <= 0) return true;
-    int les = std::max(params_.total_luts,
-                       (params_.total_flipflops + options_.arch.ff_per_le -
-                        1) /
-                           options_.arch.ff_per_le);
-    return les <= options_.area_constraint_le;
-  }
-
   std::vector<int> candidate_levels() const {
-    if (options_.forced_folding_level >= 0)
-      return {options_.forced_folding_level};
-
-    const int lo = min_level();
-    const int hi = std::max(lo, params_.depth_max);
-    std::vector<int> levels;
-    switch (options_.objective) {
-      case Objective::kMinDelay: {
-        if (options_.area_constraint_le <= 0) return {0};
-        if (no_folding_fits_area()) levels.push_back(0);
-        int start;
-        if (options_.planes_share) {
-          int stages =
-              min_folding_stages(params_, options_.area_constraint_le);
-          start = folding_level_for_stages(params_, stages);
-        } else {
-          start = folding_level_no_sharing(params_,
-                                           options_.area_constraint_le);
-        }
-        start = std::clamp(start, lo, hi);
-        for (int lv = start; lv >= lo; --lv) levels.push_back(lv);
-        break;
-      }
-      case Objective::kMinArea: {
-        for (int lv = lo; lv <= hi; ++lv) levels.push_back(lv);
-        levels.push_back(0);
-        break;
-      }
-      case Objective::kMeetBoth: {
-        if (no_folding_fits_area()) levels.push_back(0);
-        for (int lv = hi; lv >= lo; --lv) levels.push_back(lv);
-        break;
-      }
-      case Objective::kAreaDelayProduct: {
-        for (int lv = lo; lv <= hi; ++lv) levels.push_back(lv);
-        levels.push_back(0);
-        break;
-      }
-    }
-    return levels;
+    return candidate_folding_levels(params_, options_);
   }
 
   // Runs the (cheap) schedule+cluster evaluation for every candidate level
@@ -269,6 +217,24 @@ class FlowEngine {
   // stage failure records a typed trail entry and yields an invalid
   // candidate, which the search treats like an infeasible schedule.
   Candidate evaluate(int level) {
+    // Warm start: adopt the donor's snapshot verbatim when it is provably
+    // what this evaluation would compute anyway (same level, arch equal in
+    // everything these stages read). The trace value is re-recorded so the
+    // collected multiset is the same with warm starts on or off.
+    if (warm_ && warm_->schedule.valid && warm_->schedule.level == level &&
+        arch_equal_ignoring_channel_tracks(warm_->schedule_arch,
+                                           options_.arch)) {
+      warm_->stats.schedule_reused = true;
+      Candidate cand = warm_->schedule;
+      if (Trace::enabled() && cand.clustered.num_smbs > 0) {
+        NM_TRACE_VALUE("cluster.le_utilization",
+                       static_cast<double>(cand.clustered.les_used) /
+                           (static_cast<double>(cand.clustered.num_smbs) *
+                            options_.arch.les_per_smb()));
+      }
+      return cand;
+    }
+
     Candidate cand;
     cand.level = level;
     cand.cfg = make_folding_config(params_, level);
@@ -334,6 +300,10 @@ class FlowEngine {
     cand.plane_results = sched.plane_results;
     cand.schedule = std::move(sched);
     cand.valid = true;
+    if (warm_) {  // become the donor snapshot for the next chain member
+      warm_->schedule = cand;
+      warm_->schedule_arch = options_.arch;
+    }
     return cand;
   }
 
@@ -402,6 +372,24 @@ class FlowEngine {
     const std::vector<RouteRung> rungs = route_ladder();
     std::optional<RrGraph> rr;
     RouteState route_state;
+    // Warm start: adopt the donor's RR graph + cycle cache when this
+    // placement is byte-identical to the one they were built against and
+    // the graph can be widened in place to rung 0's arch (after which the
+    // PR 6 replay admissibility rules guarantee byte-identical routing).
+    // The donor slot is consumed either way — on success this climb's
+    // final state is published back for the next chain member.
+    if (warm_) {
+      if (warm_->rr_valid && warm_->rr &&
+          placements_equal(placed.placement, warm_->rr_placement) &&
+          can_widen_in_place(warm_->rr->arch(), rungs.front().arch)) {
+        rr = std::move(warm_->rr);
+        route_state = std::move(warm_->route_state);
+        warm_->stats.route_state_adopted = true;
+      }
+      warm_->rr.reset();
+      warm_->route_state = RouteState{};
+      warm_->rr_valid = false;
+    }
     auto tracks_differ = [](const ArchParams& a, const ArchParams& b) {
       return a.direct_links_per_side != b.direct_links_per_side ||
              a.len1_tracks != b.len1_tracks ||
@@ -454,6 +442,12 @@ class FlowEngine {
                       " repeat searches)"});
         *arch_used = rung.arch;
         *router_used = rung.router;
+        if (warm_) {
+          warm_->rr = std::move(rr);
+          warm_->route_state = std::move(route_state);
+          warm_->rr_placement = placed.placement;
+          warm_->rr_valid = true;
+        }
         return true;
       }
       record({"route", cand.level, attempt,
@@ -645,6 +639,7 @@ class FlowEngine {
 
   const Design& design_;
   FlowOptions options_;
+  FlowWarmStart* warm_ = nullptr;  // chain state; null outside the explorer
   ThreadPool pool_;  // shared by every parallel stage of this flow run
   CircuitParams params_;
   std::map<int, Candidate> cache_;
@@ -744,28 +739,92 @@ void validate_flow_options(const FlowOptions& o) {
   if (!o.fault_plan.empty()) parse_fault_plan(o.fault_plan);
 }
 
-FlowResult run_nanomap(const Design& design, const FlowOptions& options) {
-  // Option problems are the caller's contract violation and do throw
-  // (InputError); everything past this point returns a clean result.
-  validate_flow_options(options);
-  FaultScope faults(options.fault_plan);
-  TraceScope trace(options.collect_trace);
+bool arch_equal_ignoring_channel_tracks(const ArchParams& a,
+                                        const ArchParams& b) {
+  return a.lut_size == b.lut_size && a.ff_per_le == b.ff_per_le &&
+         a.les_per_mb == b.les_per_mb && a.mbs_per_smb == b.mbs_per_smb &&
+         a.num_reconf == b.num_reconf &&
+         a.reconf_time_ps == b.reconf_time_ps &&
+         a.lut_delay_ps == b.lut_delay_ps &&
+         a.mb_mux_delay_ps == b.mb_mux_delay_ps &&
+         a.local_mux_delay_ps == b.local_mux_delay_ps &&
+         a.direct_link_delay_ps == b.direct_link_delay_ps &&
+         a.len1_wire_delay_ps == b.len1_wire_delay_ps &&
+         a.len4_wire_delay_ps == b.len4_wire_delay_ps &&
+         a.global_wire_delay_ps == b.global_wire_delay_ps &&
+         a.ff_setup_ps == b.ff_setup_ps && a.le_area_um2 == b.le_area_um2 &&
+         a.nram_overhead == b.nram_overhead &&
+         a.smb_wiring_factor == b.smb_wiring_factor &&
+         a.direct_links_per_side == b.direct_links_per_side;
+}
 
+std::vector<int> candidate_folding_levels(const CircuitParams& params,
+                                          const FlowOptions& options) {
+  if (options.forced_folding_level >= 0)
+    return {options.forced_folding_level};
+
+  const int lo = min_folding_level(params, options.arch);
+  const int hi = std::max(lo, params.depth_max);
+  auto no_folding_fits_area = [&] {
+    if (options.area_constraint_le <= 0) return true;
+    int les = std::max(params.total_luts,
+                       (params.total_flipflops + options.arch.ff_per_le - 1) /
+                           options.arch.ff_per_le);
+    return les <= options.area_constraint_le;
+  };
+  std::vector<int> levels;
+  switch (options.objective) {
+    case Objective::kMinDelay: {
+      if (options.area_constraint_le <= 0) return {0};
+      if (no_folding_fits_area()) levels.push_back(0);
+      int start;
+      if (options.planes_share) {
+        int stages = min_folding_stages(params, options.area_constraint_le);
+        start = folding_level_for_stages(params, stages);
+      } else {
+        start = folding_level_no_sharing(params, options.area_constraint_le);
+      }
+      start = std::clamp(start, lo, hi);
+      for (int lv = start; lv >= lo; --lv) levels.push_back(lv);
+      break;
+    }
+    case Objective::kMinArea: {
+      for (int lv = lo; lv <= hi; ++lv) levels.push_back(lv);
+      levels.push_back(0);
+      break;
+    }
+    case Objective::kMeetBoth: {
+      if (no_folding_fits_area()) levels.push_back(0);
+      for (int lv = hi; lv >= lo; --lv) levels.push_back(lv);
+      break;
+    }
+    case Objective::kAreaDelayProduct: {
+      for (int lv = lo; lv <= hi; ++lv) levels.push_back(lv);
+      levels.push_back(0);
+      break;
+    }
+  }
+  return levels;
+}
+
+namespace {
+
+// The shared body of run_nanomap / run_nanomap_job: engine run, report
+// assembly, and the last-resort exception boundary. The per-stage guards
+// inside FlowEngine handle stage failures with retry/fallback; the catch
+// here covers engine-level code (parameter extraction, candidate
+// generation) so no exception ever escapes to the caller.
+FlowResult run_flow_guarded(const Design& design, const FlowOptions& options,
+                            FlowWarmStart* warm, bool attach_trace) {
   // Snapshot the collector (after the "flow" span closed) and attach the
   // machine-readable report. Used on the success and the error path, so
   // --report=json always has a document to write.
   auto finalize = [&](FlowResult r) {
-    r.report = build_run_report(options, r,
-                                options.collect_trace
-                                    ? Trace::instance().snapshot()
-                                    : TraceSnapshot{});
+    r.report = build_run_report(
+        options, r,
+        attach_trace ? Trace::instance().snapshot() : TraceSnapshot{});
     return r;
   };
-
-  // Last-resort boundary: the per-stage guards inside FlowEngine handle
-  // stage failures with retry/fallback; this catch covers engine-level
-  // code (parameter extraction, candidate generation) so no exception
-  // ever escapes to the caller.
   auto error_result = [&](FlowErrorKind kind, const std::string& what) {
     FlowResult r;
     r.feasible = false;
@@ -778,7 +837,7 @@ FlowResult run_nanomap(const Design& design, const FlowOptions& options) {
     FlowResult r;
     {
       NM_TRACE_SPAN("flow");
-      r = FlowEngine(design, options).run();
+      r = FlowEngine(design, options, warm).run();
     }
     return finalize(std::move(r));
   } catch (const InputError& e) {
@@ -788,6 +847,30 @@ FlowResult run_nanomap(const Design& design, const FlowOptions& options) {
   } catch (const std::bad_alloc&) {
     return error_result(FlowErrorKind::kResourceExhausted, "out of memory");
   }
+}
+
+}  // namespace
+
+FlowResult run_nanomap(const Design& design, const FlowOptions& options) {
+  // Option problems are the caller's contract violation and do throw
+  // (InputError); everything past this point returns a clean result.
+  validate_flow_options(options);
+  FaultScope faults(options.fault_plan);
+  TraceScope trace(options.collect_trace);
+  return run_flow_guarded(design, options, /*warm=*/nullptr,
+                          options.collect_trace);
+}
+
+FlowResult run_nanomap_job(const Design& design, const FlowOptions& options,
+                           FlowWarmStart* warm) {
+  validate_flow_options(options);
+  // Process-wide scopes are the caller's business (run_nanomap_explore
+  // owns one TraceScope for the whole sweep); this job only installs
+  // thread-local ones, so any number of jobs can run concurrently.
+  ThreadFaultScope faults(options.fault_plan);
+  TraceSpanMuteScope mute;
+  if (warm != nullptr) warm->stats = WarmStartStats{};
+  return run_flow_guarded(design, options, warm, /*attach_trace=*/false);
 }
 
 std::string summarize(const FlowResult& r) {

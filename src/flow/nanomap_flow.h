@@ -17,6 +17,7 @@
 // meeting a joint area+delay constraint pair (Table 2).
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "util/trace.h"
@@ -79,6 +80,45 @@ struct FlowDiagnostics {
   std::string to_string() const;
 };
 
+// One candidate evaluated by the design-space explorer
+// (flow/explore.h): which point of the level x fabric space it was, what
+// came out, and how it was scheduled. Serialized inside the RunReport's
+// `explore` section (docs/FORMATS.md).
+struct ExploreCandidateOutcome {
+  int index = 0;            // position in the fixed candidate order
+  int level = 0;            // folding level (0 = no folding)
+  int variant = 0;          // fabric variant index (0 = the base arch)
+  std::string label;        // human label, e.g. "L2" or "L1/x1.25"
+  bool feasible = false;
+  std::string error_kind;   // flow_error_kind_name of the candidate result
+  int num_les = 0;
+  int num_cycles = 0;
+  double delay_ns = 0.0;
+  double area_delay_product = 0.0;
+  bool warm_schedule = false;     // schedule+cluster adopted from a donor
+  bool warm_route_state = false;  // RR graph + cycle cache adopted
+  bool on_pareto_front = false;
+  bool winner = false;
+  double cpu_seconds = 0.0;  // wall-clock; masked by to_json(false)
+};
+
+// The explorer's section of the run report. Versioned independently of
+// the enclosing RunReport schema (adding this section is a
+// backward-compatible RunReport change, so kSchemaVersion stays 1).
+struct ExploreReport {
+  static constexpr int kSchemaVersion = 1;
+
+  int version = kSchemaVersion;
+  std::string mode;          // "serial" | "parallel"
+  int candidates = 0;
+  int feasible_candidates = 0;
+  int warm_starts = 0;       // candidates that adopted any donor state
+  int winner_index = -1;     // -1: no feasible candidate
+  double wall_seconds = 0.0;  // whole-explore wall clock; masked
+  std::vector<ExploreCandidateOutcome> outcomes;  // fixed candidate order
+  std::vector<int> pareto;   // Pareto-front candidate indices, ascending
+};
+
 // Versioned, machine-readable summary of one run_nanomap call — the
 // payload behind the CLI's --report=json flag and the programmatic
 // FlowResult::report. The JSON schema (version 1) is documented in
@@ -137,6 +177,10 @@ struct RunReport {
   std::vector<TraceSpan> stages;
   std::vector<TraceCounterRow> counters;
   std::vector<TraceValueRow> values;
+
+  // Present only on reports produced by run_nanomap_explore
+  // (flow/explore.h): the per-candidate outcome table and Pareto front.
+  std::optional<ExploreReport> explore;
 
   std::string to_json(bool include_timings = true) const;
 };
@@ -264,6 +308,86 @@ struct FlowResult {
 };
 
 FlowResult run_nanomap(const Design& design, const FlowOptions& options);
+
+// The ordered folding levels run_nanomap's serial search tries for this
+// circuit under these options (before the AT-product re-ranking, which is
+// an attempt-order heuristic only). Exposed so the design-space explorer
+// (flow/explore.h) and the ablation bench enumerate exactly the same
+// candidate space as the flow itself.
+std::vector<int> candidate_folding_levels(const CircuitParams& params,
+                                          const FlowOptions& options);
+
+// A scheduled + clustered candidate at one folding level — the unit the
+// level search evaluates before committing to the physical flow, and the
+// snapshot adjacent explorer candidates warm-start from.
+struct ScheduledCandidate {
+  bool valid = false;
+  int level = -1;  // 0 = no folding
+  FoldingConfig cfg;
+  DesignSchedule schedule;
+  ClusteredDesign clustered;
+  std::vector<FdsResult> plane_results;
+  int les = 0;
+  double est_delay_ns = 0.0;
+};
+
+// What a warm-started flow job actually adopted from its donor. Filled by
+// run_nanomap_job; deterministic (a function of the donor/candidate pair,
+// never of timing), so it is safe to report and test against.
+struct WarmStartStats {
+  bool schedule_reused = false;     // schedule + clustering copied over
+  bool route_state_adopted = false; // RR graph + cycle cache carried over
+};
+
+// True when two arch configs agree on everything the scheduling,
+// clustering and delay-estimate stages can observe — i.e. they differ at
+// most in the channel track counts, which only the RR graph reads. The
+// warm-start schedule adoption rule below and the explorer's chain
+// grouping both rest on this predicate.
+bool arch_equal_ignoring_channel_tracks(const ArchParams& a,
+                                        const ArchParams& b);
+
+// Donor state shared along a chain of adjacent explorer candidates.
+// Owned by the caller (one per sequential chain — never shared across
+// concurrent jobs) and both read and re-published by run_nanomap_job:
+//
+//  * schedule: adopted verbatim when the candidate's folding level
+//    matches and its arch differs from schedule_arch at most in the
+//    channel track counts (scheduling, clustering and the delay estimate
+//    never read those), else recomputed — so adoption is result-neutral
+//    by construction.
+//  * rr + route_state: adopted only when the candidate's placement is
+//    byte-identical to rr_placement AND the donor graph can be widened
+//    in place to the candidate's arch (can_widen_in_place: donor tracks
+//    <= candidate tracks, everything else equal). The graph is then
+//    widened to the candidate's *exact* capacities and the PR 6 replay
+//    admissibility rules take over, so a warm route is byte-identical to
+//    a cold one.
+struct FlowWarmStart {
+  ScheduledCandidate schedule;
+  ArchParams schedule_arch;  // arch `schedule` was computed under
+
+  std::optional<RrGraph> rr;      // donor RR graph (winning rung)
+  RouteState route_state;         // donor cycle cache for `rr`
+  Placement rr_placement;         // placement `rr`/`route_state` assume
+  bool rr_valid = false;
+
+  WarmStartStats stats;  // what the *last* job adopted; reset per job
+};
+
+// Reentrant per-candidate core of run_nanomap: identical search, ladder
+// and result, but installs no process-wide scopes, so any number of jobs
+// may run concurrently (the parallel explorer's contract). Differences
+// from run_nanomap:
+//  * options.fault_plan arms a thread-local ThreadFaultScope (hit
+//    counting private to this job) instead of the process-wide injector;
+//  * the trace collector is neither enabled nor snapshotted (the caller
+//    owns the TraceScope; counters/values recorded by this job land in
+//    the caller's collection window, spans are muted);
+//  * `warm`, when non-null, donates and receives chain state as
+//    documented on FlowWarmStart.
+FlowResult run_nanomap_job(const Design& design, const FlowOptions& options,
+                           FlowWarmStart* warm = nullptr);
 
 // Assembles the report from a finished result and a trace snapshot
 // (pass a default-constructed snapshot when tracing was off).

@@ -146,6 +146,51 @@ std::string RunReport::to_json(bool include_timings) const {
   }
   w.end();
 
+  // Present only on reports from run_nanomap_explore. Independently
+  // versioned (see ExploreReport); adding the section did not bump the
+  // RunReport schema.
+  if (explore) {
+    w.key("explore");
+    w.begin_object();
+    w.field("version", explore->version);
+    w.field("mode", explore->mode);
+    w.field("candidates", explore->candidates);
+    w.field("feasible_candidates", explore->feasible_candidates);
+    w.field("warm_starts", explore->warm_starts);
+    w.field("winner_index", explore->winner_index);
+    w.field("wall_seconds", include_timings ? explore->wall_seconds : 0.0);
+
+    w.key("outcomes");
+    w.begin_array();
+    for (const ExploreCandidateOutcome& o : explore->outcomes) {
+      w.begin_object();
+      w.field("index", o.index);
+      w.field("level", o.level);
+      w.field("variant", o.variant);
+      w.field("label", o.label);
+      w.field("feasible", o.feasible);
+      w.field("error_kind", o.error_kind);
+      w.field("num_les", o.num_les);
+      w.field("num_cycles", o.num_cycles);
+      w.field("delay_ns", o.delay_ns);
+      w.field("area_delay_product", o.area_delay_product);
+      w.field("warm_schedule", o.warm_schedule);
+      w.field("warm_route_state", o.warm_route_state);
+      w.field("on_pareto_front", o.on_pareto_front);
+      w.field("winner", o.winner);
+      w.field("cpu_seconds", include_timings ? o.cpu_seconds : 0.0);
+      w.end();
+    }
+    w.end();
+
+    w.key("pareto");
+    w.begin_array();
+    for (int idx : explore->pareto) w.value(idx);
+    w.end();
+
+    w.end();
+  }
+
   w.end();
   return w.str();
 }

@@ -512,6 +512,7 @@ RoutingResult route_design(const ClusteredDesign& cd,
     int iters = 0;
     long overused = 0;
     const std::size_t nets_before = result.nets.size();
+    NM_TRACE_COUNT("route.cycle_cache_lookups", 1);
     auto it = state->entries().find(sig);
     if (it != state->entries().end() &&
         entry_replayable(it->second, rr, options)) {

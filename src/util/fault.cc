@@ -4,6 +4,28 @@
 
 namespace nanomap {
 
+namespace {
+
+// Innermost live ThreadFaultScope on this thread (nullptr when none).
+thread_local ThreadFaultScope* tls_fault_scope = nullptr;
+
+void throw_fault(FaultKind kind, const std::string& what) {
+  switch (kind) {
+    case FaultKind::kCheck: throw CheckError(what);
+    case FaultKind::kInput: throw InputError(what);
+    case FaultKind::kAlloc: throw std::bad_alloc();
+  }
+}
+
+void check_known_site(const std::string& site) {
+  const std::vector<std::string>& sites = FaultInjector::known_sites();
+  for (const std::string& s : sites)
+    if (s == site) return;
+  throw InputError("fault plan targets unknown site '" + site + "'");
+}
+
+}  // namespace
+
 const char* fault_kind_name(FaultKind kind) {
   switch (kind) {
     case FaultKind::kCheck: return "check";
@@ -52,9 +74,11 @@ FaultInjector& FaultInjector::instance() {
   return injector;
 }
 
-std::atomic<bool>& FaultInjector::armed_flag() {
-  static std::atomic<bool> flag{false};
-  return flag;
+std::atomic<int>& FaultInjector::armed_count() {
+  // Number of live plans: 0 or 1 for the process plan, plus one per live
+  // ThreadFaultScope. Fault points take the slow path iff it's nonzero.
+  static std::atomic<int> count{0};
+  return count;
 }
 
 const std::vector<std::string>& FaultInjector::known_sites() {
@@ -72,48 +96,69 @@ const std::vector<std::string>& FaultInjector::known_sites() {
 }
 
 void FaultInjector::arm(const FaultPlan& plan) {
-  const std::vector<std::string>& sites = known_sites();
-  bool known = false;
-  for (const std::string& s : sites) known = known || s == plan.site;
-  if (!known)
-    throw InputError("fault plan targets unknown site '" + plan.site + "'");
+  check_known_site(plan.site);
   {
     std::lock_guard<std::mutex> lock(mu_);
     plan_ = plan;
-    has_plan_ = true;
+    if (!has_plan_) {
+      has_plan_ = true;
+      armed_count().fetch_add(1, std::memory_order_relaxed);
+    }
     hits_.clear();
   }
-  armed_flag().store(true, std::memory_order_relaxed);
 }
 
 void FaultInjector::disarm() {
   std::lock_guard<std::mutex> lock(mu_);
-  has_plan_ = false;
-  armed_flag().store(false, std::memory_order_relaxed);
+  if (has_plan_) {
+    has_plan_ = false;
+    armed_count().fetch_sub(1, std::memory_order_relaxed);
+  }
 }
 
 void FaultInjector::on_hit(const char* site) {
+  // A live ThreadFaultScope shadows the process plan on this thread —
+  // all state is thread-local, so no lock and no cross-job interference.
+  if (ThreadFaultScope* scope = tls_fault_scope) {
+    long n = ++scope->hits_[site];
+    if (scope->plan_.site != site || n != scope->plan_.nth_hit) return;
+    throw_fault(scope->plan_.kind,
+                "injected fault at '" + scope->plan_.site + "' (hit " +
+                    std::to_string(scope->plan_.nth_hit) + ")");
+  }
   FaultKind kind;
   std::string what;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!has_plan_) return;  // raced with disarm(); nothing to do
+    if (!has_plan_) return;  // armed by a ThreadFaultScope elsewhere
     long n = ++hits_[site];
     if (plan_.site != site || n != plan_.nth_hit) return;
     kind = plan_.kind;
     what = "injected fault at '" + plan_.site + "' (hit " +
            std::to_string(plan_.nth_hit) + ")";
   }
-  switch (kind) {
-    case FaultKind::kCheck: throw CheckError(what);
-    case FaultKind::kInput: throw InputError(what);
-    case FaultKind::kAlloc: throw std::bad_alloc();
-  }
+  throw_fault(kind, what);
 }
 
 std::map<std::string, long> FaultInjector::hit_counts() const {
   std::lock_guard<std::mutex> lock(mu_);
   return hits_;
+}
+
+ThreadFaultScope::ThreadFaultScope(const std::string& plan_text) {
+  if (plan_text.empty()) return;
+  plan_ = parse_fault_plan(plan_text);
+  check_known_site(plan_.site);
+  previous_ = tls_fault_scope;
+  tls_fault_scope = this;
+  active_ = true;
+  FaultInjector::armed_count().fetch_add(1, std::memory_order_relaxed);
+}
+
+ThreadFaultScope::~ThreadFaultScope() {
+  if (!active_) return;
+  tls_fault_scope = previous_;
+  FaultInjector::armed_count().fetch_sub(1, std::memory_order_relaxed);
 }
 
 }  // namespace nanomap

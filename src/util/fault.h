@@ -13,8 +13,17 @@
 // hit at any --threads value and the armed flow stays byte-identical
 // across thread counts. Keep it that way when adding sites.
 //
+// Concurrent flow jobs (the parallel design-space explorer) can't use the
+// process-wide plan: Nth-hit counting across interleaved candidates would
+// attribute the fault to whichever candidate got there first. A job that
+// wants a fault installs a ThreadFaultScope instead — a thread-local plan
+// with thread-local hit counting that shadows the process plan on that
+// thread. A candidate's fault points all execute on the thread running
+// that candidate (they live in sequential flow code), so the Nth hit is
+// the Nth hit *of that candidate*, at any thread count.
+//
 // Cost when disarmed: one relaxed atomic load per fault point (the
-// process-wide armed flag), no lock, no string work.
+// process-wide armed count), no lock, no string work.
 #pragma once
 
 #include <atomic>
@@ -51,10 +60,11 @@ class FaultInjector {
   // The process-wide injector used by NM_FAULT_POINT.
   static FaultInjector& instance();
 
-  // True iff some plan is armed. Relaxed: the flag only gates the slow
-  // path, and tests arm/disarm strictly between flow runs.
+  // True iff some plan is armed — the process plan and/or any live
+  // ThreadFaultScope. Relaxed: the count only gates the slow path, and
+  // arm/disarm happen strictly outside the code they guard.
   static bool armed() {
-    return armed_flag().load(std::memory_order_relaxed);
+    return armed_count().load(std::memory_order_relaxed) > 0;
   }
 
   // Arms `plan` and resets all hit counters. Throws InputError if the
@@ -76,7 +86,9 @@ class FaultInjector {
   static const std::vector<std::string>& known_sites();
 
  private:
-  static std::atomic<bool>& armed_flag();
+  friend class ThreadFaultScope;
+
+  static std::atomic<int>& armed_count();
 
   mutable std::mutex mu_;
   bool has_plan_ = false;
@@ -102,6 +114,31 @@ class FaultScope {
 
  private:
   bool armed_ = false;
+};
+
+// Thread-local fault plan for one concurrent flow job (see the contract
+// above). While alive, fault points hit *on this thread* count against
+// this scope's plan and hit counters; the process-wide plan is shadowed
+// on this thread (fault points on other threads are unaffected). An
+// empty plan string is a no-op, so job runners can construct one
+// unconditionally. Nestable; the innermost scope wins.
+class ThreadFaultScope {
+ public:
+  explicit ThreadFaultScope(const std::string& plan_text);
+  ~ThreadFaultScope();
+  ThreadFaultScope(const ThreadFaultScope&) = delete;
+  ThreadFaultScope& operator=(const ThreadFaultScope&) = delete;
+
+  // Hits per site on this thread since construction (active scopes only).
+  const std::map<std::string, long>& hit_counts() const { return hits_; }
+
+ private:
+  friend class FaultInjector;
+
+  bool active_ = false;
+  ThreadFaultScope* previous_ = nullptr;
+  FaultPlan plan_;
+  std::map<std::string, long> hits_;
 };
 
 }  // namespace nanomap

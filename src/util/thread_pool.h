@@ -80,4 +80,24 @@ inline void pool_for_each(ThreadPool* pool, int n,
   }
 }
 
+// How a total thread budget is split across concurrent jobs (the
+// explorer's candidate chains): `jobs` chains get their own top-level
+// pool slots and each job's inner flow stages run on `threads_per_job`
+// threads. Never zero on either axis; a 1-thread budget degenerates to
+// one inline job with inline stages, which is exactly the serial flow.
+struct PoolSlice {
+  int jobs = 1;
+  int threads_per_job = 1;
+};
+
+inline PoolSlice slice_pool(int total_threads, int num_jobs) {
+  PoolSlice s;
+  if (total_threads < 1) total_threads = 1;
+  if (num_jobs < 1) num_jobs = 1;
+  s.jobs = total_threads < num_jobs ? total_threads : num_jobs;
+  s.threads_per_job = total_threads / s.jobs;
+  if (s.threads_per_job < 1) s.threads_per_job = 1;
+  return s;
+}
+
 }  // namespace nanomap

@@ -13,13 +13,6 @@ using Clock = std::chrono::steady_clock;
 
 namespace {
 
-struct ValueStat {
-  long count = 0;
-  double sum = 0.0;
-  double min = 0.0;
-  double max = 0.0;
-};
-
 struct SpanRecord {
   const char* name;
   int parent;
@@ -35,6 +28,8 @@ struct SpanRecord {
 // thread's stale stack when a new collection window begins.
 thread_local std::vector<int> tls_span_stack;
 thread_local long tls_epoch = -1;
+// Set by TraceSpanMuteScope: spans opened on this thread are dropped.
+thread_local bool tls_span_muted = false;
 
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
@@ -45,7 +40,10 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
 struct Trace::Impl {
   mutable std::mutex mu;
   std::map<std::string, long> counters;
-  std::map<std::string, ValueStat> values;
+  // Raw observations per value site. snapshot() folds them in sorted
+  // order so the summary doubles are independent of arrival order (and
+  // therefore of thread interleaving).
+  std::map<std::string, std::vector<double>> values;
   std::vector<SpanRecord> spans;
   // Epoch guard: bumped by enable(), so end_span ids from a previous
   // collection window can't write into the new one.
@@ -87,19 +85,11 @@ void Trace::count(const char* site, long delta) {
 
 void Trace::value(const char* site, double v) {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  ValueStat& s = impl_->values[site];
-  if (s.count == 0) {
-    s.min = v;
-    s.max = v;
-  } else {
-    s.min = std::min(s.min, v);
-    s.max = std::max(s.max, v);
-  }
-  ++s.count;
-  s.sum += v;
+  impl_->values[site].push_back(v);
 }
 
 int Trace::begin_span(const char* name) {
+  if (tls_span_muted) return -1;
   const Clock::time_point now = Clock::now();
   std::lock_guard<std::mutex> lock(impl_->mu);
   if (tls_epoch != impl_->epoch) {
@@ -148,10 +138,27 @@ TraceSnapshot Trace::snapshot() const {
   }
   for (const auto& [site, value] : impl_->counters)
     snap.counters.push_back({site, value});
-  for (const auto& [site, stat] : impl_->values)
-    snap.values.push_back({site, stat.count, stat.sum, stat.min, stat.max});
+  for (const auto& [site, raw] : impl_->values) {
+    // Fold in ascending value order: the summary is then a function of
+    // the observation multiset alone, never of arrival order.
+    std::vector<double> sorted = raw;
+    std::sort(sorted.begin(), sorted.end());
+    TraceValueRow row;
+    row.site = site;
+    row.count = static_cast<long>(sorted.size());
+    for (double v : sorted) row.sum += v;
+    row.min = sorted.empty() ? 0.0 : sorted.front();
+    row.max = sorted.empty() ? 0.0 : sorted.back();
+    snap.values.push_back(std::move(row));
+  }
   return snap;
 }
+
+TraceSpanMuteScope::TraceSpanMuteScope() : previous_(tls_span_muted) {
+  tls_span_muted = true;
+}
+
+TraceSpanMuteScope::~TraceSpanMuteScope() { tls_span_muted = previous_; }
 
 std::vector<TraceSpan> TraceSnapshot::aggregate_spans() const {
   // Fold spans that share a path (root/.../name). Paths are built from
@@ -212,6 +219,8 @@ const std::vector<std::string>& Trace::known_counter_sites() {
   static const std::vector<std::string> sites = {
       "bitmap.bits",           // flow: configuration bits emitted
       "bitmap.configs",        // flow: NRAM configuration sets emitted
+      "explore.candidates",    // flow/explore: candidate flow jobs run
+      "explore.warm_starts",   // flow/explore: candidates seeded from a donor
       "fds.candidates_scored", // core/fds_kernel: dirty (node,stage) rescored
       "fds.pins",              // core/fds_kernel: nodes pinned to a stage
       "fds.schedule_calls",    // core/fds_kernel: FDS scheduler invocations
@@ -224,6 +233,7 @@ const std::vector<std::string>& Trace::known_counter_sites() {
       "place.restarts",        // place: independent annealing chains run
       "place.temperatures",    // place/annealer: temperature steps annealed
       "route.calls",           // route: route_design invocations
+      "route.cycle_cache_lookups",  // route/pathfinder: RouteState probes
       "route.cycles_reused",   // route/pathfinder: cycles replayed from cache
       "route.reroutes",        // route/pathfinder: A* net searches executed
   };
@@ -253,6 +263,7 @@ const std::vector<std::string>& Trace::known_span_names() {
   static const std::vector<std::string> sites = {
       "bitmap",    // flow: configuration bitmap emission
       "cluster",   // flow: temporal clustering + verification
+      "explore",   // flow/explore: whole run_nanomap_explore body
       "fds.plane", // core/fds: one plane's scheduling (any scheduler kind)
       "flow",      // flow: whole run_nanomap body
       "place",     // flow: placement (all restarts + screen)

@@ -18,15 +18,20 @@
 //     trace, so enabling it never changes a result byte. When you add a
 //     site, keep it write-only.
 //   * Counter totals and value summaries are thread-count independent.
-//     Counts and integral sums are exact under any interleaving; sites
-//     that record from pool workers (e.g. the annealer's per-temperature
-//     values, which run inside placement restarts) must therefore record
-//     only integral values. Doubles are fine at sites in sequential flow
-//     code.
+//     Counts and integral sums are exact under any interleaving, and
+//     value summaries are interleaving-independent by construction: the
+//     collector stores the raw observations and snapshot() sums them in
+//     sorted order, so even non-integral doubles recorded from pool
+//     workers (e.g. concurrent explorer candidates) fold to the same
+//     bits regardless of arrival order.
 //   * Spans live in sequential flow code (same rule as NM_FAULT_POINT),
 //     so the span tree's shape and order are identical at any --threads;
 //     only the recorded wall times vary run to run. Serializers that need
 //     byte-determinism mask the times (RunReport::to_json(false)).
+//     Code that must run *whole flow jobs* on pool workers (the parallel
+//     design-space explorer) brackets each job in a TraceSpanMuteScope,
+//     which drops spans opened on that thread — counters and values keep
+//     recording — so the process-wide span tree stays deterministic.
 //
 // One traced flow run at a time: the collector is process-wide (like the
 // fault injector); run_nanomap brackets the run with a TraceScope.
@@ -123,6 +128,21 @@ class Trace {
   static std::atomic<bool>& enabled_flag();
 
   Impl* impl_;
+};
+
+// Thread-local span suppression for code that runs whole flow jobs on
+// pool workers (the parallel explorer's candidate runs). While alive on a
+// thread, NM_TRACE_SPAN on that thread records nothing; counters and
+// values are unaffected. Nestable; restores the previous state on exit.
+class TraceSpanMuteScope {
+ public:
+  TraceSpanMuteScope();
+  ~TraceSpanMuteScope();
+  TraceSpanMuteScope(const TraceSpanMuteScope&) = delete;
+  TraceSpanMuteScope& operator=(const TraceSpanMuteScope&) = delete;
+
+ private:
+  bool previous_ = false;
 };
 
 // RAII collection window for one flow run. `wanted = false` is a no-op,

@@ -21,6 +21,16 @@
 //                     changes results, only wall-clock time)
 //   --restarts N      independent placement restarts (best placement wins)
 //   --route-batch N   nets per PathFinder rip-up batch (1 = sequential)
+//   --explore[=serial|parallel]
+//                     evaluate ALL candidate folding levels as flow jobs
+//                     (concurrent chains in parallel mode, the default)
+//                     and pick the winner by the objective over measured
+//                     results, instead of the serial first-feasible
+//                     search. Byte-identical results in both modes at any
+//                     --threads; the run report gains an `explore`
+//                     section (per-candidate outcomes + Pareto front).
+//   --pareto          with --explore (implied): print the Pareto front
+//                     over #LEs x delay x folding cycles
 //   --out FILE        write the configuration bitmap (binary)
 //   --blif-out FILE   write the elaborated LUT netlist as BLIF
 //   --sweep           run netlist cleanup (DCE/CSE/constants) first
@@ -53,6 +63,7 @@
 #include "util/trace.h"
 
 #include "circuits/benchmarks.h"
+#include "flow/explore.h"
 #include "flow/nanomap_flow.h"
 #include "map/bench_format.h"
 #include "rtl/blif.h"
@@ -89,7 +100,8 @@ int usage(const char* argv0) {
                "usage: %s <input.{nmap,blif,vhd}|bench:NAME> [--objective "
                "at|delay|area|both] [--area N] [--delay NS] [--level L] "
                "[--k N] [--no-share] [--seed S] [--threads N] "
-               "[--restarts N] [--route-batch N] [--out FILE] "
+               "[--restarts N] [--route-batch N] "
+               "[--explore[=serial|parallel]] [--pareto] [--out FILE] "
                "[--blif-out FILE] [--report] [--report=json FILE] "
                "[--trace] [--explain-failure] "
                "[--fault SITE:N[:KIND]] [--quiet]\n",
@@ -126,6 +138,8 @@ int main(int argc, char** argv) {
   std::string out_path, blif_out, report_json;
   bool report = false, quiet = false, do_sweep = false, power = false;
   bool explain_failure = false, trace = false;
+  bool explore_enabled = false, print_pareto = false;
+  ExploreOptions eopts;
   if (const char* env_fault = std::getenv("NM_FAULT"))
     opts.fault_plan = env_fault;
 
@@ -173,6 +187,15 @@ int main(int argc, char** argv) {
       opts.placement.restarts = std::atoi(next().c_str());
     } else if (arg == "--route-batch") {
       opts.router.batch_size = std::atoi(next().c_str());
+    } else if (arg == "--explore" || arg == "--explore=parallel") {
+      explore_enabled = true;
+      eopts.mode = ExploreMode::kParallel;
+    } else if (arg == "--explore=serial") {
+      explore_enabled = true;
+      eopts.mode = ExploreMode::kSerial;
+    } else if (arg == "--pareto") {
+      explore_enabled = true;
+      print_pareto = true;
     } else if (arg == "--fault") {
       opts.fault_plan = next();
     } else if (arg == "--explain-failure") {
@@ -228,7 +251,30 @@ int main(int argc, char** argv) {
     }
 
     opts.collect_trace = trace || !report_json.empty();
-    FlowResult r = run_nanomap(design, opts);
+    FlowResult r;
+    if (explore_enabled) {
+      ExploreResult ex = run_nanomap_explore(design, opts, eopts);
+      if (!quiet)
+        std::printf("explore (%s): %d candidates, %d feasible, %d warm "
+                    "starts, %zu on the Pareto front\n",
+                    ex.explore.mode.c_str(), ex.explore.candidates,
+                    ex.explore.feasible_candidates, ex.explore.warm_starts,
+                    ex.explore.pareto.size());
+      if (print_pareto) {
+        std::printf("pareto front (#LEs x delay x cycles):\n");
+        for (int idx : ex.explore.pareto) {
+          const ExploreCandidateOutcome& o =
+              ex.explore.outcomes[static_cast<std::size_t>(idx)];
+          std::printf("  [%2d] %-12s %5d LEs  %7.2f ns  %3d cycles%s\n",
+                      o.index, o.label.c_str(), o.num_les, o.delay_ns,
+                      o.num_cycles, o.winner ? "  <- winner" : "");
+        }
+      }
+      r = std::move(ex.winner);
+      r.report = std::move(ex.report);  // the explore-aware report
+    } else {
+      r = run_nanomap(design, opts);
+    }
     if (trace)
       std::fprintf(stderr, "%s",
                    Trace::instance().snapshot().render().c_str());
