@@ -314,7 +314,16 @@ class CycleRouter {
         auto [prio, est, n] = pq.top();
         pq.pop();
         const RrNode& node = rr_.node(n);
-        if (prio - est > ss->best_cost[static_cast<std::size_t>(n)] + 1e-12)
+        // Stale-entry check with a *relative* epsilon: `prio - est` only
+        // reproduces the push-time g within ~ulp(prio), which at extreme
+        // congestion (pres_fac ~1e15, costs ~1e18) is hundreds of units —
+        // an absolute 1e-12 slack then discards fresh entries and starves
+        // the wavefront (false "sink unreachable"). Scaling the slack by
+        // the cost keeps every fresh entry alive; borderline-stale entries
+        // that slip through re-relax against the already-improved
+        // best_cost and change nothing.
+        const double g = ss->best_cost[static_cast<std::size_t>(n)];
+        if (prio - est > g + 1e-12 * std::max(1.0, g))
           continue;  // stale entry
         if (n == target) {
           found = n;

@@ -207,7 +207,11 @@ class ReferenceCycleRouter {
         auto [prio, est, n] = pq.top();
         pq.pop();
         const RrNode& node = rr_.node(n);
-        if (prio - est > ss->best_cost[static_cast<std::size_t>(n)] + 1e-12)
+        // Relative-epsilon staleness guard; the one deliberate fix over
+        // the seed file (the absolute 1e-12 slack starved the queue at
+        // extreme pres_fac — see the comment in pathfinder.cc).
+        const double g = ss->best_cost[static_cast<std::size_t>(n)];
+        if (prio - est > g + 1e-12 * std::max(1.0, g))
           continue;  // stale entry
         if (n == target) {
           found = n;

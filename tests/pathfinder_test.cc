@@ -456,6 +456,37 @@ TEST(PathFinderIncremental, FuzzedEditSequencesStayIdentical) {
   }
 }
 
+TEST(PathFinderStarvation, ExtremePresFacReportsOveruseHonestly) {
+  // Regression for the seed's absolute-epsilon stale-entry check
+  // (DESIGN.md §5g): at pres_fac ~1e16 the A* priority `cost + est`
+  // rounds away far more than 1e-12, so `prio - est` exceeded
+  // `best_cost + 1e-12` for *fresh* queue entries, the wavefront starved,
+  // and the router raised "sink unreachable" even though a (congested)
+  // path exists. With the relative-epsilon guard the router terminates
+  // honestly: overused, success = false, structurally valid routes.
+  ArchParams arch = ArchParams::paper_instance();
+  arch.direct_links_per_side = 0;  // only length-1 wires exist, capacity 1
+  arch.len1_tracks = 1;
+  arch.len4_tracks = 0;
+  arch.global_tracks = 0;
+  std::vector<PlacedNet> nets;
+  for (int i = 0; i < 3; ++i) nets.push_back(net(i, 0, 0, {5}));
+  ClusteredDesign cd = synthetic(6, 1, std::move(nets));
+  Placement p = row_placement(6, 6);
+  RrGraph rr(p.grid, arch);
+  RouterOptions opts;
+  opts.initial_pres_fac = 1e16;  // what ~60 escalations reach on an
+                                 // unroutable fabric, applied directly
+  opts.max_iterations = 3;
+  RoutingResult r = route_design(cd, p, rr, opts);
+  EXPECT_FALSE(r.success);
+  EXPECT_GT(r.overused_nodes, 0);
+  std::string why;
+  EXPECT_TRUE(validate_routing(cd, p, rr, r, &why)) << why;
+  // The fix lives in the reference router too (identity over divergence).
+  expect_identical(r, route_nets_reference(cd, p, rr, opts), "starvation");
+}
+
 TEST(PathFinder, UsageCountsByType) {
   ArchParams arch = ArchParams::paper_instance();
   ClusteredDesign cd = synthetic(2, 1, {net(0, 0, 0, {1})});
