@@ -376,15 +376,22 @@ class FlowEngine {
     // placement is byte-identical to the one they were built against and
     // the graph can be widened in place to rung 0's arch (after which the
     // PR 6 replay admissibility rules guarantee byte-identical routing).
-    // The donor slot is consumed either way — on success this climb's
-    // final state is published back for the next chain member.
+    // The RouteState itself rides along even when the graph cannot: its
+    // cycle entries are keyed by graph uid (they simply stop matching)
+    // and its per-net entries by geometry + compat signature with live
+    // admission checks, so a chain sibling with a different placement or
+    // channel widths still harvests every still-valid net route. The
+    // donor slot is consumed either way — on success this climb's final
+    // state is published back for the next chain member.
     if (warm_) {
-      if (warm_->rr_valid && warm_->rr &&
-          placements_equal(placed.placement, warm_->rr_placement) &&
-          can_widen_in_place(warm_->rr->arch(), rungs.front().arch)) {
-        rr = std::move(warm_->rr);
+      if (warm_->rr_valid) {
         route_state = std::move(warm_->route_state);
-        warm_->stats.route_state_adopted = true;
+        if (warm_->rr &&
+            placements_equal(placed.placement, warm_->rr_placement) &&
+            can_widen_in_place(warm_->rr->arch(), rungs.front().arch)) {
+          rr = std::move(warm_->rr);
+          warm_->stats.route_state_adopted = true;
+        }
       }
       warm_->rr.reset();
       warm_->route_state = RouteState{};

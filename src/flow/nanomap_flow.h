@@ -97,6 +97,8 @@ struct ExploreCandidateOutcome {
   double area_delay_product = 0.0;
   bool warm_schedule = false;     // schedule+cluster adopted from a donor
   bool warm_route_state = false;  // RR graph + cycle cache adopted
+                                  // (the per-net route cache also rides
+                                  // along chains without this being set)
   bool on_pareto_front = false;
   bool winner = false;
   double cpu_seconds = 0.0;  // wall-clock; masked by to_json(false)
@@ -356,13 +358,18 @@ bool arch_equal_ignoring_channel_tracks(const ArchParams& a,
 //    channel track counts (scheduling, clustering and the delay estimate
 //    never read those), else recomputed — so adoption is result-neutral
 //    by construction.
-//  * rr + route_state: adopted only when the candidate's placement is
-//    byte-identical to rr_placement AND the donor graph can be widened
-//    in place to the candidate's arch (can_widen_in_place: donor tracks
-//    <= candidate tracks, everything else equal). The graph is then
-//    widened to the candidate's *exact* capacities and the PR 6 replay
-//    admissibility rules take over, so a warm route is byte-identical to
-//    a cold one.
+//  * rr: adopted only when the candidate's placement is byte-identical
+//    to rr_placement AND the donor graph can be widened in place to the
+//    candidate's arch (can_widen_in_place: donor tracks <= candidate
+//    tracks, everything else equal). The graph is then widened to the
+//    candidate's *exact* capacities and the PR 6 replay admissibility
+//    rules take over, so a warm route is byte-identical to a cold one.
+//  * route_state: always adopted from a valid donor. Cycle entries are
+//    keyed by graph uid, so without the donor graph they simply stop
+//    matching; the per-net geometric cache (DESIGN.md §5i) is keyed by
+//    net geometry + graph compat signature and re-validated against live
+//    occupancy at every use, so it transfers across placements and
+//    channel variants while staying result-neutral by construction.
 struct FlowWarmStart {
   ScheduledCandidate schedule;
   ArchParams schedule_arch;  // arch `schedule` was computed under

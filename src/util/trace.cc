@@ -235,7 +235,11 @@ const std::vector<std::string>& Trace::known_counter_sites() {
       "route.calls",           // route: route_design invocations
       "route.cycle_cache_lookups",  // route/pathfinder: RouteState probes
       "route.cycles_reused",   // route/pathfinder: cycles replayed from cache
-      "route.reroutes",        // route/pathfinder: A* net searches executed
+      "route.net_cache_hits",  // route/pathfinder: searches served per-net
+      "route.net_cache_misses",  // route/pathfinder: searches that ran A*
+      "route.reroutes",        // route/pathfinder: net searches executed
+      "route.spec_batches",    // route/pathfinder: multi-net speculative batches
+      "route.spec_conflicts",  // route/pathfinder: members re-routed at commit
   };
   return sites;
 }
