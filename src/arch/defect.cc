@@ -1,0 +1,299 @@
+#include "arch/defect.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace nanomap {
+namespace {
+
+// splitmix64 finalizer: the standard strong integer mixer.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Hash of a defect site identity; `tag` separates resource domains so
+// e.g. the SMB at (x, y) and slot 0 of its LE array draw independently.
+std::uint64_t defect_hash(std::uint64_t seed, std::uint64_t tag,
+                          std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                          std::uint64_t d) {
+  std::uint64_t h = mix64(seed ^ 0xdefec70000000001ull);
+  h = mix64(h ^ tag);
+  h = mix64(h ^ a);
+  h = mix64(h ^ b);
+  h = mix64(h ^ c);
+  h = mix64(h ^ d);
+  return h;
+}
+
+// Bernoulli draw: true with probability `rate`.
+bool defect_draw(std::uint64_t hash, double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  return hash < static_cast<std::uint64_t>(rate * 18446744073709551616.0);
+}
+
+// Domain tags for defect_hash.
+constexpr std::uint64_t kTagSmb = 1;
+constexpr std::uint64_t kTagLe = 2;
+constexpr std::uint64_t kTagWire = 3;
+
+const char* wire_kind_name(int kind) {
+  switch (static_cast<DefectWireKind>(kind)) {
+    case DefectWireKind::kDirect: return "direct";
+    case DefectWireKind::kLen1: return "len1";
+    case DefectWireKind::kLen4: return "len4";
+    case DefectWireKind::kGlobal: return "global";
+  }
+  return "?";
+}
+
+const char* wire_dir_name(int kind, int dir) {
+  if (static_cast<DefectWireKind>(kind) == DefectWireKind::kDirect) {
+    static const char* kDirs[] = {"e", "w", "n", "s"};
+    return dir >= 0 && dir < 4 ? kDirs[dir] : "?";
+  }
+  return dir == 0 ? "h" : dir == 1 ? "v" : "?";
+}
+
+}  // namespace
+
+std::uint64_t DefectSpec::content_sig() const {
+  if (!active()) return 0;
+  std::uint64_t h = 0x6e616e6f6d617031ull;  // "nanomap1"
+  auto mix = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+  if (map != nullptr) {
+    mix(0x4d4150ull);  // "MAP"
+    mix(static_cast<std::uint64_t>(map->grid_width));
+    mix(static_cast<std::uint64_t>(map->grid_height));
+    for (const auto& [x, y] : map->dead_smbs) {
+      mix(kTagSmb);
+      mix(static_cast<std::uint64_t>(x));
+      mix(static_cast<std::uint64_t>(y));
+    }
+    for (const auto& [x, y, slot] : map->dead_les) {
+      mix(kTagLe);
+      mix(static_cast<std::uint64_t>(x));
+      mix(static_cast<std::uint64_t>(y));
+      mix(static_cast<std::uint64_t>(slot));
+    }
+    for (const auto& [key, count] : map->broken_wires) {
+      mix(kTagWire);
+      mix(static_cast<std::uint64_t>(std::get<0>(key)));
+      mix(static_cast<std::uint64_t>(std::get<1>(key)));
+      mix(static_cast<std::uint64_t>(std::get<2>(key)));
+      mix(static_cast<std::uint64_t>(std::get<3>(key)));
+      mix(static_cast<std::uint64_t>(count));
+    }
+    return h == 0 ? 1 : h;
+  }
+  mix(0x52415445ull);  // "RATE"
+  mix(seed);
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof le_rate);
+  __builtin_memcpy(&bits, &le_rate, sizeof bits);
+  mix(bits);
+  __builtin_memcpy(&bits, &smb_rate, sizeof bits);
+  mix(bits);
+  __builtin_memcpy(&bits, &wire_rate, sizeof bits);
+  mix(bits);
+  return h == 0 ? 1 : h;
+}
+
+void DefectSpec::validate() const {
+  auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  NM_CHECK_MSG(rate_ok(le_rate) && rate_ok(smb_rate) && rate_ok(wire_rate),
+               "defect rates must lie in [0, 1]");
+}
+
+bool defect_smb_dead(const DefectSpec& spec, int x, int y) {
+  if (!spec.active()) return false;
+  if (spec.map != nullptr) return spec.map->dead_smbs.count({x, y}) != 0;
+  return defect_draw(defect_hash(spec.seed, kTagSmb, x, y, 0, 0),
+                     spec.smb_rate);
+}
+
+bool defect_le_dead(const DefectSpec& spec, int x, int y, int slot) {
+  if (!spec.active()) return false;
+  if (spec.map != nullptr)
+    return spec.map->dead_les.count({x, y, slot}) != 0;
+  return defect_draw(defect_hash(spec.seed, kTagLe, x, y, slot, 0),
+                     spec.le_rate);
+}
+
+int defect_broken_tracks(const DefectSpec& spec, DefectWireKind kind, int x,
+                         int y, int dir, int tracks) {
+  if (!spec.active() || tracks <= 0) return 0;
+  if (spec.map != nullptr) {
+    auto it = spec.map->broken_wires.find(
+        {static_cast<int>(kind), x, y, dir});
+    if (it == spec.map->broken_wires.end()) return 0;
+    return it->second < tracks ? it->second : tracks;
+  }
+  // Per-track Bernoulli over [0, tracks): widening from T1 to T2 tracks
+  // only appends draws for tracks [T1, T2), so broken(T2) - broken(T1)
+  // <= T2 - T1 and surviving capacity never shrinks under widening.
+  int broken = 0;
+  for (int t = 0; t < tracks; ++t) {
+    if (defect_draw(defect_hash(spec.seed, kTagWire,
+                                static_cast<std::uint64_t>(kind) * 8 + dir, x,
+                                y, t),
+                    spec.wire_rate))
+      ++broken;
+  }
+  return broken;
+}
+
+DefectSpec parse_defect_map(const std::string& text) {
+  auto map = std::make_shared<DefectMap>();
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  bool saw_header = false;
+  bool saw_grid = false;
+  auto fail = [&line_no](const std::string& msg) -> void {
+    throw InputError("defect map line " + std::to_string(line_no) + ": " +
+                     msg);
+  };
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view sv = trim(raw);
+    auto hash = sv.find('#');
+    if (hash != std::string_view::npos) sv = trim(sv.substr(0, hash));
+    if (sv.empty()) continue;
+    std::vector<std::string> tok = split(sv, ' ');
+    if (!saw_header) {
+      if (tok.size() != 2 || tok[0] != "defect_map" || tok[1] != "v1")
+        fail("expected header 'defect_map v1'");
+      saw_header = true;
+      continue;
+    }
+    auto coord = [&](const std::string& t, int bound, const char* what) {
+      int v = parse_int(t, std::string("defect map ") + what);
+      if (v >= bound)
+        fail(std::string(what) + " " + t + " out of range (grid is " +
+             std::to_string(map->grid_width) + "x" +
+             std::to_string(map->grid_height) + ")");
+      return v;
+    };
+    if (tok[0] == "grid") {
+      if (saw_grid) fail("duplicate grid line");
+      if (tok.size() != 3) fail("expected 'grid W H'");
+      map->grid_width = parse_int(tok[1], "defect map grid width");
+      map->grid_height = parse_int(tok[2], "defect map grid height");
+      if (map->grid_width < 1 || map->grid_height < 1)
+        fail("grid dimensions must be >= 1");
+      saw_grid = true;
+      continue;
+    }
+    if (!saw_grid) fail("expected 'grid W H' before defect sites");
+    if (tok[0] == "smb") {
+      if (tok.size() != 3) fail("expected 'smb X Y'");
+      int x = coord(tok[1], map->grid_width, "x");
+      int y = coord(tok[2], map->grid_height, "y");
+      if (!map->dead_smbs.insert({x, y}).second)
+        fail("duplicate smb site");
+    } else if (tok[0] == "le") {
+      if (tok.size() != 4) fail("expected 'le X Y SLOT'");
+      int x = coord(tok[1], map->grid_width, "x");
+      int y = coord(tok[2], map->grid_height, "y");
+      int slot = parse_int(tok[3], "defect map le slot");
+      if (!map->dead_les.insert({x, y, slot}).second)
+        fail("duplicate le site");
+    } else if (tok[0] == "wire") {
+      if (tok.size() != 6)
+        fail("expected 'wire KIND X Y DIR COUNT'");
+      int kind = -1;
+      for (int k = 0; k < 4; ++k)
+        if (tok[1] == wire_kind_name(k)) kind = k;
+      if (kind < 0)
+        fail("unknown wire kind '" + tok[1] +
+             "' (want direct|len1|len4|global)");
+      int x = coord(tok[2], map->grid_width, "x");
+      int y = coord(tok[3], map->grid_height, "y");
+      int dir = -1;
+      int max_dir = kind == static_cast<int>(DefectWireKind::kDirect) ? 4 : 2;
+      for (int d = 0; d < max_dir; ++d)
+        if (tok[4] == wire_dir_name(kind, d)) dir = d;
+      if (dir < 0)
+        fail("bad wire direction '" + tok[4] + "' for kind " + tok[1]);
+      int count = parse_int(tok[5], "defect map wire count");
+      if (count < 1) fail("wire count must be >= 1");
+      if (!map->broken_wires.insert({{kind, x, y, dir}, count}).second)
+        fail("duplicate wire channel");
+    } else {
+      fail("unknown directive '" + tok[0] + "'");
+    }
+  }
+  if (!saw_header) {
+    line_no = 1;
+    fail("expected header 'defect_map v1'");
+  }
+  if (!saw_grid) {
+    fail("missing 'grid W H' line");
+  }
+  DefectSpec spec;
+  spec.map = std::move(map);
+  return spec;
+}
+
+DefectSpec parse_defect_map_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw InputError("cannot open defect map file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_defect_map(buf.str());
+}
+
+DefectSpec parse_defect_rates(const std::string& csv) {
+  DefectSpec spec;
+  for (const std::string& part : split(csv, ',')) {
+    auto eq = part.find('=');
+    if (eq == std::string::npos)
+      throw InputError("defect spec: expected key=value, got '" + part + "'");
+    std::string key(trim(part.substr(0, eq)));
+    std::string value(trim(part.substr(eq + 1)));
+    if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(
+          parse_int(value, "defect spec seed"));
+    } else if (key == "le") {
+      spec.le_rate = parse_double(value, "defect spec le rate");
+    } else if (key == "smb") {
+      spec.smb_rate = parse_double(value, "defect spec smb rate");
+    } else if (key == "wire") {
+      spec.wire_rate = parse_double(value, "defect spec wire rate");
+    } else {
+      throw InputError("defect spec: unknown key '" + key +
+                       "' (want seed|le|smb|wire)");
+    }
+  }
+  try {
+    spec.validate();
+  } catch (const CheckError& e) {
+    throw InputError(std::string("defect spec: ") + e.what());
+  }
+  return spec;
+}
+
+std::string write_defect_map(const DefectMap& map) {
+  std::ostringstream os;
+  os << "defect_map v1\n";
+  os << "grid " << map.grid_width << " " << map.grid_height << "\n";
+  for (const auto& [x, y] : map.dead_smbs)
+    os << "smb " << x << " " << y << "\n";
+  for (const auto& [x, y, slot] : map.dead_les)
+    os << "le " << x << " " << y << " " << slot << "\n";
+  for (const auto& [key, count] : map.broken_wires) {
+    auto [kind, x, y, dir] = key;
+    os << "wire " << wire_kind_name(kind) << " " << x << " " << y << " "
+       << wire_dir_name(kind, dir) << " " << count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace nanomap

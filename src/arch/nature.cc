@@ -19,6 +19,7 @@ void ArchParams::validate() const {
   NM_CHECK_MSG(direct_links_per_side + len1_tracks + len4_tracks +
                        global_tracks > 0,
                "architecture has no routing resources");
+  defects.validate();
 }
 
 ArchParams ArchParams::paper_instance() {
@@ -54,6 +55,7 @@ std::string describe(const ArchParams& arch) {
   else
     os << arch.num_reconf;
   os << ", reconfig " << arch.reconf_time_ps << " ps";
+  if (arch.defects.active()) os << ", defective fabric";
   return os.str();
 }
 

@@ -19,6 +19,7 @@
 
 #include <string>
 
+#include "arch/defect.h"
 #include "util/check.h"
 
 namespace nanomap {
@@ -57,6 +58,11 @@ struct ArchParams {
   int len1_tracks = 28;
   int len4_tracks = 14;
   int global_tracks = 8;
+
+  // --- fabric defects (arch/defect.h) ---------------------------------------
+  // Inactive by default; an active spec masks dead LEs/SMB sites in
+  // placement and broken wire tracks in the RR graph.
+  DefectSpec defects;
 
   // Derived quantities ------------------------------------------------------
   int les_per_smb() const { return les_per_mb * mbs_per_smb; }

@@ -1,6 +1,7 @@
 #include "bitstream/bitmap.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "util/fault.h"
 
@@ -100,6 +101,48 @@ ConfigBitmap generate_bitmap(const Design& design,
   bitmap.total_bits = bits;
   (void)schedule;
   return bitmap;
+}
+
+bool verify_bitmap_defects(const ConfigBitmap& bitmap,
+                           const Placement& placement, const RrGraph& rr,
+                           std::string* why) {
+  auto fail = [why](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  const DefectSpec& spec = rr.arch().defects;
+  for (int c = 0; c < bitmap.num_cycles; ++c) {
+    const CycleConfig& cycle = bitmap.cycles[static_cast<std::size_t>(c)];
+    for (int m = 0; m < bitmap.num_smbs; ++m) {
+      const SmbConfig& smb = cycle.smbs[static_cast<std::size_t>(m)];
+      const int x = placement.x_of(m);
+      const int y = placement.y_of(m);
+      for (std::size_t slot = 0; slot < smb.les.size(); ++slot) {
+        const LeConfig& le = smb.les[slot];
+        if (!le.lut_used && le.ff_write_mask == 0) continue;
+        std::ostringstream os;
+        if (defect_smb_dead(spec, x, y)) {
+          os << "cycle " << c << ": SMB " << m << " configured on dead site ("
+             << x << "," << y << ")";
+          return fail(os.str());
+        }
+        if (defect_le_dead(spec, x, y, static_cast<int>(slot))) {
+          os << "cycle " << c << ": SMB " << m << " configures dead LE slot "
+             << slot << " at (" << x << "," << y << ")";
+          return fail(os.str());
+        }
+      }
+    }
+    for (int n : cycle.switch_nodes) {
+      if (rr.node(n).capacity == 0) {
+        std::ostringstream os;
+        os << "cycle " << c << ": switch node " << rr.describe(n)
+           << " is a fully-broken channel";
+        return fail(os.str());
+      }
+    }
+  }
+  return true;
 }
 
 std::vector<std::uint8_t> serialize_bitmap(const ConfigBitmap& bitmap) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/temporal_cluster.h"
@@ -55,5 +56,18 @@ ConfigBitmap generate_bitmap(const Design& design,
 
 // Flat byte serialization (stable layout, for golden tests / export).
 std::vector<std::uint8_t> serialize_bitmap(const ConfigBitmap& bitmap);
+
+// Defect audit of an emitted configuration (arch/defect.h): proves the
+// bitstream never touches a defective resource. Checks, against
+// rr.arch().defects and the node capacities rr masked at build time:
+//   - no SMB with any configured LE sits on a dead SMB site,
+//   - no configured LE slot (LUT or flip-flop write) is a dead slot,
+//   - no energized switch node is a fully-broken channel (capacity 0).
+// Returns true when clean; otherwise false with a diagnostic in *why
+// (when non-null). The flow runs this after bitmap generation whenever
+// the defect spec is active and treats a failure as an internal error.
+bool verify_bitmap_defects(const ConfigBitmap& bitmap,
+                           const Placement& placement, const RrGraph& rr,
+                           std::string* why = nullptr);
 
 }  // namespace nanomap

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <iterator>
 #include <map>
 #include <optional>
 #include <set>
@@ -170,8 +171,9 @@ class FlowEngine {
   FlowErrorKind dominant_error_kind() const {
     static const FlowErrorKind precedence[] = {
         FlowErrorKind::kInternal,         FlowErrorKind::kResourceExhausted,
-        FlowErrorKind::kInput,            FlowErrorKind::kRoutingCongestion,
-        FlowErrorKind::kPlacementScreen,  FlowErrorKind::kInfeasibleConstraint,
+        FlowErrorKind::kInput,            FlowErrorKind::kDefectInfeasible,
+        FlowErrorKind::kRoutingCongestion, FlowErrorKind::kPlacementScreen,
+        FlowErrorKind::kInfeasibleConstraint,
     };
     for (FlowErrorKind kind : precedence)
       for (const FlowEvent& e : diag_.events)
@@ -313,10 +315,13 @@ class FlowEngine {
   // identical to the historical single attempt), then raised
   // max_iterations / present-congestion schedules, then bounded channel-
   // width bumps on a widened copy of the architecture (VPR-style
-  // "increase W before declaring unroutable").
-  std::vector<RouteRung> route_ladder() const {
-    std::vector<RouteRung> rungs;
-    rungs.push_back({"default budgets", options_.router, options_.arch});
+  // "increase W before declaring unroutable"). The builder splits the
+  // ladder into its budget prefix and channel suffix so the defect-aware
+  // finish() can interleave them with placement reseeds (§5j); the
+  // defect-free path always climbs the concatenation.
+  void build_route_ladder(std::vector<RouteRung>* budgets,
+                          std::vector<RouteRung>* channels) const {
+    budgets->push_back({"default budgets", options_.router, options_.arch});
 
     RouterOptions esc = options_.router;
     for (int b = 1; b <= options_.recovery.router_budget_rungs; ++b) {
@@ -324,10 +329,11 @@ class FlowEngine {
           std::max(esc.max_iterations * 3, esc.max_iterations + 40);
       esc.pres_fac_mult = 1.0 + (esc.pres_fac_mult - 1.0) * 1.5;
       esc.hist_fac *= 1.5;
-      rungs.push_back({"raised router budgets (max_iterations " +
-                           std::to_string(esc.max_iterations) +
-                           ", pres_fac_mult " + fmt(esc.pres_fac_mult) + ")",
-                       esc, options_.arch});
+      budgets->push_back({"raised router budgets (max_iterations " +
+                              std::to_string(esc.max_iterations) +
+                              ", pres_fac_mult " + fmt(esc.pres_fac_mult) +
+                              ")",
+                          esc, options_.arch});
     }
 
     ArchParams widened = options_.arch;
@@ -340,13 +346,21 @@ class FlowEngine {
       widened.len1_tracks = bump(options_.arch.len1_tracks);
       widened.len4_tracks = bump(options_.arch.len4_tracks);
       widened.global_tracks = bump(options_.arch.global_tracks);
-      rungs.push_back({"widened channels x" + fmt(factor) + " (len1 " +
-                           std::to_string(widened.len1_tracks) + ", len4 " +
-                           std::to_string(widened.len4_tracks) +
-                           ", global " +
-                           std::to_string(widened.global_tracks) + ")",
-                       esc, widened});
+      channels->push_back({"widened channels x" + fmt(factor) + " (len1 " +
+                               std::to_string(widened.len1_tracks) +
+                               ", len4 " +
+                               std::to_string(widened.len4_tracks) +
+                               ", global " +
+                               std::to_string(widened.global_tracks) + ")",
+                           esc, widened});
     }
+  }
+
+  std::vector<RouteRung> route_ladder() const {
+    std::vector<RouteRung> rungs, channels;
+    build_route_ladder(&rungs, &channels);
+    rungs.insert(rungs.end(), std::make_move_iterator(channels.begin()),
+                 std::make_move_iterator(channels.end()));
     return rungs;
   }
 
@@ -363,13 +377,18 @@ class FlowEngine {
   // whose replay is provably identical are served from the RouteState
   // instead of re-negotiated. Both are scoped to this climb — an
   // abandoned or faulted climb drops all incremental state with them.
+  // `rungs` is the slice of the ladder this climb covers and `rung_offset`
+  // its index into the full ladder (0 for the classic whole-ladder climb;
+  // the budget count when the defect-aware finish() climbs the channel
+  // suffix separately) — only rung numbering in the trail depends on it.
   bool climb_route_ladder(const Candidate& cand,
                           const PlacementResult& placed, int attempt,
-                          RoutingResult* routed, ArchParams* arch_used,
-                          RouterOptions* router_used, bool* fatal) {
+                          const std::vector<RouteRung>& rungs,
+                          std::size_t rung_offset, RoutingResult* routed,
+                          ArchParams* arch_used, RouterOptions* router_used,
+                          bool* fatal) {
     *fatal = false;
     NM_TRACE_SPAN("route");
-    const std::vector<RouteRung> rungs = route_ladder();
     std::optional<RrGraph> rr;
     RouteState route_state;
     // Warm start: adopt the donor's RR graph + cycle cache when this
@@ -432,10 +451,11 @@ class FlowEngine {
                              (static_cast<double>(rr_nodes) *
                               cand.clustered.num_cycles));
         }
-        if (r > 0 || attempt > 0)
+        if (rung_offset + r > 0 || attempt > 0)
           record({"route", cand.level, attempt, FlowErrorKind::kNone,
                   "recovered",
-                  "routed at rung " + std::to_string(r) + " (" + rung.name +
+                  "routed at rung " + std::to_string(rung_offset + r) +
+                      " (" + rung.name +
                       (attempt > 0
                            ? ", reseeded placement " + std::to_string(attempt)
                            : "") +
@@ -461,8 +481,8 @@ class FlowEngine {
               FlowErrorKind::kRoutingCongestion,
               r + 1 < rungs.size() ? "escalate" : "fallback",
               "routing failed (" + std::to_string(routed->overused_nodes) +
-                  " overused, rung " + std::to_string(r) + ": " + rung.name +
-                  ")"});
+                  " overused, rung " + std::to_string(rung_offset + r) +
+                  ": " + rung.name + ")"});
       // Escalation can negotiate away moderate congestion, but a placement
       // with >5% of the RR graph overused is hopeless — don't burn the
       // whole ladder on it.
@@ -511,6 +531,25 @@ class FlowEngine {
     }
     attempted_physical_.insert(cand.level);
 
+    const bool defect_aware = options_.arch.defects.active();
+    if (defect_aware) {
+      // Fit check before burning any annealing time: every SMB must be
+      // able to claim a distinct legal site on the surviving fabric
+      // (bipartite matching), or no placement seed can ever succeed.
+      PlaceLegality legal(cand.clustered, options_.arch,
+                          size_grid_for(cand.clustered.num_smbs));
+      if (!legal.feasible()) {
+        record({"place", cand.level, 0, FlowErrorKind::kDefectInfeasible,
+                "fallback",
+                "circuit cannot fit the surviving fabric (" +
+                    std::to_string(legal.dead_smb_sites()) +
+                    " dead SMB sites, " +
+                    std::to_string(legal.dead_le_slots()) +
+                    " dead LE slots)"});
+        return false;
+      }
+    }
+
     // Placement attempt 0 runs with the caller's seed and options — the
     // historical behavior, byte-identical when it succeeds. Attempts
     // 1..placement_reseeds re-place with derive_seed streams (thread-count
@@ -521,7 +560,7 @@ class FlowEngine {
     RouterOptions router_used = options_.router;
     bool route_ok = false;
     const int reseeds = options_.recovery.placement_reseeds;
-    for (int attempt = 0; attempt <= reseeds && !route_ok; ++attempt) {
+    auto place_attempt = [&](int attempt, PlacementResult* out) {
       PlacementOptions popts = options_.placement;
       if (attempt == 0) {
         popts.seed = options_.seed;
@@ -537,23 +576,62 @@ class FlowEngine {
       {
         NM_TRACE_SPAN("place");
         place_ok = guard("place", cand.level, attempt, [&] {
-          placed = place_design(cand.clustered, options_.arch, popts,
-                                &pool_);
+          *out = place_design(cand.clustered, options_.arch, popts,
+                              &pool_);
         });
       }
       if (!place_ok) return false;
-      if (!placed.screen_passed) {
+      if (!out->screen_passed) {
         // Advisory only — the router below is the authoritative check.
         record({"place", cand.level, attempt,
                 FlowErrorKind::kPlacementScreen, "warn",
                 "routability screen high (util " +
-                    fmt(placed.routability.peak_utilization) +
+                    fmt(out->routability.peak_utilization) +
                     "), routing anyway"});
       }
-      bool fatal = false;
-      route_ok = climb_route_ladder(cand, placed, attempt, &routed,
-                                    &arch_used, &router_used, &fatal);
-      if (fatal) return false;
+      return true;
+    };
+    if (!defect_aware) {
+      const std::vector<RouteRung> rungs = route_ladder();
+      for (int attempt = 0; attempt <= reseeds && !route_ok; ++attempt) {
+        if (!place_attempt(attempt, &placed)) return false;
+        bool fatal = false;
+        route_ok = climb_route_ladder(cand, placed, attempt, rungs,
+                                      /*rung_offset=*/0, &routed,
+                                      &arch_used, &router_used, &fatal);
+        if (fatal) return false;
+      }
+    } else {
+      // Defect-aware ladder order (DESIGN.md §5j): widening channels can
+      // never revive a broken track, but a different placement can route
+      // around it — so every placement reseed retries the budget rungs
+      // before the first channel bump is spent. Placements are computed
+      // once and cached across the two phases.
+      std::vector<RouteRung> budgets, channels;
+      build_route_ladder(&budgets, &channels);
+      std::vector<PlacementResult> attempts;
+      for (int attempt = 0; attempt <= reseeds && !route_ok; ++attempt) {
+        attempts.emplace_back();
+        if (!place_attempt(attempt, &attempts.back())) return false;
+        bool fatal = false;
+        route_ok = climb_route_ladder(cand, attempts.back(), attempt,
+                                      budgets, /*rung_offset=*/0, &routed,
+                                      &arch_used, &router_used, &fatal);
+        if (fatal) return false;
+        if (route_ok) placed = std::move(attempts.back());
+      }
+      if (!route_ok && !channels.empty()) {
+        for (std::size_t a = 0; a < attempts.size() && !route_ok; ++a) {
+          bool fatal = false;
+          route_ok = climb_route_ladder(cand, attempts[a],
+                                        static_cast<int>(a), channels,
+                                        /*rung_offset=*/budgets.size(),
+                                        &routed, &arch_used, &router_used,
+                                        &fatal);
+          if (fatal) return false;
+          if (route_ok) placed = std::move(attempts[a]);
+        }
+      }
     }
     if (!route_ok) {
       record({"flow", cand.level, 0, FlowErrorKind::kRoutingCongestion,
@@ -591,6 +669,21 @@ class FlowEngine {
       record({"bitmap", cand.level, 0, FlowErrorKind::kInfeasibleConstraint,
               "fallback", "bitmap exceeds NRAM depth"});
       return false;
+    }
+    if (defect_aware) {
+      // End-to-end defect audit of the emitted configuration: rebuild the
+      // RR graph the winning rung routed on (deterministic, same node
+      // ids) and prove the bitstream never touches a defective resource.
+      // A violation is an internal error (the masks upstream failed), not
+      // a recoverable congestion event.
+      stage_ok = guard("bitmap", cand.level, 0, [&] {
+        RrGraph audit(placed.placement.grid, arch_used);
+        std::string why;
+        NM_CHECK_MSG(verify_bitmap_defects(result->bitmap, placed.placement,
+                                           audit, &why),
+                     "bitstream touches a defective resource: " << why);
+      });
+      if (!stage_ok) return false;
     }
     result->timing = std::move(timing);
     result->routing = std::move(routed);
@@ -674,6 +767,7 @@ const char* flow_error_kind_name(FlowErrorKind kind) {
     case FlowErrorKind::kInfeasibleConstraint: return "infeasible-constraint";
     case FlowErrorKind::kPlacementScreen: return "placement-screen";
     case FlowErrorKind::kRoutingCongestion: return "routing-congestion";
+    case FlowErrorKind::kDefectInfeasible: return "defect-infeasible";
     case FlowErrorKind::kResourceExhausted: return "resource-exhausted";
     case FlowErrorKind::kInternal: return "internal";
   }
@@ -762,7 +856,8 @@ bool arch_equal_ignoring_channel_tracks(const ArchParams& a,
          a.ff_setup_ps == b.ff_setup_ps && a.le_area_um2 == b.le_area_um2 &&
          a.nram_overhead == b.nram_overhead &&
          a.smb_wiring_factor == b.smb_wiring_factor &&
-         a.direct_links_per_side == b.direct_links_per_side;
+         a.direct_links_per_side == b.direct_links_per_side &&
+         a.defects.content_sig() == b.defects.content_sig();
 }
 
 std::vector<int> candidate_folding_levels(const CircuitParams& params,

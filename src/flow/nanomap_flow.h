@@ -50,6 +50,8 @@ enum class FlowErrorKind {
   kInfeasibleConstraint,  // no folding level satisfies the constraints
   kPlacementScreen,       // routability screen rejected the placement
   kRoutingCongestion,     // PathFinder left overused nodes at every rung
+  kDefectInfeasible,      // circuit cannot fit the surviving fabric
+                          // (defect matching failed at every level)
   kResourceExhausted,     // std::bad_alloc (or injected equivalent)
   kInternal,              // CheckError — an invariant was violated
 };
@@ -190,9 +192,13 @@ struct RunReport {
 // Bounds for the recovery ladder run_nanomap climbs before abandoning a
 // folding level (DESIGN.md §5e): raised router budgets, then widened
 // routing channels, then re-seeded placements, then the level falls back;
-// after every level fails, a final no-folding attempt. Every rung is
-// deterministic — triggered by deterministic failures and parameterized
-// by seed streams, never by thread count or wall clock.
+// after every level fails, a final no-folding attempt. On a defective
+// fabric (arch.defects.active()) the order is defect-aware: congestion
+// there is usually a placement squeezed against dead resources, so every
+// placement reseed retries the budget rungs *before* any channel bump —
+// widening channels cannot revive broken tracks (DESIGN.md §5j). Every
+// rung is deterministic — triggered by deterministic failures and
+// parameterized by seed streams, never by thread count or wall clock.
 struct RecoveryOptions {
   // Rungs that rerun PathFinder with a raised max_iterations /
   // present-congestion schedule on the same placement.

@@ -9,9 +9,10 @@
 namespace nanomap {
 
 Annealer::Annealer(const ClusteredDesign& cd, const Placement& initial,
-                   double timing_weight, Rng* rng, ThreadPool* pool)
+                   double timing_weight, Rng* rng, ThreadPool* pool,
+                   const PlaceLegality* legal)
     : cd_(cd), placement_(initial), timing_weight_(timing_weight),
-      rng_(rng) {
+      rng_(rng), legal_(legal) {
   NM_CHECK(rng != nullptr);
   smb_at_site_.assign(static_cast<std::size_t>(placement_.grid.sites()), -1);
   for (int m = 0; m < cd.num_smbs; ++m) {
@@ -87,6 +88,15 @@ bool Annealer::try_move(double t, int rlim) {
   int to = ty * placement_.grid.width + tx;
   if (to == from) return false;
   int other = smb_at_site_[static_cast<std::size_t>(to)];
+  // Defective fabric: refuse any move/swap landing an SMB on a site it
+  // cannot legally occupy. Sits after the coordinate draws and before
+  // the acceptance draw so a defect-free run replays the exact
+  // historical RNG stream.
+  if (legal_ != nullptr &&
+      (!legal_->ok(to, smb) || (other >= 0 && !legal_->ok(from, other)))) {
+    NM_TRACE_COUNT("place.defect_rejects", 1);
+    return false;
+  }
 
 #ifdef NANOMAP_AUDIT_COST
   ++move_gen_;

@@ -34,8 +34,13 @@ class Annealer {
   // so the sum is bit-identical to the serial loop. The annealing walk
   // itself is inherently sequential (each move's acceptance depends on
   // the previous state) and always runs on the calling thread.
+  // `legal` (optional) rejects moves that would park an SMB on a
+  // defective site; the check runs after the move's coordinate draws and
+  // before the acceptance draw, so an all-legal fabric consumes exactly
+  // the historical RNG stream.
   Annealer(const ClusteredDesign& cd, const Placement& initial,
-           double timing_weight, Rng* rng, ThreadPool* pool = nullptr);
+           double timing_weight, Rng* rng, ThreadPool* pool = nullptr,
+           const PlaceLegality* legal = nullptr);
 
   // Runs one full annealing schedule; `effort` scales moves per
   // temperature. Returns the best placement found.
@@ -94,6 +99,7 @@ class Annealer {
   NetBoxCache boxes_;
   double cost_ = 0.0;
   Rng* rng_;
+  const PlaceLegality* legal_ = nullptr;
   long moves_attempted_ = 0;
   long moves_accepted_ = 0;
 

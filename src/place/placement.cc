@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <optional>
 
 #include "place/annealer.h"
 #include "util/fault.h"
@@ -11,7 +13,29 @@
 namespace nanomap {
 namespace {
 
-Placement initial_placement(const ClusteredDesign& cd, Rng* rng) {
+// Kuhn augmenting-path search: can `smb` claim a site (in `order`
+// preference) either directly or by displacing a current holder onto an
+// alternative site?
+bool augment_smb(const PlaceLegality& legal, const std::vector<int>& order,
+                 int smb, std::vector<int>* smb_at_site,
+                 std::vector<int>* site_of_smb, std::vector<char>* visited) {
+  for (int site : order) {
+    if ((*visited)[static_cast<std::size_t>(site)] || !legal.ok(site, smb))
+      continue;
+    (*visited)[static_cast<std::size_t>(site)] = 1;
+    int holder = (*smb_at_site)[static_cast<std::size_t>(site)];
+    if (holder < 0 || augment_smb(legal, order, holder, smb_at_site,
+                                  site_of_smb, visited)) {
+      (*smb_at_site)[static_cast<std::size_t>(site)] = smb;
+      (*site_of_smb)[static_cast<std::size_t>(smb)] = site;
+      return true;
+    }
+  }
+  return false;
+}
+
+Placement initial_placement(const ClusteredDesign& cd, Rng* rng,
+                            const PlaceLegality* legal) {
   Placement p;
   p.grid = size_grid_for(cd.num_smbs);
   std::vector<int> sites(static_cast<std::size_t>(p.grid.sites()));
@@ -19,9 +43,36 @@ Placement initial_placement(const ClusteredDesign& cd, Rng* rng) {
     sites[static_cast<std::size_t>(i)] = i;
   rng->shuffle(sites);
   p.site_of_smb.assign(static_cast<std::size_t>(cd.num_smbs), -1);
-  for (int m = 0; m < cd.num_smbs; ++m)
-    p.site_of_smb[static_cast<std::size_t>(m)] =
-        sites[static_cast<std::size_t>(m)];
+  if (legal == nullptr || !legal->active()) {
+    for (int m = 0; m < cd.num_smbs; ++m)
+      p.site_of_smb[static_cast<std::size_t>(m)] =
+          sites[static_cast<std::size_t>(m)];
+    return p;
+  }
+  // Defective fabric: greedily give each SMB its first legal free site in
+  // the shuffled preference order, then repair the stragglers with
+  // augmenting paths. Deterministic per RNG stream; the flow's fit check
+  // guarantees a full matching exists before placement starts.
+  std::vector<int> smb_at_site(static_cast<std::size_t>(p.grid.sites()), -1);
+  for (int m = 0; m < cd.num_smbs; ++m) {
+    for (int site : sites) {
+      if (smb_at_site[static_cast<std::size_t>(site)] >= 0 ||
+          !legal->ok(site, m))
+        continue;
+      smb_at_site[static_cast<std::size_t>(site)] = m;
+      p.site_of_smb[static_cast<std::size_t>(m)] = site;
+      break;
+    }
+  }
+  std::vector<char> visited(static_cast<std::size_t>(p.grid.sites()));
+  for (int m = 0; m < cd.num_smbs; ++m) {
+    if (p.site_of_smb[static_cast<std::size_t>(m)] >= 0) continue;
+    std::fill(visited.begin(), visited.end(), 0);
+    NM_CHECK_MSG(augment_smb(*legal, sites, m, &smb_at_site, &p.site_of_smb,
+                             &visited),
+                 "initial placement: SMB " << m
+                     << " cannot be placed on the surviving fabric");
+  }
   return p;
 }
 
@@ -49,14 +100,15 @@ double net_bbox_cost(const ClusteredDesign& cd, const Placement& placement,
 PlacementResult place_single(const ClusteredDesign& cd,
                              const ArchParams& arch,
                              const PlacementOptions& options,
-                             ThreadPool* pool) {
+                             ThreadPool* pool, const PlaceLegality* legal) {
   Rng rng(options.seed);
   PlacementResult result;
-  result.placement = initial_placement(cd, &rng);
+  result.placement = initial_placement(cd, &rng, legal);
   if (cd.num_smbs == 0) return result;
 
   // Step 1: fast low-precision placement.
-  Annealer fast(cd, result.placement, options.timing_weight, &rng, pool);
+  Annealer fast(cd, result.placement, options.timing_weight, &rng, pool,
+                legal);
   fast.run(options.fast_effort);
   result.placement = fast.placement();
   result.moves_attempted = fast.moves_attempted();
@@ -69,7 +121,8 @@ PlacementResult place_single(const ClusteredDesign& cd,
              options.routable_threshold &&
          attempts < options.max_refine_attempts) {
     ++attempts;
-    Annealer refine(cd, result.placement, options.timing_weight, &rng, pool);
+    Annealer refine(cd, result.placement, options.timing_weight, &rng, pool,
+                    legal);
     refine.run(options.fast_effort * 2.0);
     result.placement = refine.placement();
     result.moves_attempted += refine.moves_attempted();
@@ -85,7 +138,7 @@ PlacementResult place_single(const ClusteredDesign& cd,
   // detailed anneal runs either way — it usually improves routability too.
   {
     Annealer detailed(cd, result.placement, options.timing_weight, &rng,
-                      pool);
+                      pool, legal);
     detailed.run(options.detailed_effort);
     result.placement = detailed.placement();
     result.moves_attempted += detailed.moves_attempted();
@@ -103,6 +156,83 @@ PlacementResult place_single(const ClusteredDesign& cd,
 }
 
 }  // namespace
+
+PlaceLegality::PlaceLegality(const ClusteredDesign& cd,
+                             const ArchParams& arch, const GridSize& grid)
+    : num_smbs_(cd.num_smbs), sites_(grid.sites()),
+      active_(arch.defects.active()) {
+  if (!active_) return;
+  const DefectSpec& spec = arch.defects;
+  const int les = arch.les_per_smb();
+  // Which LE slots each SMB actually configures, across all cycles.
+  std::vector<char> used(
+      static_cast<std::size_t>(num_smbs_) * static_cast<std::size_t>(les),
+      0);
+  for (const LutPlacement& lp : cd.place) {
+    if (lp.smb >= 0 && lp.slot >= 0 && lp.slot < les)
+      used[static_cast<std::size_t>(lp.smb) * static_cast<std::size_t>(les) +
+           static_cast<std::size_t>(lp.slot)] = 1;
+  }
+  ok_.assign(
+      static_cast<std::size_t>(sites_) * static_cast<std::size_t>(num_smbs_),
+      0);
+  std::vector<char> slot_dead(static_cast<std::size_t>(les));
+  for (int site = 0; site < sites_; ++site) {
+    const int x = site % grid.width;
+    const int y = site / grid.width;
+    const bool smb_dead = defect_smb_dead(spec, x, y);
+    if (smb_dead) ++dead_smb_sites_;
+    bool any_slot_dead = false;
+    for (int s = 0; s < les; ++s) {
+      slot_dead[static_cast<std::size_t>(s)] =
+          defect_le_dead(spec, x, y, s) ? 1 : 0;
+      if (slot_dead[static_cast<std::size_t>(s)]) {
+        ++dead_le_slots_;
+        any_slot_dead = true;
+      }
+    }
+    if (smb_dead) continue;  // every SMB rejected here
+    for (int m = 0; m < num_smbs_; ++m) {
+      bool fits = true;
+      if (any_slot_dead) {
+        for (int s = 0; s < les && fits; ++s) {
+          if (slot_dead[static_cast<std::size_t>(s)] &&
+              used[static_cast<std::size_t>(m) *
+                       static_cast<std::size_t>(les) +
+                   static_cast<std::size_t>(s)])
+            fits = false;
+        }
+      }
+      ok_[static_cast<std::size_t>(site) *
+              static_cast<std::size_t>(num_smbs_) +
+          static_cast<std::size_t>(m)] = fits ? 1 : 0;
+    }
+  }
+}
+
+bool PlaceLegality::feasible() const {
+  if (!active_) return num_smbs_ <= sites_;
+  std::vector<int> smb_at_site(static_cast<std::size_t>(sites_), -1);
+  std::vector<char> visited(static_cast<std::size_t>(sites_));
+  std::function<bool(int)> augment = [&](int smb) {
+    for (int site = 0; site < sites_; ++site) {
+      if (visited[static_cast<std::size_t>(site)] || !ok(site, smb))
+        continue;
+      visited[static_cast<std::size_t>(site)] = 1;
+      int holder = smb_at_site[static_cast<std::size_t>(site)];
+      if (holder < 0 || augment(holder)) {
+        smb_at_site[static_cast<std::size_t>(site)] = smb;
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int m = 0; m < num_smbs_; ++m) {
+    std::fill(visited.begin(), visited.end(), 0);
+    if (!augment(m)) return false;
+  }
+  return true;
+}
 
 double placement_cost(const ClusteredDesign& cd, const Placement& placement,
                       double timing_weight, ThreadPool* pool) {
@@ -213,6 +343,16 @@ PlacementResult place_design(const ClusteredDesign& cd,
   NM_TRACE_COUNT("place.calls", 1);
   const int restarts = std::max(1, options.restarts);
   NM_TRACE_COUNT("place.restarts", restarts);
+  // One shared defect-legality table per placement (const after build, so
+  // restart workers read it concurrently without synchronization).
+  std::optional<PlaceLegality> legality;
+  const PlaceLegality* legal = nullptr;
+  if (arch.defects.active()) {
+    legality.emplace(cd, arch, size_grid_for(cd.num_smbs));
+    legal = &*legality;
+    NM_TRACE_COUNT("defect.smb_masked", legality->dead_smb_sites());
+    NM_TRACE_COUNT("defect.le_masked", legality->dead_le_slots());
+  }
   std::vector<PlacementResult> candidates(
       static_cast<std::size_t>(restarts));
   // Each restart is one pool task with its own RNG stream; restart r's
@@ -222,7 +362,7 @@ PlacementResult place_design(const ClusteredDesign& cd,
     PlacementOptions per = options;
     per.seed = derive_seed(options.seed, static_cast<std::uint64_t>(r));
     candidates[static_cast<std::size_t>(r)] =
-        place_single(cd, arch, per, pool);
+        place_single(cd, arch, per, pool, legal);
   });
 
   // Best cost wins; exact-tie goes to the lowest restart index so the

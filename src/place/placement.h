@@ -51,6 +51,42 @@ struct PlacementOptions {
   int restarts = 1;
 };
 
+// Defect legality for placement on an imperfect fabric (arch/defect.h):
+// which SMBs may occupy which grid sites. An SMB may occupy a site iff
+// the site's SMB logic is alive and every LE slot the SMB *actually
+// configures* (across all folding cycles) is alive there — a dead slot
+// only disqualifies SMBs that use it. With an inactive defect spec every
+// site is legal and ok() is a constant-true fast path, so defect-free
+// placement behaves byte-identically to the historical placer.
+class PlaceLegality {
+ public:
+  PlaceLegality(const ClusteredDesign& cd, const ArchParams& arch,
+                const GridSize& grid);
+
+  bool active() const { return active_; }
+  bool ok(int site, int smb) const {
+    return !active_ ||
+           ok_[static_cast<std::size_t>(site) *
+                   static_cast<std::size_t>(num_smbs_) +
+               static_cast<std::size_t>(smb)] != 0;
+  }
+  // Defect tallies over the whole grid (trace counters).
+  long dead_smb_sites() const { return dead_smb_sites_; }
+  long dead_le_slots() const { return dead_le_slots_; }
+  // True when every SMB can claim a distinct legal site (bipartite
+  // matching over the legality table). The flow turns a failure into
+  // FlowErrorKind::kDefectInfeasible before attempting placement.
+  bool feasible() const;
+
+ private:
+  int num_smbs_ = 0;
+  int sites_ = 0;
+  bool active_ = false;
+  long dead_smb_sites_ = 0;
+  long dead_le_slots_ = 0;
+  std::vector<char> ok_;  // site-major: [site * num_smbs + smb]
+};
+
 struct RoutabilityEstimate {
   double peak_utilization = 0.0;  // demand / capacity on the worst channel
   double avg_utilization = 0.0;

@@ -477,10 +477,11 @@ class CycleRouter {
   }
 
   // Conservative footprints for the speculative scheduler. A tree's
-  // bounding box over node anchors contains the anchor of every node it
-  // uses, so box-disjoint trees are node-disjoint; the pre-first-search
-  // terminal box is merely a good guess (conflicts are caught at commit
-  // either way).
+  // bounding box over non-global node anchors contains the anchor of
+  // every such node it uses, and its global lines land in the per-axis
+  // row/column masks, so disjoint footprints mean node-disjoint trees;
+  // the pre-first-search terminal box is merely a good guess (conflicts
+  // are caught at commit either way).
   NetFootprint terminal_footprint(int net_index,
                                   const std::vector<int>& sinks) const {
     const PlacedNet& pn = cd_.nets[static_cast<std::size_t>(net_index)];
@@ -499,6 +500,17 @@ class CycleRouter {
     NetFootprint f;
     for (int n : tree) {
       const RrNode& node = rr_.node(n);
+      if (node.type == RrType::kGlobal) {
+        // A global line spans its whole row/column but anchors at x/y =
+        // 0; folding the anchor into the box would stretch it to the
+        // fabric edge (deflating batch sizes on global-heavy circuits).
+        // Record the spanned row/column in the per-axis masks instead.
+        if (node.dir == 0)
+          f.global_rows |= 1ull << (node.y % 64);
+        else
+          f.global_cols |= 1ull << (node.x % 64);
+        continue;
+      }
       if (f.max_x < f.min_x) {
         f.min_x = f.max_x = node.x;
         f.min_y = f.max_y = node.y;
@@ -986,6 +998,19 @@ RoutingResult route_design(const ClusteredDesign& cd,
         default: break;
       }
     }
+  }
+  if (rr.arch().defects.active() && result.success && Trace::enabled()) {
+    // A converged route has occ <= capacity everywhere, so every
+    // fully-broken channel (capacity 0) the fabric carries was steered
+    // around. Result-derived, hence deterministic at any thread count.
+    long avoided = 0;
+    for (int n = 0; n < rr.size(); ++n) {
+      const RrNode& node = rr.node(n);
+      if (node.capacity == 0 && node.type != RrType::kOpin &&
+          node.type != RrType::kIpin)
+        ++avoided;
+    }
+    NM_TRACE_COUNT("route.defect_avoided", avoided);
   }
   NM_LOG(kDebug) << "routing: " << result.nets.size() << " nets, usage d/1/4/g "
                  << result.usage.direct << "/" << result.usage.len1 << "/"

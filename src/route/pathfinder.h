@@ -83,15 +83,30 @@ struct RouterOptions {
 
 // Bounding region of one net's current route tree (its terminals before
 // the first search) — the speculative scheduler's cheap conservative
-// disjointness test. Every RR node has an anchor site inside the bounding
-// box of the tree that uses it, so nets with disjoint footprints cannot
-// contend for a node.
+// disjointness test. Every non-global RR node has an anchor site inside
+// the bounding box of the tree that uses it, so nets with disjoint
+// footprints (and no shared global lines) cannot contend for a node.
+//
+// Global lines get span-accurate treatment instead of the bbox: a
+// horizontal global line is the whole row y and a vertical one the whole
+// column x, but both *anchor* at x/y = 0 — folding them into the bbox
+// used to stretch every global user's box to the fabric edge and deflate
+// speculative batch sizes on global-heavy circuits. They now live in
+// per-axis occupancy masks (row/column index mod 64); two footprints
+// sharing a masked row or column conflict regardless of their boxes. The
+// mod-64 fold can only alias distinct rows/columns together, i.e. report
+// a false overlap — conservative, never unsound.
 struct NetFootprint {
   int min_x = 0;
   int min_y = 0;
   int max_x = -1;  // empty by default (max < min overlaps nothing)
   int max_y = -1;
+  std::uint64_t global_rows = 0;  // horizontal global lines: bit (y % 64)
+  std::uint64_t global_cols = 0;  // vertical global lines: bit (x % 64)
   bool overlaps(const NetFootprint& o) const {
+    if ((global_rows & o.global_rows) != 0 ||
+        (global_cols & o.global_cols) != 0)
+      return true;
     return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
            o.min_y <= max_y;
   }

@@ -4,9 +4,24 @@
 #include <map>
 #include <sstream>
 
+#include "util/trace.h"
+
 namespace nanomap {
 
 namespace {
+
+DefectWireKind defect_kind_of(RrType type) {
+  switch (type) {
+    case RrType::kDirect: return DefectWireKind::kDirect;
+    case RrType::kLen1: return DefectWireKind::kLen1;
+    case RrType::kLen4: return DefectWireKind::kLen4;
+    case RrType::kGlobal: return DefectWireKind::kGlobal;
+    case RrType::kOpin:
+    case RrType::kIpin: break;
+  }
+  NM_CHECK_MSG(false, "pins have no defect wire kind");
+  return DefectWireKind::kDirect;
+}
 std::uint64_t next_rr_uid() {
   static std::atomic<std::uint64_t> counter{0};
   return ++counter;
@@ -59,6 +74,11 @@ std::uint64_t compute_compat_sig(const GridSize& grid,
   f.mix(a.le_area_um2);
   f.mix(a.nram_overhead);
   f.mix(a.smb_wiring_factor);
+  // An active defect spec masks channel capacities; inactive specs
+  // contribute nothing so a zero-rate spec keeps the defect-free
+  // signature (and its cached routes).
+  std::uint64_t dsig = a.defects.content_sig();
+  if (dsig != 0) f.mix_bytes(&dsig, sizeof dsig);
   return f.h;
 }
 }  // namespace
@@ -88,7 +108,8 @@ bool can_widen_in_place(const ArchParams& from, const ArchParams& to) {
          from.ff_setup_ps == to.ff_setup_ps &&
          from.le_area_um2 == to.le_area_um2 &&
          from.nram_overhead == to.nram_overhead &&
-         from.smb_wiring_factor == to.smb_wiring_factor;
+         from.smb_wiring_factor == to.smb_wiring_factor &&
+         from.defects.content_sig() == to.defects.content_sig();
 }
 
 const char* rr_type_name(RrType type) {
@@ -114,15 +135,21 @@ void RrGraph::widen_channels(const ArchParams& to) {
   NM_CHECK_MSG(can_widen_in_place(arch_, to),
                "widen_channels: arch change is not a pure channel widening");
   for (RrNode& n : nodes_) {
-    int cap = n.capacity;
+    int tracks = -1;
     switch (n.type) {
-      case RrType::kDirect: cap = to.direct_links_per_side; break;
-      case RrType::kLen1: cap = to.len1_tracks; break;
-      case RrType::kLen4: cap = to.len4_tracks; break;
-      case RrType::kGlobal: cap = to.global_tracks; break;
+      case RrType::kDirect: tracks = to.direct_links_per_side; break;
+      case RrType::kLen1: tracks = to.len1_tracks; break;
+      case RrType::kLen4: tracks = to.len4_tracks; break;
+      case RrType::kGlobal: tracks = to.global_tracks; break;
       case RrType::kOpin:
-      case RrType::kIpin: break;  // pin capacity is not a channel width
+      case RrType::kIpin: continue;  // pin capacity is not a channel width
     }
+    // Re-derive the surviving capacity from the (unchanged) defect spec
+    // at the widened track count. The per-track Bernoulli model only
+    // appends draws when tracks grow, so the surviving count matches a
+    // fresh build at `to` and never shrinks in place.
+    int cap = tracks - defect_broken_tracks(to.defects, defect_kind_of(n.type),
+                                            n.x, n.y, n.dir, tracks);
     NM_CHECK(cap >= n.capacity);
     n.capacity = cap;
   }
@@ -131,11 +158,12 @@ void RrGraph::widen_channels(const ArchParams& to) {
 }
 
 int RrGraph::add_node(RrType type, int x, int y, int capacity, double delay,
-                      double base_cost) {
+                      double base_cost, int dir) {
   RrNode n;
   n.type = type;
   n.x = x;
   n.y = y;
+  n.dir = static_cast<std::uint8_t>(dir);
   n.capacity = capacity;
   n.delay_ps = delay;
   n.base_cost = base_cost;
@@ -160,6 +188,20 @@ void RrGraph::build(const ArchParams& arch) {
   const int h = grid_.height;
   const int sites = w * h;
 
+  // Channel nodes carry their *surviving* capacity: physical tracks
+  // minus the defect model's broken tracks for that channel. A channel
+  // whose every track is broken stays in the graph with capacity 0 — the
+  // topology (and compat node ids) is defect-independent; PathFinder's
+  // occupancy-vs-capacity negotiation keeps converged routes off it.
+  long long wire_masked = 0;
+  auto add_channel = [&](RrType type, int x, int y, int dir, int tracks,
+                         double delay, double cost) {
+    int broken = defect_broken_tracks(arch.defects, defect_kind_of(type), x,
+                                      y, dir, tracks);
+    wire_masked += broken;
+    return add_node(type, x, y, tracks - broken, delay, cost, dir);
+  };
+
   opin_.resize(static_cast<std::size_t>(sites));
   ipin_.resize(static_cast<std::size_t>(sites));
   for (int y = 0; y < h; ++y) {
@@ -182,9 +224,9 @@ void RrGraph::build(const ArchParams& arch) {
           int nx = x + kDx[dir];
           int ny = y + kDy[dir];
           if (nx < 0 || nx >= w || ny < 0 || ny >= h) continue;
-          int d = add_node(RrType::kDirect, x, y,
-                           arch.direct_links_per_side,
-                           arch.direct_link_delay_ps, 1.0);
+          int d = add_channel(RrType::kDirect, x, y, dir,
+                              arch.direct_links_per_side,
+                              arch.direct_link_delay_ps, 1.0);
           add_edge(opin(x, y), d);
           add_edge(d, ipin(nx, ny));
         }
@@ -198,12 +240,14 @@ void RrGraph::build(const ArchParams& arch) {
   if (arch.len1_tracks > 0) {
     for (int y = 0; y < h; ++y)
       for (int x = 0; x + 1 < w; ++x)
-        len1_h[{x, y}] = add_node(RrType::kLen1, x, y, arch.len1_tracks,
-                                  arch.len1_wire_delay_ps, 1.2);
+        len1_h[{x, y}] = add_channel(RrType::kLen1, x, y, 0,
+                                     arch.len1_tracks,
+                                     arch.len1_wire_delay_ps, 1.2);
     for (int y = 0; y + 1 < h; ++y)
       for (int x = 0; x < w; ++x)
-        len1_v[{x, y}] = add_node(RrType::kLen1, x, y, arch.len1_tracks,
-                                  arch.len1_wire_delay_ps, 1.2);
+        len1_v[{x, y}] = add_channel(RrType::kLen1, x, y, 1,
+                                     arch.len1_tracks,
+                                     arch.len1_wire_delay_ps, 1.2);
 
     auto connect_len1 = [&](int seg, int x0, int y0, int x1, int y1) {
       add_edge(opin(x0, y0), seg);
@@ -243,8 +287,8 @@ void RrGraph::build(const ArchParams& arch) {
   if (arch.len4_tracks > 0) {
     std::map<std::pair<int, int>, int> len4_h, len4_v;
     auto add_len4 = [&](bool horizontal, int x, int y, int span) {
-      int seg = add_node(RrType::kLen4, x, y, arch.len4_tracks,
-                         arch.len4_wire_delay_ps, 1.6);
+      int seg = add_channel(RrType::kLen4, x, y, horizontal ? 0 : 1,
+                            arch.len4_tracks, arch.len4_wire_delay_ps, 1.6);
       for (int i = 0; i <= span; ++i) {
         int sx = horizontal ? x + i : x;
         int sy = horizontal ? y : y + i;
@@ -281,8 +325,8 @@ void RrGraph::build(const ArchParams& arch) {
     std::vector<int> glob_v(static_cast<std::size_t>(w));
     for (int y = 0; y < h; ++y) {
       glob_h[static_cast<std::size_t>(y)] =
-          add_node(RrType::kGlobal, 0, y, arch.global_tracks,
-                   arch.global_wire_delay_ps, 2.5);
+          add_channel(RrType::kGlobal, 0, y, 0, arch.global_tracks,
+                      arch.global_wire_delay_ps, 2.5);
       for (int x = 0; x < w; ++x) {
         add_edge(opin(x, y), glob_h[static_cast<std::size_t>(y)]);
         add_edge(glob_h[static_cast<std::size_t>(y)], ipin(x, y));
@@ -290,8 +334,8 @@ void RrGraph::build(const ArchParams& arch) {
     }
     for (int x = 0; x < w; ++x) {
       glob_v[static_cast<std::size_t>(x)] =
-          add_node(RrType::kGlobal, x, 0, arch.global_tracks,
-                   arch.global_wire_delay_ps, 2.5);
+          add_channel(RrType::kGlobal, x, 0, 1, arch.global_tracks,
+                      arch.global_wire_delay_ps, 2.5);
       for (int y = 0; y < h; ++y) {
         add_edge(opin(x, y), glob_v[static_cast<std::size_t>(x)]);
         add_edge(glob_v[static_cast<std::size_t>(x)], ipin(x, y));
@@ -306,6 +350,9 @@ void RrGraph::build(const ArchParams& arch) {
       }
     }
   }
+
+  if (arch.defects.active())
+    NM_TRACE_COUNT("defect.wire_masked", static_cast<long>(wire_masked));
 }
 
 std::string RrGraph::describe(int id) const {

@@ -41,6 +41,12 @@ struct RrNode {
   RrType type = RrType::kOpin;
   int x = 0;  // anchor site
   int y = 0;
+  // Channel orientation within the anchor: direct links use 0..3 =
+  // e/w/n/s; len1/len4/global use 0 = horizontal, 1 = vertical. Together
+  // with (type, x, y) this names the physical channel — the key the
+  // defect model masks by, and what tells a horizontal global line (full
+  // row at y) from a vertical one (full column at x).
+  std::uint8_t dir = 0;
   int capacity = 1;
   double delay_ps = 0.0;
   double base_cost = 1.0;
@@ -51,7 +57,8 @@ struct RrNode {
 // without adding or removing nodes or edges: only channel track counts may
 // change, each non-decreasing, and a channel type that was absent (zero
 // tracks, so its nodes were never built) must stay absent. Everything else
-// — grid-independent topology knobs, delays, logic hierarchy — must match.
+// — grid-independent topology knobs, delays, logic hierarchy, and the
+// defect spec (masked capacities are recomputed from it) — must match.
 bool can_widen_in_place(const ArchParams& from, const ArchParams& to);
 
 class RrGraph {
@@ -74,9 +81,11 @@ class RrGraph {
   // with channel track counts and must be re-checked live. Hashes the
   // grid plus every ArchParams field that shapes the build, with track
   // counts collapsed to presence bits (a widened sibling stays
-  // compatible). The per-net route cache keys on this so geometry-equal
-  // nets transfer between graphs (e.g. across an explorer chain's
-  // channel variants).
+  // compatible), plus the defect-spec content signature when defects are
+  // active — a defect mask changes which capacities are zero, so cached
+  // routes must never transfer across differing masks. The per-net route
+  // cache keys on this so geometry-equal nets transfer between graphs
+  // (e.g. across an explorer chain's channel variants).
   std::uint64_t compat_sig() const { return compat_sig_; }
   // Bumped by every widen_channels call. Route trees proven legal at epoch
   // e stay legal at any epoch >= e (capacities only ever grow), but cost
@@ -97,7 +106,7 @@ class RrGraph {
 
  private:
   int add_node(RrType type, int x, int y, int capacity, double delay,
-               double base_cost);
+               double base_cost, int dir = 0);
   void add_edge(int from, int to);
   void build(const ArchParams& arch);
 

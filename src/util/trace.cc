@@ -219,6 +219,9 @@ const std::vector<std::string>& Trace::known_counter_sites() {
   static const std::vector<std::string> sites = {
       "bitmap.bits",           // flow: configuration bits emitted
       "bitmap.configs",        // flow: NRAM configuration sets emitted
+      "defect.le_masked",      // place: dead LE slots masked on the grid
+      "defect.smb_masked",     // place: dead SMB sites masked on the grid
+      "defect.wire_masked",    // route/rr_graph: broken wire tracks masked
       "explore.candidates",    // flow/explore: candidate flow jobs run
       "explore.warm_starts",   // flow/explore: candidates seeded from a donor
       "fds.candidates_scored", // core/fds_kernel: dirty (node,stage) rescored
@@ -229,12 +232,14 @@ const std::vector<std::string>& Trace::known_counter_sites() {
       "flow.recovery.events",  // flow: retry/escalate/fallback/degrade events
       "place.accepted",        // place: SA moves accepted (all restarts)
       "place.calls",           // place: place_design invocations
+      "place.defect_rejects",  // place/annealer: moves refused by dead sites
       "place.moves",           // place: SA moves attempted (all restarts)
       "place.restarts",        // place: independent annealing chains run
       "place.temperatures",    // place/annealer: temperature steps annealed
       "route.calls",           // route: route_design invocations
       "route.cycle_cache_lookups",  // route/pathfinder: RouteState probes
       "route.cycles_reused",   // route/pathfinder: cycles replayed from cache
+      "route.defect_avoided",  // route/pathfinder: capacity-0 channels kept clean
       "route.net_cache_hits",  // route/pathfinder: searches served per-net
       "route.net_cache_misses",  // route/pathfinder: searches that ran A*
       "route.reroutes",        // route/pathfinder: net searches executed

@@ -3,6 +3,7 @@
 // broken netlists that fail validation later).
 #include <gtest/gtest.h>
 
+#include "arch/defect.h"
 #include "map/bench_format.h"
 #include "rtl/blif.h"
 #include "rtl/parser.h"
@@ -86,6 +87,25 @@ TEST(FuzzParsers, VerilogSurvivesTokenSoup) {
       505, 300);
 }
 
+TEST(FuzzParsers, DefectMapSurvivesTokenSoup) {
+  expect_no_crash(
+      [](const std::string& t) { return parse_defect_map(t); },
+      {"defect_map", "v1", "v2", "grid", "smb", "le", "wire", "direct",
+       "len1", "len4", "global", "h", "v", "e", "w", "n", "s", "0", "1",
+       "7", "8", "15", "-1", "999999999999", "3.5", "#", "grid 8 8",
+       "smb 1 2", "le 3 4 7", "wire len1 0 0 h 2"},
+      606, 300);
+}
+
+TEST(FuzzParsers, DefectRatesSurviveTokenSoup) {
+  expect_no_crash(
+      [](const std::string& t) { return parse_defect_rates(t); },
+      {"seed=", "le=", "smb=", "wire=", "bogus=", "seed=7", "le=0.01",
+       "smb=1.0", "wire=-0.5", "le=2", "wire=nan", "0.5", "1e300", ",",
+       "=", "seed=0xff", ""},
+      707, 300);
+}
+
 // --- structured hostile corpora ---------------------------------------------
 //
 // Beyond token soup: every parser must turn (a) valid programs truncated
@@ -108,6 +128,9 @@ const char kValidVhdl[] =
 const char kValidVerilog[] =
     "module m(a, b, y);\n  input a, b;\n  output y;\n"
     "  assign y = a & b;\nendmodule\n";
+const char kValidDefectMap[] =
+    "defect_map v1\n# a comment\ngrid 8 8\nsmb 1 2\nle 3 4 7\n"
+    "wire direct 0 0 e 1\nwire len1 0 0 h 2\nwire global 5 0 v 1\n";
 
 template <typename ParseFn>
 void expect_clean_rejection(ParseFn parse, const std::string& text) {
@@ -147,6 +170,8 @@ TEST(FuzzParsers, TruncatedProgramsRejectCleanly) {
                    kValidVhdl);
   truncation_sweep([](const std::string& t) { return parse_verilog(t); },
                    kValidVerilog);
+  truncation_sweep([](const std::string& t) { return parse_defect_map(t); },
+                   kValidDefectMap);
 }
 
 TEST(FuzzParsers, EmbeddedNulBytesRejectCleanly) {
@@ -158,6 +183,8 @@ TEST(FuzzParsers, EmbeddedNulBytesRejectCleanly) {
                      kValidVhdl, 33);
   embedded_nul_sweep([](const std::string& t) { return parse_verilog(t); },
                      kValidVerilog, 44);
+  embedded_nul_sweep([](const std::string& t) { return parse_defect_map(t); },
+                     kValidDefectMap, 55);
 }
 
 TEST(FuzzParsers, OversizedTokensRejectCleanly) {
@@ -209,6 +236,51 @@ TEST(FuzzParsers, OversizedTokensRejectCleanly) {
       [](const std::string& t) { return parse_verilog(t); },
       "module m(a, y);\n  input a;\n  output y;\n  assign y = a[" +
           huge_digits + "];\nendmodule\n");
+}
+
+TEST(FuzzParsers, DefectMapHostileInputsRejectCleanly) {
+  const std::string huge_digits(300, '9');
+  auto parse = [](const std::string& t) { return parse_defect_map(t); };
+  // Duplicate sites and channels.
+  expect_clean_rejection(parse,
+                         "defect_map v1\ngrid 4 4\nsmb 1 1\nsmb 1 1\n");
+  expect_clean_rejection(parse,
+                         "defect_map v1\ngrid 4 4\nle 1 1 0\nle 1 1 0\n");
+  expect_clean_rejection(
+      parse,
+      "defect_map v1\ngrid 4 4\nwire len4 1 1 v 2\nwire len4 1 1 v 1\n");
+  // Out-of-grid coordinates and sites before any grid line.
+  expect_clean_rejection(parse, "defect_map v1\ngrid 4 4\nsmb 4 0\n");
+  expect_clean_rejection(parse, "defect_map v1\ngrid 4 4\nle 0 -1 0\n");
+  expect_clean_rejection(parse, "defect_map v1\nsmb 0 0\ngrid 4 4\n");
+  // Overflowing numbers must hit the integer guard, not wrap or throw
+  // std::out_of_range past the parser.
+  expect_clean_rejection(parse,
+                         "defect_map v1\ngrid " + huge_digits + " 4\n");
+  expect_clean_rejection(
+      parse, "defect_map v1\ngrid 4 4\nwire global 0 0 h " + huge_digits +
+                 "\n");
+  expect_clean_rejection(parse, "defect_map v1\ngrid 4 4\nle 0 0 " +
+                                    huge_digits + "\n");
+  // Wrong header, version, kind, direction, and count domain.
+  expect_clean_rejection(parse, "defect_map v2\ngrid 4 4\n");
+  expect_clean_rejection(parse, "grid 4 4\nsmb 0 0\n");
+  expect_clean_rejection(parse,
+                         "defect_map v1\ngrid 4 4\nwire len9 0 0 h 1\n");
+  expect_clean_rejection(parse,
+                         "defect_map v1\ngrid 4 4\nwire len1 0 0 e 1\n");
+  expect_clean_rejection(parse,
+                         "defect_map v1\ngrid 4 4\nwire len1 0 0 h 0\n");
+
+  // Inline rate specs: unknown keys, out-of-range rates, garbage values.
+  auto rates = [](const std::string& t) { return parse_defect_rates(t); };
+  expect_clean_rejection(rates, "seed=1,bogus=0.5");
+  expect_clean_rejection(rates, "le=1.5");
+  expect_clean_rejection(rates, "wire=-0.01");
+  expect_clean_rejection(rates, "le=" + huge_digits + "e300");
+  expect_clean_rejection(rates, "seed=" + huge_digits);
+  expect_clean_rejection(rates, "seed");
+  expect_clean_rejection(rates, ",,,");
 }
 
 TEST(FuzzParsers, AcceptedNmapInputsAlwaysValidate) {

@@ -2,6 +2,7 @@
 
 #include <random>
 
+#include "arch/defect.h"
 #include "circuits/random_dag.h"
 #include "core/folding.h"
 #include "core/schedule_graph.h"
@@ -652,6 +653,73 @@ TEST(PathFinderSpeculative, DispersedContendingNetsConflictAtCommit) {
   EXPECT_TRUE(validate_routing(cd, p, rr, want, &why)) << why;
 }
 
+TEST(PathFinderSpeculative, GlobalLineMasksKeepDistantFootprintsDisjoint) {
+  // Regression for the global-line anchoring bug: a global line's RR node
+  // anchors at x/y = 0, and folding that anchor into a tree's bounding
+  // box stretched every global-bearing footprint to the fabric edge,
+  // serializing iteration >= 2 batches on global-heavy circuits. Global
+  // lines now land in per-axis row/column masks instead, so two trees in
+  // opposite quadrants batch together as long as their spanned rows and
+  // columns differ.
+  NetFootprint a;  // quadrant near the origin, globals on row 6 / col 1
+  a.min_x = 1, a.max_x = 5, a.min_y = 1, a.max_y = 6;
+  a.global_rows = 1ull << 6;
+  a.global_cols = 1ull << 1;
+  NetFootprint b;  // far quadrant, globals on row 9 / col 14
+  b.min_x = 9, b.max_x = 14, b.min_y = 9, b.max_y = 12;
+  b.global_rows = 1ull << 9;
+  b.global_cols = 1ull << 14;
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_EQ(speculative_batch_ends({a, b}, 8), (std::vector<int>{2}));
+
+  // Sharing one global row forces a clash even with disjoint boxes...
+  NetFootprint c = b;
+  c.global_rows = 1ull << 6;  // same row as a
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_EQ(speculative_batch_ends({a, c}, 8), (std::vector<int>{1, 2}));
+  // ...including through the conservative mod-64 alias of the mask.
+  NetFootprint d = b;
+  d.global_rows = 1ull << (70 % 64);  // row 70 aliases row 6
+  EXPECT_TRUE(a.overlaps(d));
+
+  // A mask-only footprint (empty box: max < min) conflicts exactly on
+  // its global lines — the empty box itself overlaps nothing.
+  NetFootprint g;
+  g.global_cols = 1ull << 1;  // same column as a
+  EXPECT_TRUE(a.overlaps(g));
+  EXPECT_FALSE(b.overlaps(g));
+}
+
+TEST(PathFinderSpeculative, GlobalHeavyReripsStillBatchAcrossRows) {
+  // End-to-end companion to the mask regression above: the dispersed
+  // four-net scenario re-rips both pairs after iteration 1 (each pair
+  // shares its row's capacity-1 global line), and from iteration 2 on
+  // the footprints are committed *trees* containing global lines. With
+  // the old anchoring every such tree's box hit the fabric edge and all
+  // re-rips serialized (exactly one multi-net batch, from iteration 1's
+  // terminal boxes); with row/column masks the row-0 and row-2 nets
+  // keep batching, so multi-net batches outnumber the terminal one.
+  ArchParams arch = ArchParams::paper_instance_unbounded_k();
+  arch.direct_links_per_side = 0;
+  arch.len1_tracks = 0;
+  arch.len4_tracks = 0;
+  arch.global_tracks = 1;
+  ClusteredDesign cd = synthetic(24, 1,
+                                 {net(0, 0, 0, {2}), net(1, 0, 5, {7}),
+                                  net(2, 0, 16, {18}), net(3, 0, 20, {22})});
+  Placement p = row_placement(24, 8);
+  RrGraph rr(p.grid, arch);
+  RouterOptions off;
+  off.speculative = false;
+  const RoutingResult want = route_design(cd, p, rr, off);
+  ASSERT_TRUE(want.success) << want.overused_nodes << " overused";
+  ThreadPool pool(4);
+  const RoutingResult got = route_design(cd, p, rr, {}, &pool);
+  expect_identical(got, want, "global-heavy re-rips");
+  EXPECT_GE(got.reuse.spec_batches, 2)
+      << "tree footprints with global lines must stay batchable";
+}
+
 TEST(PathFinderNetCache, SharedGeometryAcrossDifferentCyclesHitsTheCache) {
   // Cycle 1 repeats one of cycle 0's net geometries next to a brand-new
   // net: the whole-cycle signatures differ (no cycle replay), but the
@@ -715,6 +783,56 @@ TEST(PathFinderNetCache, CarriesAcrossCallsToCompatSiblingGraphs) {
   RoutingResult r3 = route_design(cd, p, rr3, {}, nullptr, &state);
   EXPECT_EQ(r3.reuse.net_cache_hits, 0);
   expect_identical(r3, route_nets_reference(cd, p, rr3, {}), "slower");
+}
+
+TEST(PathFinderNetCache, DefectMaskChangeInvalidatesCompatSharing) {
+  // Editing the fabric's defect map is an arch edit: a graph built with
+  // masked wire capacity must never serve cached routes recorded on the
+  // clean fabric (a replayed route could run straight through a broken
+  // track), and two graphs with the *same* defect spec remain compatible
+  // siblings. The defect content signature is folded into compat_sig, so
+  // the per-net geometric cache partitions correctly on its own.
+  ArchParams arch = ArchParams::paper_instance();
+  std::vector<PlacedNet> nets;
+  nets.push_back(net(0, 0, 0, {5}));
+  nets.push_back(net(1, 0, 1, {6}));
+  ClusteredDesign cd = synthetic(8, 1, std::move(nets));
+  Placement p = row_placement(8, 8);
+  RouteState state;
+  RrGraph clean(p.grid, arch);
+  RoutingResult r1 = route_design(cd, p, clean, {}, nullptr, &state);
+  ASSERT_TRUE(r1.success);
+  EXPECT_GT(state.net_size(), 0u);
+
+  ArchParams broken = arch;
+  broken.defects = parse_defect_rates("seed=5,wire=0.15");
+  RrGraph rr_broken(p.grid, broken);
+  EXPECT_NE(clean.compat_sig(), rr_broken.compat_sig());
+  RoutingResult r2 = route_design(cd, p, rr_broken, {}, nullptr, &state);
+  ASSERT_TRUE(r2.success);
+  EXPECT_EQ(r2.reuse.net_cache_hits, 0)
+      << "routes recorded on the clean fabric leaked onto a broken one";
+  expect_identical(r2, route_nets_reference(cd, p, rr_broken, {}), "broken");
+
+  // Same defect spec on a fresh graph instance: compatible sibling, and
+  // the routes recorded on rr_broken replay.
+  RrGraph rr_same(p.grid, broken);
+  EXPECT_EQ(rr_broken.compat_sig(), rr_same.compat_sig());
+  EXPECT_NE(rr_broken.uid(), rr_same.uid());
+  RoutingResult r3 = route_design(cd, p, rr_same, {}, nullptr, &state);
+  ASSERT_TRUE(r3.success);
+  EXPECT_GE(r3.reuse.net_cache_hits, 1);
+  expect_identical(r3, route_nets_reference(cd, p, rr_same, {}), "sibling");
+
+  // A different defect seed is a different fabric: no sharing either way.
+  ArchParams reseeded = arch;
+  reseeded.defects = parse_defect_rates("seed=6,wire=0.15");
+  RrGraph rr_reseeded(p.grid, reseeded);
+  EXPECT_NE(rr_broken.compat_sig(), rr_reseeded.compat_sig());
+  RoutingResult r4 = route_design(cd, p, rr_reseeded, {}, nullptr, &state);
+  EXPECT_EQ(r4.reuse.net_cache_hits, 0);
+  expect_identical(r4, route_nets_reference(cd, p, rr_reseeded, {}),
+                   "reseeded");
 }
 
 TEST(PathFinder, UsageCountsByType) {

@@ -14,6 +14,12 @@
 //   --level L         force folding level L (0 = no folding)
 //   --k N             NRAM configuration sets (0 = unbounded; default 16)
 //   --arch FILE       load architecture parameters (key = value file)
+//   --defects SPEC    map onto an imperfect fabric (docs/FORMATS.md):
+//                     either a defect-map file, or inline seeded rates
+//                     "seed=S,le=R,smb=R,wire=R" (any subset of rates).
+//                     The flow places/routes around the dead resources;
+//                     if the circuit cannot fit the surviving fabric the
+//                     run exits 1 with error kind defect-infeasible.
 //   --dump-arch       print the resolved architecture parameters and exit
 //   --no-share        planes may not share resources (pipelined design)
 //   --seed S          random seed for placement/routing
@@ -71,6 +77,7 @@
 #include "rtl/blif.h"
 #include "rtl/parser.h"
 #include "arch/arch_file.h"
+#include "arch/defect.h"
 #include "flow/power.h"
 #include "netlist/optimize.h"
 #include "rtl/verilog.h"
@@ -101,7 +108,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.{nmap,blif,vhd}|bench:NAME> [--objective "
                "at|delay|area|both] [--area N] [--delay NS] [--level L] "
-               "[--k N] [--no-share] [--seed S] [--threads N] "
+               "[--k N] [--defects FILE|seed=S,le=R,smb=R,wire=R] "
+               "[--no-share] [--seed S] [--threads N] "
                "[--restarts N] [--route-batch N] [--route-spec[=off]] "
                "[--explore[=serial|parallel]] [--pareto] [--out FILE] "
                "[--blif-out FILE] [--report] [--report=json FILE] "
@@ -172,6 +180,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--arch") {
       try {
         opts.arch = parse_arch_file(next(), opts.arch);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return kExitInputError;
+      }
+    } else if (arg == "--defects") {
+      std::string v = next();
+      try {
+        opts.arch.defects = v.find('=') != std::string::npos
+                                ? parse_defect_rates(v)
+                                : parse_defect_map_file(v);
       } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return kExitInputError;
