@@ -425,11 +425,21 @@ class FlowEngine {
     for (std::size_t r = 0; r < rungs.size(); ++r) {
       const RouteRung& rung = rungs[r];
       int rr_nodes = 0;
+      // Graph builds go through the shared prototype cache when the
+      // caller installed one (flow-as-a-service); the copy handed out is
+      // indistinguishable from a fresh build, so the ladder widens it in
+      // place exactly as before.
+      auto build_rr = [&](const GridSize& grid, const ArchParams& arch) {
+        return options_.rr_provider != nullptr
+                   ? options_.rr_provider->make(grid, arch)
+                   : RrGraph(grid, arch);
+      };
       bool ok = guard("route", cand.level, attempt, [&] {
         if (!rr) {
-          rr.emplace(placed.placement.grid, rung.arch);
+          rr = build_rr(placed.placement.grid, rung.arch);
         } else if (!can_widen_in_place(rr->arch(), rung.arch)) {
-          rr.emplace(placed.placement.grid, rung.arch);  // full rebuild
+          // full rebuild
+          rr = build_rr(placed.placement.grid, rung.arch);
         } else if (tracks_differ(rr->arch(), rung.arch)) {
           rr->widen_channels(rung.arch);
         }
@@ -920,11 +930,17 @@ FlowResult run_flow_guarded(const Design& design, const FlowOptions& options,
                             FlowWarmStart* warm, bool attach_trace) {
   // Snapshot the collector (after the "flow" span closed) and attach the
   // machine-readable report. Used on the success and the error path, so
-  // --report=json always has a document to write.
+  // --report=json always has a document to write. A request-scoped
+  // collector (flow-as-a-service) takes precedence over the process-wide
+  // one, so a server job's report carries exactly that job's records.
   auto finalize = [&](FlowResult r) {
-    r.report = build_run_report(
-        options, r,
-        attach_trace ? Trace::instance().snapshot() : TraceSnapshot{});
+    TraceSnapshot snap;
+    if (attach_trace) {
+      TraceCollector* request = current_request_trace_collector();
+      snap = request != nullptr ? request->snapshot()
+                                : Trace::instance().snapshot();
+    }
+    r.report = build_run_report(options, r, snap);
     return r;
   };
   auto error_result = [&](FlowErrorKind kind, const std::string& what) {
@@ -970,9 +986,31 @@ FlowResult run_nanomap_job(const Design& design, const FlowOptions& options,
   // owns one TraceScope for the whole sweep); this job only installs
   // thread-local ones, so any number of jobs can run concurrently.
   ThreadFaultScope faults(options.fault_plan);
-  TraceSpanMuteScope mute;
+  // Two request-context shapes (DESIGN.md §5k):
+  //  * a request-scoped collector is bound (the server's per-job
+  //    TraceRequestScope): the job owns its whole trace window, so spans
+  //    record normally into the private collector and, when asked, the
+  //    report snapshots it;
+  //  * no binding (the explorer's candidates over the process-wide
+  //    window): spans are muted so the shared span tree stays
+  //    deterministic — counters and values keep recording.
+  const bool request_scoped = current_request_trace_collector() != nullptr;
+  std::optional<TraceSpanMuteScope> mute;
+  if (!request_scoped) mute.emplace();
   if (warm != nullptr) warm->stats = WarmStartStats{};
-  return run_flow_guarded(design, options, warm, /*attach_trace=*/false);
+  return run_flow_guarded(design, options, warm,
+                          /*attach_trace=*/request_scoped &&
+                              options.collect_trace);
+}
+
+int exit_code_for(const FlowResult& r) {
+  if (r.feasible) return 0;
+  switch (r.error_kind) {
+    case FlowErrorKind::kInput: return 2;
+    case FlowErrorKind::kInternal:
+    case FlowErrorKind::kResourceExhausted: return 3;
+    default: return 1;  // clean infeasible
+  }
 }
 
 std::string summarize(const FlowResult& r) {

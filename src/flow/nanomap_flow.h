@@ -186,7 +186,11 @@ struct RunReport {
   // (flow/explore.h): the per-candidate outcome table and Pareto front.
   std::optional<ExploreReport> explore;
 
-  std::string to_json(bool include_timings = true) const;
+  // compact = true emits the same document as one single line (no
+  // newlines or indentation) — the form the JSON-lines server embeds in
+  // its response lines (docs/SERVING.md). Both forms parse identically.
+  std::string to_json(bool include_timings = true,
+                      bool compact = false) const;
 };
 
 // Bounds for the recovery ladder run_nanomap climbs before abandoning a
@@ -213,6 +217,22 @@ struct RecoveryOptions {
   // Final graceful-degradation step: when every candidate level failed,
   // try mapping without folding before declaring the design infeasible.
   bool try_no_folding = true;
+};
+
+// Factory hook for RR graphs, the flow-as-a-service shared-cache seam
+// (src/serve/cache.h implements it). make() must return a graph
+// indistinguishable from RrGraph(grid, arch) — same nodes, edges, delays,
+// costs and capacities — that the flow owns outright and may mutate
+// (the recovery ladder widens channels in place), so a caching provider
+// hands out *copies* of an immutable prototype, never the prototype
+// itself. Result-neutral by construction: only the graph's uid (a pure
+// cache key for RouteState, never an input to routing decisions) may
+// differ from a fresh build. Implementations must be thread-safe —
+// concurrent jobs share one provider.
+class RrGraphProvider {
+ public:
+  virtual ~RrGraphProvider() = default;
+  virtual RrGraph make(const GridSize& grid, const ArchParams& arch) = 0;
 };
 
 struct FlowOptions {
@@ -252,6 +272,13 @@ struct FlowOptions {
   // and on it never changes a result byte (tests/trace_test.cc). The CLI
   // exposes it as --trace and --report=json.
   bool collect_trace = false;
+  // Shared RR-graph source (flow-as-a-service). When set, every RR graph
+  // the routing ladder builds comes from provider->make() instead of a
+  // direct construction — the serving layer points this at its
+  // arch-keyed prototype cache so concurrent jobs over the same fabric
+  // skip repeated graph builds. Null (the default) builds directly.
+  // Never changes results (see RrGraphProvider). Not owned.
+  RrGraphProvider* rr_provider = nullptr;
 };
 
 // Rejects out-of-range options (negative threads, batch_size < 1,
@@ -316,6 +343,12 @@ struct FlowResult {
 };
 
 FlowResult run_nanomap(const Design& design, const FlowOptions& options);
+
+// The fixed exit-code taxonomy shared by the nanomap CLI and the
+// nanomap-server response lines (README "Exit codes"): 0 feasible,
+// 1 clean infeasible, 2 input error, 3 internal error / resource
+// exhaustion.
+int exit_code_for(const FlowResult& result);
 
 // The ordered folding levels run_nanomap's serial search tries for this
 // circuit under these options (before the AT-product re-ranking, which is
@@ -394,9 +427,12 @@ struct FlowWarmStart {
 // from run_nanomap:
 //  * options.fault_plan arms a thread-local ThreadFaultScope (hit
 //    counting private to this job) instead of the process-wide injector;
-//  * the trace collector is neither enabled nor snapshotted (the caller
-//    owns the TraceScope; counters/values recorded by this job land in
-//    the caller's collection window, spans are muted);
+//  * tracing is the caller's: under a TraceRequestScope (the serving
+//    layer binds one per job) this job's counters/spans land in that
+//    collector and, with collect_trace set, its snapshot fills the
+//    report; otherwise nothing is enabled or snapshotted — counters
+//    recorded by this job land in the caller's collection window and
+//    spans are muted (the parallel explorer's contract);
 //  * `warm`, when non-null, donates and receives chain state as
 //    documented on FlowWarmStart.
 FlowResult run_nanomap_job(const Design& design, const FlowOptions& options,

@@ -52,8 +52,8 @@ RunReport build_run_report(const FlowOptions& options,
   return r;
 }
 
-std::string RunReport::to_json(bool include_timings) const {
-  JsonWriter w;
+std::string RunReport::to_json(bool include_timings, bool compact) const {
+  JsonWriter w(compact);
   w.begin_object();
   w.field("version", version);
 

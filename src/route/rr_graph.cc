@@ -131,6 +131,12 @@ RrGraph::RrGraph(const GridSize& grid, const ArchParams& arch)
   build(arch);
 }
 
+RrGraph RrGraph::clone_for_reuse() const {
+  RrGraph copy = *this;
+  copy.uid_ = next_rr_uid();
+  return copy;
+}
+
 void RrGraph::widen_channels(const ArchParams& to) {
   NM_CHECK_MSG(can_widen_in_place(arch_, to),
                "widen_channels: arch change is not a pure channel widening");

@@ -99,6 +99,15 @@ class RrGraph {
   // can_widen_in_place(arch(), to).
   void widen_channels(const ArchParams& to);
 
+  // Copy of this graph under a fresh uid — the shared-prototype handout
+  // path (src/serve/cache.h). Cached route state is keyed by uid, so two
+  // live copies of one cached prototype must never share identity: a job
+  // holding two graphs stamped from the same prototype would otherwise
+  // replay RouteState entries across distinct instances. Everything
+  // routing reads (nodes, edges, capacities, compat_sig) is copied
+  // verbatim.
+  RrGraph clone_for_reuse() const;
+
   int opin(int x, int y) const;
   int ipin(int x, int y) const;
 

@@ -1,0 +1,155 @@
+#include "serve/job.h"
+
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace nanomap {
+namespace {
+
+// Integers survive a JSON double exactly up to 2^53; anything outside
+// would silently lose precision, so the parser rejects it instead.
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
+[[noreturn]] void fail(int line_no, const std::string& why) {
+  throw InputError("job line " + std::to_string(line_no) + ": " + why);
+}
+
+const std::string& as_string(const JsonValue& v, const std::string& key,
+                             int line_no) {
+  if (v.kind != JsonValue::Kind::kString)
+    fail(line_no, "key '" + key + "' must be a string");
+  return v.string;
+}
+
+bool as_bool(const JsonValue& v, const std::string& key, int line_no) {
+  if (v.kind != JsonValue::Kind::kBool)
+    fail(line_no, "key '" + key + "' must be true or false");
+  return v.boolean;
+}
+
+double as_number(const JsonValue& v, const std::string& key, int line_no,
+                 double min) {
+  if (v.kind != JsonValue::Kind::kNumber)
+    fail(line_no, "key '" + key + "' must be a number");
+  if (!(v.number >= min))
+    fail(line_no, "key '" + key + "' out of range");
+  return v.number;
+}
+
+int as_int(const JsonValue& v, const std::string& key, int line_no,
+           int min) {
+  double d = as_number(v, key, line_no, min);
+  double integral;
+  if (std::modf(d, &integral) != 0.0 || d > 2147483647.0)
+    fail(line_no, "key '" + key + "' must be an integer");
+  return static_cast<int>(d);
+}
+
+std::uint64_t as_u64(const JsonValue& v, const std::string& key,
+                     int line_no) {
+  double d = as_number(v, key, line_no, 0.0);
+  double integral;
+  if (std::modf(d, &integral) != 0.0 || d > kMaxExactInteger)
+    fail(line_no, "key '" + key + "' must be an integer below 2^53");
+  return static_cast<std::uint64_t>(d);
+}
+
+Objective parse_objective_token(const std::string& token, int line_no) {
+  if (token == "at") return Objective::kAreaDelayProduct;
+  if (token == "delay") return Objective::kMinDelay;
+  if (token == "area") return Objective::kMinArea;
+  if (token == "both") return Objective::kMeetBoth;
+  fail(line_no, "key 'objective' must be one of at|delay|area|both (got '" +
+                    token + "')");
+}
+
+}  // namespace
+
+const char* objective_token(Objective objective) {
+  switch (objective) {
+    case Objective::kAreaDelayProduct: return "at";
+    case Objective::kMinDelay: return "delay";
+    case Objective::kMinArea: return "area";
+    case Objective::kMeetBoth: return "both";
+  }
+  return "at";
+}
+
+ServeJob parse_job_line(const std::string& line, int line_no) {
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const InputError& e) {
+    fail(line_no, e.what());
+  }
+  if (!doc.is_object()) fail(line_no, "expected a JSON object");
+
+  std::set<std::string> seen;
+  for (const auto& [key, value] : doc.fields)
+    if (!seen.insert(key).second)
+      fail(line_no, "duplicate key '" + key + "'");
+
+  ServeJob job;
+  for (const auto& [key, value] : doc.fields) {
+    if (key == "id") {
+      job.id = as_string(value, key, line_no);
+    } else if (key == "circuit") {
+      job.circuit = as_string(value, key, line_no);
+    } else if (key == "objective") {
+      job.objective =
+          parse_objective_token(as_string(value, key, line_no), line_no);
+    } else if (key == "seed") {
+      job.seed = as_u64(value, key, line_no);
+    } else if (key == "level") {
+      job.level = as_int(value, key, line_no, /*min=*/-1);
+    } else if (key == "area") {
+      job.area = as_int(value, key, line_no, /*min=*/0);
+    } else if (key == "delay") {
+      job.delay = as_number(value, key, line_no, /*min=*/0.0);
+    } else if (key == "arch") {
+      job.arch_file = as_string(value, key, line_no);
+    } else if (key == "defects") {
+      job.defects = as_string(value, key, line_no);
+    } else if (key == "no_share") {
+      job.no_share = as_bool(value, key, line_no);
+    } else if (key == "deadline_ms") {
+      job.deadline_ms = as_number(value, key, line_no, /*min=*/0.0);
+    } else if (key == "trace") {
+      job.trace = as_bool(value, key, line_no);
+    } else if (key == "fault") {
+      job.fault = as_string(value, key, line_no);
+    } else {
+      fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+  if (job.circuit.empty())
+    fail(line_no, "missing required key 'circuit'");
+  return job;
+}
+
+std::string write_job_line(const ServeJob& job) {
+  JsonWriter w(/*compact=*/true);
+  w.begin_object();
+  if (!job.id.empty()) w.field("id", job.id);
+  w.field("circuit", job.circuit);
+  if (job.objective != Objective::kAreaDelayProduct)
+    w.field("objective", objective_token(job.objective));
+  if (job.seed)
+    w.field("seed", static_cast<unsigned long long>(*job.seed));
+  if (job.level != -1) w.field("level", job.level);
+  if (job.area != 0) w.field("area", job.area);
+  if (job.delay != 0.0) w.field("delay", job.delay);
+  if (!job.arch_file.empty()) w.field("arch", job.arch_file);
+  if (!job.defects.empty()) w.field("defects", job.defects);
+  if (job.no_share) w.field("no_share", true);
+  if (job.deadline_ms != 0.0) w.field("deadline_ms", job.deadline_ms);
+  if (job.trace) w.field("trace", true);
+  if (!job.fault.empty()) w.field("fault", job.fault);
+  w.end();
+  return w.str();
+}
+
+}  // namespace nanomap

@@ -1,0 +1,51 @@
+// One job line of the nanomap-server JSON-lines protocol
+// (docs/SERVING.md, docs/FORMATS.md "Serving job lines").
+//
+// Each request is one single-line JSON object. `circuit` is the only
+// required key; everything else defaults to the one-shot CLI's defaults
+// (objective "at", folding-level search, unconstrained, planes shared).
+// The parser is strict: non-object documents, unknown keys, duplicate
+// keys, and wrong-typed or out-of-range values all reject with an
+// InputError naming the line and the offending key — the server turns
+// that into a typed "rejected" response without killing the stream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "flow/nanomap_flow.h"
+
+namespace nanomap {
+
+struct ServeJob {
+  std::string id;          // echoed in the response; default "job-<line>"
+  std::string circuit;     // required: "bench:<name>" or a netlist path
+  Objective objective = Objective::kAreaDelayProduct;
+  std::optional<std::uint64_t> seed;  // unset: the server's default seed
+  int level = -1;          // forced folding level (-1 = search)
+  int area = 0;            // area constraint in LEs (0 = unconstrained)
+  double delay = 0.0;      // delay constraint in ns (0 = unconstrained)
+  std::string arch_file;   // optional .arch file applied over the base
+  std::string defects;     // optional defect spec (file path or rates)
+  bool no_share = false;   // planes may not share resources
+  double deadline_ms = 0.0;  // admission deadline (0 = none)
+  bool trace = false;      // fill the response report's trace sections
+  std::string fault;       // deterministic fault plan (tests)
+};
+
+// Parses one job line. `line_no` is the 1-based input line number, used
+// both in error messages and as the default job id. Throws InputError on
+// any malformed, unknown, duplicate, mistyped, or out-of-range content.
+ServeJob parse_job_line(const std::string& line, int line_no);
+
+// The inverse: one compact single-line JSON object that parse_job_line
+// accepts (default-valued fields are omitted). Used by the bench and the
+// tests to build job streams through the real serializer.
+std::string write_job_line(const ServeJob& job);
+
+// Short objective tokens of the job schema ("at", "delay", "area",
+// "both") — distinct from objective_name()'s long display names.
+const char* objective_token(Objective objective);
+
+}  // namespace nanomap

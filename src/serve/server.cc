@@ -1,0 +1,287 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "util/check.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace nanomap {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+// One non-blank input line waiting to run.
+struct PendingJob {
+  std::string text;
+  int line_no = 0;  // 1-based input line number
+  Clock::time_point arrival;
+};
+
+enum class JobStatus { kDone, kRejected, kDeadline, kFailed };
+
+const char* status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kDone: return "done";
+    case JobStatus::kRejected: return "rejected";
+    case JobStatus::kDeadline: return "deadline";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "failed";
+}
+
+struct JobOutcome {
+  std::string response;  // one complete line, no trailing newline
+  JobStatus status = JobStatus::kFailed;
+  bool feasible = false;
+  double latency_ms = 0.0;  // arrival -> response built (done jobs only)
+};
+
+constexpr int kServeVersion = 1;
+
+// Shared prefix of every response line. Field order is part of the wire
+// contract (docs/FORMATS.md): serve_version, id, line, status, ok,
+// exit_code, error, detail, elapsed_ms[, report].
+void begin_response(JsonWriter* w, const std::string& id, int line_no,
+                    JobStatus status, bool ok, int exit_code,
+                    const std::string& error, const std::string& detail) {
+  w->begin_object();
+  w->field("serve_version", kServeVersion);
+  w->field("id", id);
+  w->field("line", line_no);
+  w->field("status", status_name(status));
+  w->field("ok", ok);
+  w->field("exit_code", exit_code);
+  w->field("error", error);
+  w->field("detail", detail);
+}
+
+class JobRunner {
+ public:
+  JobRunner(const ServeOptions& options, ServeCaches* caches,
+            int threads_per_job)
+      : options_(options), caches_(caches),
+        threads_per_job_(threads_per_job) {}
+
+  // Never throws: every failure mode becomes a typed response line.
+  JobOutcome run(const PendingJob& pending) const {
+    ServeJob job;
+    try {
+      job = parse_job_line(pending.text, pending.line_no);
+    } catch (const InputError& e) {
+      return error_outcome(pending, "job-" + std::to_string(pending.line_no),
+                           JobStatus::kRejected, "parse", e.what());
+    }
+    const std::string id =
+        job.id.empty() ? "job-" + std::to_string(pending.line_no) : job.id;
+
+    // Admission-only deadline: a job past its deadline before it starts is
+    // answered without running; once admitted it always runs to completion
+    // (docs/SERVING.md "Deadlines"). The check reads the wall clock, so a
+    // deadlined job has exactly two possible response byte forms.
+    if (job.deadline_ms > 0.0 && ms_since(pending.arrival) > job.deadline_ms)
+      return error_outcome(pending, id, JobStatus::kDeadline, "deadline",
+                           "deadline of " + json_number(job.deadline_ms) +
+                               " ms expired before the job started");
+
+    // Cache resolution happens before the job's trace collector is bound,
+    // so parse/build work (and its hit-or-miss fate) never lands in the
+    // job's own report.
+    std::shared_ptr<const Design> design;
+    std::shared_ptr<const ArchParams> arch;
+    try {
+      design = caches_->design(job.circuit);
+      arch = caches_->arch(job.arch_file, job.defects, options_.base_arch);
+    } catch (const InputError& e) {
+      return error_outcome(pending, id, JobStatus::kRejected, "input",
+                           e.what());
+    } catch (const std::exception& e) {
+      return error_outcome(pending, id, JobStatus::kFailed, "internal",
+                           e.what());
+    }
+
+    FlowOptions fopts;
+    fopts.arch = *arch;
+    fopts.objective = job.objective;
+    fopts.area_constraint_le = job.area;
+    fopts.delay_constraint_ns = job.delay;
+    fopts.forced_folding_level = job.level;
+    fopts.planes_share = !job.no_share;
+    fopts.seed = job.seed ? *job.seed : options_.default_seed;
+    fopts.threads = threads_per_job_;
+    fopts.fault_plan = job.fault;
+    fopts.collect_trace = job.trace;
+    fopts.rr_provider = caches_;
+
+    FlowResult r;
+    try {
+      // The job's private trace window: spans/counters recorded by this
+      // job (on this thread and on its inner pool workers) land in
+      // `collector`, never in a sibling's. Bound only when the job asked
+      // to trace — untraced jobs skip collection entirely.
+      TraceCollector collector;
+      std::optional<TraceRequestScope> bind;
+      if (job.trace) bind.emplace(&collector);
+      r = run_nanomap_job(*design, fopts);
+    } catch (const InputError& e) {
+      return error_outcome(pending, id, JobStatus::kRejected, "input",
+                           e.what());
+    } catch (const std::exception& e) {
+      return error_outcome(pending, id, JobStatus::kFailed, "internal",
+                           e.what());
+    }
+    // The per-job thread count is a server scheduling detail (it changes
+    // with --workers); zero it so response bytes stay worker-count
+    // invariant. Everything else in the report is deterministic already.
+    r.report.threads = 0;
+
+    JobOutcome o;
+    o.status = JobStatus::kDone;
+    o.feasible = r.feasible;
+    o.latency_ms = ms_since(pending.arrival);
+    JsonWriter w(/*compact=*/true);
+    begin_response(&w, id, pending.line_no, JobStatus::kDone, r.feasible,
+                   exit_code_for(r), flow_error_kind_name(r.error_kind),
+                   r.message);
+    w.field("elapsed_ms", options_.include_timings ? o.latency_ms : 0.0);
+    w.key("report");
+    w.raw(r.report.to_json(options_.include_timings, /*compact=*/true));
+    w.end();
+    o.response = w.str();
+    NM_TRACE_COUNT("serve.jobs_done", 1);
+    return o;
+  }
+
+ private:
+  JobOutcome error_outcome(const PendingJob& pending, const std::string& id,
+                           JobStatus status, const std::string& error,
+                           const std::string& detail) const {
+    JobOutcome o;
+    o.status = status;
+    const int exit_code = status == JobStatus::kDeadline ? 1
+                          : status == JobStatus::kFailed ? 3
+                                                         : 2;
+    JsonWriter w(/*compact=*/true);
+    begin_response(&w, id, pending.line_no, status, /*ok=*/false, exit_code,
+                   error, detail);
+    w.field("elapsed_ms",
+            options_.include_timings ? ms_since(pending.arrival) : 0.0);
+    w.end();
+    o.response = w.str();
+    NM_TRACE_COUNT(status == JobStatus::kDeadline ? "serve.jobs_deadline"
+                                                  : "serve.jobs_rejected",
+                   1);
+    return o;
+  }
+
+  const ServeOptions& options_;
+  ServeCaches* caches_;
+  int threads_per_job_;
+};
+
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;  // nearest-rank, 1-based -> 0-based
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+}  // namespace
+
+ServeSummary serve_jobs(std::istream& in, std::ostream& out,
+                        const ServeOptions& options, ServeCaches* caches) {
+  ServeCaches local_caches;
+  if (caches == nullptr) caches = &local_caches;
+
+  const int total_threads =
+      options.threads > 0 ? options.threads : ThreadPool::hardware_threads();
+  const PoolSlice slice =
+      slice_pool(total_threads, options.workers > 0 ? options.workers : 1);
+  ThreadPool pool(slice.jobs);
+  JobRunner runner(options, caches, slice.threads_per_job);
+
+  ServeSummary summary;
+  const auto start = Clock::now();
+
+  // Jobs are read in chunks a few times the worker count: big enough to
+  // keep every slot busy, small enough that responses stream out while
+  // later input is still being read.
+  const int chunk_target = std::max(64, 8 * slice.jobs);
+  std::string line;
+  bool eof = false;
+  int line_no = 0;
+  while (!eof) {
+    std::vector<PendingJob> chunk;
+    while (static_cast<int>(chunk.size()) < chunk_target) {
+      if (!std::getline(in, line)) {
+        eof = true;
+        break;
+      }
+      ++line_no;
+      if (line.empty()) continue;  // blank separator lines, no response
+      chunk.push_back({line, line_no, Clock::now()});
+    }
+    if (chunk.empty()) continue;
+
+    // Ordered streaming commit: workers finish in any order, but a
+    // response is written only once every earlier response in the chunk
+    // is out, so the output order is the input order by construction.
+    std::vector<JobOutcome> outcomes(chunk.size());
+    std::vector<bool> ready(chunk.size(), false);
+    std::size_t next_emit = 0;
+    std::mutex emit_mu;
+    pool.parallel_for(static_cast<int>(chunk.size()), [&](int i) {
+      JobOutcome o = runner.run(chunk[static_cast<std::size_t>(i)]);
+      std::lock_guard<std::mutex> lock(emit_mu);
+      outcomes[static_cast<std::size_t>(i)] = std::move(o);
+      ready[static_cast<std::size_t>(i)] = true;
+      while (next_emit < ready.size() && ready[next_emit]) {
+        out << outcomes[next_emit].response << '\n';
+        ++next_emit;
+      }
+    });
+    out.flush();
+
+    for (const JobOutcome& o : outcomes) {
+      ++summary.jobs;
+      switch (o.status) {
+        case JobStatus::kDone:
+          ++summary.done;
+          if (o.feasible) ++summary.feasible;
+          summary.latencies_ms.push_back(o.latency_ms);
+          break;
+        case JobStatus::kRejected: ++summary.rejected; break;
+        case JobStatus::kDeadline: ++summary.deadline_expired; break;
+        case JobStatus::kFailed: ++summary.failed; break;
+      }
+    }
+  }
+
+  summary.wall_seconds = ms_since(start) / 1000.0;
+  if (summary.wall_seconds > 0.0)
+    summary.jobs_per_sec =
+        static_cast<double>(summary.jobs) / summary.wall_seconds;
+  std::vector<double> sorted = summary.latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  summary.p50_ms = percentile(sorted, 0.50);
+  summary.p99_ms = percentile(sorted, 0.99);
+  summary.cache = caches->stats();
+  return summary;
+}
+
+}  // namespace nanomap

@@ -69,7 +69,7 @@ void JsonWriter::end() {
   bool had_items = has_items_.back();
   stack_.pop_back();
   has_items_.pop_back();
-  if (had_items) {
+  if (had_items && !compact_) {
     out_.push_back('\n');
     indent();
   }
@@ -82,10 +82,12 @@ void JsonWriter::key(const std::string& name) {
   NM_CHECK_MSG(!pending_key_, "JsonWriter: key() twice in a row");
   if (has_items_.back()) out_.push_back(',');
   has_items_.back() = true;
-  out_.push_back('\n');
-  indent();
+  if (!compact_) {
+    out_.push_back('\n');
+    indent();
+  }
   out_ += json_quote(name);
-  out_ += ": ";
+  out_ += compact_ ? ":" : ": ";
   pending_key_ = true;
 }
 
@@ -106,8 +108,10 @@ void JsonWriter::separator() {
                "JsonWriter: value inside an object needs a key()");
   if (has_items_.back()) out_.push_back(',');
   has_items_.back() = true;
-  out_.push_back('\n');
-  indent();
+  if (!compact_) {
+    out_.push_back('\n');
+    indent();
+  }
 }
 
 void JsonWriter::indent() {
@@ -116,7 +120,7 @@ void JsonWriter::indent() {
 
 std::string JsonWriter::str() const {
   NM_CHECK_MSG(stack_.empty(), "JsonWriter: unclosed scope in str()");
-  return out_ + "\n";
+  return compact_ ? out_ : out_ + "\n";
 }
 
 // --- parsing ---------------------------------------------------------------

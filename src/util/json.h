@@ -41,8 +41,15 @@ std::string json_number(double value);
 //   w.end();  // array
 //   w.end();  // object
 //   std::string text = w.str();
+//
+// Compact mode (JsonWriter(true)) emits the same document with no
+// newlines, indentation, or trailing newline — one single-line document,
+// the dialect the JSON-lines serving protocol needs (docs/SERVING.md).
+// Both modes parse back identically through parse_json.
 class JsonWriter {
  public:
+  explicit JsonWriter(bool compact = false) : compact_(compact) {}
+
   void begin_object() { open('{'); }
   void begin_array() { open('['); }
   void end();  // closes the innermost object/array
@@ -67,7 +74,14 @@ class JsonWriter {
     value(v);
   }
 
-  // Finished document (all scopes must be closed).
+  // Injects `json` verbatim as the next value (array element or after
+  // key()). The caller vouches that it is one complete, well-formed JSON
+  // value — the embed-a-finished-document hook the serving layer uses to
+  // nest a compact RunReport inside a response line.
+  void raw(const std::string& json) { scalar(json); }
+
+  // Finished document (all scopes must be closed). Indented mode ends
+  // with a newline; compact mode is exactly one line with no newline.
   std::string str() const;
 
  private:
@@ -76,6 +90,7 @@ class JsonWriter {
   void separator();
   void indent();
 
+  bool compact_ = false;
   std::string out_;
   std::vector<char> stack_;      // '{' or '[' per open scope
   std::vector<bool> has_items_;  // whether the scope printed an item yet

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <limits>
 
+#include "util/trace.h"
+
 namespace nanomap {
 namespace {
 
@@ -61,9 +63,17 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
     (*task)();  // degenerate pool: run inline, future is already ready
     return future;
   }
+  // The submitting thread's request-scoped trace collector (flow-as-a-
+  // service: one per server job) rides along with the task, so a job's
+  // pool-side work records into the job's own collector instead of the
+  // worker's ambient one.
+  TraceCollector* trace = current_request_trace_collector();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back([task] { (*task)(); });
+    queue_.push_back([task, trace] {
+      TraceRequestScope scope(trace);
+      (*task)();
+    });
   }
   cv_.notify_one();
   return future;
@@ -131,13 +141,18 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   auto state = std::make_shared<ForState>();
   state->n = n;
   state->fn = &fn;
+  // Helpers inherit the calling thread's request-scoped trace collector
+  // (see submit()) so a request-context job's parallel stages keep
+  // recording into the job's own collector.
+  TraceCollector* trace = current_request_trace_collector();
   // One helper task per worker that could usefully participate; the
   // calling thread is the final participant.
   const int helpers = std::min(static_cast<int>(workers_.size()), n - 1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (int h = 0; h < helpers; ++h) {
-      queue_.push_back([state] {
+      queue_.push_back([state, trace] {
+        TraceRequestScope scope(trace);
         state->run_indices();
         {
           std::lock_guard<std::mutex> slock(state->mu);

@@ -11,6 +11,12 @@ namespace nanomap {
 
 using Clock = std::chrono::steady_clock;
 
+namespace internal {
+
+thread_local TraceCollector* tls_request_collector = nullptr;
+
+}  // namespace internal
+
 namespace {
 
 struct SpanRecord {
@@ -24,12 +30,23 @@ struct SpanRecord {
 
 // Per-thread span nesting stack (indices into Impl::spans). Thread-local
 // so a stray span on a worker thread nests within that thread only
-// instead of corrupting the flow's stage tree. tls_epoch invalidates a
-// thread's stale stack when a new collection window begins.
+// instead of corrupting the flow's stage tree. The stack belongs to one
+// (collector, epoch) pair: tls_epoch invalidates it when a new collection
+// window begins, and tls_span_owner invalidates it when the thread
+// switches between collectors (e.g. a server worker moving to the next
+// request's collector). Epoch values are process-unique, so a collector
+// reallocated at a recycled address can't revive a stale stack either.
 thread_local std::vector<int> tls_span_stack;
 thread_local long tls_epoch = -1;
+thread_local const void* tls_span_owner = nullptr;
 // Set by TraceSpanMuteScope: spans opened on this thread are dropped.
 thread_local bool tls_span_muted = false;
+
+// Process-unique epoch source shared by every collector.
+long next_trace_epoch() {
+  static std::atomic<long> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
@@ -37,7 +54,7 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
 
 }  // namespace
 
-struct Trace::Impl {
+struct TraceCollector::Impl {
   mutable std::mutex mu;
   std::map<std::string, long> counters;
   // Raw observations per value site. snapshot() folds them in sorted
@@ -45,56 +62,41 @@ struct Trace::Impl {
   // therefore of thread interleaving).
   std::map<std::string, std::vector<double>> values;
   std::vector<SpanRecord> spans;
-  // Epoch guard: bumped by enable(), so end_span ids from a previous
-  // collection window can't write into the new one.
-  long epoch = 0;
+  // Epoch guard: renewed by reset(), so end_span ids and per-thread
+  // nesting stacks from a previous collection window can't write into
+  // the new one.
+  long epoch = next_trace_epoch();
 };
 
-Trace::Trace() : impl_(new Impl) {}
-Trace::~Trace() { delete impl_; }
+TraceCollector::TraceCollector() : impl_(new Impl) {}
+TraceCollector::~TraceCollector() { delete impl_; }
 
-Trace& Trace::instance() {
-  static Trace trace;
-  return trace;
+void TraceCollector::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->counters.clear();
+  impl_->values.clear();
+  impl_->spans.clear();
+  impl_->epoch = next_trace_epoch();
 }
 
-std::atomic<bool>& Trace::enabled_flag() {
-  static std::atomic<bool> flag{false};
-  return flag;
-}
-
-void Trace::enable() {
-  {
-    std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->counters.clear();
-    impl_->values.clear();
-    impl_->spans.clear();
-    ++impl_->epoch;
-  }
-  enabled_flag().store(true, std::memory_order_relaxed);
-}
-
-void Trace::disable() {
-  enabled_flag().store(false, std::memory_order_relaxed);
-}
-
-void Trace::count(const char* site, long delta) {
+void TraceCollector::count(const char* site, long delta) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->counters[site] += delta;
 }
 
-void Trace::value(const char* site, double v) {
+void TraceCollector::value(const char* site, double v) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   impl_->values[site].push_back(v);
 }
 
-int Trace::begin_span(const char* name) {
+int TraceCollector::begin_span(const char* name) {
   if (tls_span_muted) return -1;
   const Clock::time_point now = Clock::now();
   std::lock_guard<std::mutex> lock(impl_->mu);
-  if (tls_epoch != impl_->epoch) {
+  if (tls_epoch != impl_->epoch || tls_span_owner != impl_) {
     tls_span_stack.clear();
     tls_epoch = impl_->epoch;
+    tls_span_owner = impl_;
   }
   SpanRecord rec;
   rec.name = name;
@@ -105,11 +107,11 @@ int Trace::begin_span(const char* name) {
   int id = static_cast<int>(impl_->spans.size());
   impl_->spans.push_back(rec);
   tls_span_stack.push_back(id);
-  // Encode the epoch so an id outliving a disable/enable cycle is inert.
+  // Encode the epoch so an id outliving a reset() cycle is inert.
   return static_cast<int>(impl_->epoch % 1024) * 1000000 + id;
 }
 
-void Trace::end_span(int id) {
+void TraceCollector::end_span(int id) {
   const Clock::time_point now = Clock::now();
   std::lock_guard<std::mutex> lock(impl_->mu);
   if (id / 1000000 != static_cast<int>(impl_->epoch % 1024)) return;
@@ -118,12 +120,12 @@ void Trace::end_span(int id) {
   SpanRecord& rec = impl_->spans[static_cast<std::size_t>(index)];
   rec.end = now;
   rec.open = false;
-  if (tls_epoch == impl_->epoch && !tls_span_stack.empty() &&
-      tls_span_stack.back() == index)
+  if (tls_epoch == impl_->epoch && tls_span_owner == impl_ &&
+      !tls_span_stack.empty() && tls_span_stack.back() == index)
     tls_span_stack.pop_back();
 }
 
-TraceSnapshot Trace::snapshot() const {
+TraceSnapshot TraceCollector::snapshot() const {
   const Clock::time_point now = Clock::now();
   TraceSnapshot snap;
   std::lock_guard<std::mutex> lock(impl_->mu);
@@ -152,6 +154,25 @@ TraceSnapshot Trace::snapshot() const {
     snap.values.push_back(std::move(row));
   }
   return snap;
+}
+
+Trace& Trace::instance() {
+  static Trace trace;
+  return trace;
+}
+
+std::atomic<bool>& Trace::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void Trace::enable() {
+  collector_.reset();
+  enabled_flag().store(true, std::memory_order_relaxed);
+}
+
+void Trace::disable() {
+  enabled_flag().store(false, std::memory_order_relaxed);
 }
 
 TraceSpanMuteScope::TraceSpanMuteScope() : previous_(tls_span_muted) {
@@ -245,6 +266,15 @@ const std::vector<std::string>& Trace::known_counter_sites() {
       "route.reroutes",        // route/pathfinder: net searches executed
       "route.spec_batches",    // route/pathfinder: multi-net speculative batches
       "route.spec_conflicts",  // route/pathfinder: members re-routed at commit
+      "serve.cache.arch_hits",     // serve/cache: arch configs served cached
+      "serve.cache.arch_misses",   // serve/cache: arch configs parsed fresh
+      "serve.cache.design_hits",   // serve/cache: circuits served cached
+      "serve.cache.design_misses", // serve/cache: circuits parsed fresh
+      "serve.cache.rr_hits",       // serve/cache: RR graphs copied from a prototype
+      "serve.cache.rr_misses",     // serve/cache: RR prototypes built fresh
+      "serve.jobs_deadline",   // serve/server: jobs expired before admission
+      "serve.jobs_done",       // serve/server: jobs run to a flow result
+      "serve.jobs_rejected",   // serve/server: malformed/invalid job lines
   };
   return sites;
 }

@@ -1,5 +1,5 @@
 // Deterministic, thread-safe tracing and metrics for the flow
-// (DESIGN.md §5f, docs/OBSERVABILITY.md).
+// (DESIGN.md §5f/§5k, docs/OBSERVABILITY.md).
 //
 // Three primitives, all keyed by a static site name from the registry
 // below:
@@ -9,9 +9,10 @@
 //   NM_TRACE_VALUE("route.iterations_per_cycle", iters);  value histogram
 //                                    (count / sum / min / max summary)
 //
-// Cost when disabled: one relaxed atomic load per site (the process-wide
-// enabled flag — the same pattern as util/fault.h's disarmed fast path).
-// No lock, no clock read, no string work.
+// Cost when disabled: one relaxed atomic load plus one thread-local read
+// per site (the process-wide enabled flag and the request-collector
+// binding — the same pattern as util/fault.h's disarmed fast path). No
+// lock, no clock read, no string work.
 //
 // Determinism contract (enforced by tests/trace_test.cc):
 //   * Observability never feeds back: no algorithmic decision reads the
@@ -28,13 +29,23 @@
 //     so the span tree's shape and order are identical at any --threads;
 //     only the recorded wall times vary run to run. Serializers that need
 //     byte-determinism mask the times (RunReport::to_json(false)).
-//     Code that must run *whole flow jobs* on pool workers (the parallel
-//     design-space explorer) brackets each job in a TraceSpanMuteScope,
-//     which drops spans opened on that thread — counters and values keep
-//     recording — so the process-wide span tree stays deterministic.
+//     Code that must run *whole flow jobs* on pool workers without a
+//     request-scoped collector (the parallel design-space explorer)
+//     brackets each job in a TraceSpanMuteScope, which drops spans opened
+//     on that thread — counters and values keep recording — so the
+//     process-wide span tree stays deterministic.
 //
-// One traced flow run at a time: the collector is process-wide (like the
-// fault injector); run_nanomap brackets the run with a TraceScope.
+// Where a record lands — the collector NM_TRACE_* sites write into:
+//   1. the collector bound to the current thread by the innermost
+//      TraceRequestScope, when one is installed (the flow-as-a-service
+//      request context: each concurrent server job owns a private
+//      TraceCollector, so its counters/spans never mix with a sibling
+//      job's). ThreadPool propagates the submitting thread's binding to
+//      the workers executing its tasks, so a job's inner parallel stages
+//      record into the job's own collector too;
+//   2. otherwise the process-wide Trace::instance() collector, when a
+//      TraceScope window is open (the one-shot CLI and the explorer);
+//   3. otherwise nowhere (the disabled fast path).
 #pragma once
 
 #include <atomic>
@@ -84,34 +95,82 @@ struct TraceSnapshot {
   std::string render() const;
 };
 
-class Trace {
+// One collection window's worth of state: counters, value observations,
+// and the span tree, behind one mutex. The process-wide Trace singleton
+// owns one; the serving layer creates one per request so concurrent jobs
+// collect in isolation (bind it with TraceRequestScope). Every method is
+// safe to call from pool workers.
+class TraceCollector {
  public:
-  // The process-wide collector used by the NM_TRACE_* macros.
-  static Trace& instance();
+  TraceCollector();
+  ~TraceCollector();
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
 
-  // True iff some TraceScope is collecting. Relaxed: the flag only gates
-  // the slow path and scopes bracket whole flow runs.
-  static bool enabled() {
-    return enabled_flag().load(std::memory_order_relaxed);
-  }
+  // Clears all collected data and starts a new epoch, so span ids and
+  // per-thread nesting stacks from the previous window can't write into
+  // the new one. Epochs are process-unique (never reused across
+  // collectors), so a collector allocated at a recycled address cannot
+  // inherit a stale thread's span stack either.
+  void reset();
 
-  // Clears all collected data and starts/stops collection. Prefer
-  // TraceScope over calling these directly.
-  void enable();
-  void disable();
-
-  // Slow paths behind the macros (safe to call from pool workers).
   void count(const char* site, long delta);
   void value(const char* site, double v);
 
-  // Span recording: begin returns an id for end. Nesting is tracked with
-  // a thread-local stack, so a span opened on a worker thread would
-  // parent under that thread's own stack — keep spans in sequential flow
-  // code (see the contract above).
+  // Span recording: begin returns an id for end (-1 when the span was
+  // dropped, e.g. under TraceSpanMuteScope). Nesting is tracked with a
+  // thread-local stack, so a span opened on a worker thread nests under
+  // that thread's own stack — keep spans in sequential flow code (see
+  // the contract above).
   int begin_span(const char* name);
   void end_span(int id);
 
   TraceSnapshot snapshot() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+namespace internal {
+
+// The request-scoped collector bound to this thread by the innermost
+// TraceRequestScope (null when none). Read by the NM_TRACE_* fast path;
+// written only by TraceRequestScope and the ThreadPool task wrappers.
+extern thread_local TraceCollector* tls_request_collector;
+
+}  // namespace internal
+
+class Trace {
+ public:
+  // The process-wide collector used by the NM_TRACE_* macros when no
+  // request-scoped collector is bound to the current thread.
+  static Trace& instance();
+
+  // True iff something is collecting on this thread: a request-scoped
+  // collector is bound, or some TraceScope opened the process-wide
+  // window. Relaxed: the flag only gates the slow path and scopes
+  // bracket whole flow runs.
+  static bool enabled() {
+    return internal::tls_request_collector != nullptr ||
+           enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  // Clears all collected data and starts/stops process-wide collection.
+  // Prefer TraceScope over calling these directly.
+  void enable();
+  void disable();
+
+  // Slow paths behind the macros (safe to call from pool workers). These
+  // always target the process-wide collector; the macros route through
+  // active_trace_collector() instead, so request-scoped jobs stay
+  // isolated.
+  void count(const char* site, long delta) { collector_.count(site, delta); }
+  void value(const char* site, double v) { collector_.value(site, v); }
+  int begin_span(const char* name) { return collector_.begin_span(name); }
+  void end_span(int id) { collector_.end_span(id); }
+
+  TraceSnapshot snapshot() const { return collector_.snapshot(); }
 
   // The canonical site registries (docs/OBSERVABILITY.md mirrors these).
   // tests/trace_test.cc asserts every site a traced flow run hits is
@@ -121,19 +180,61 @@ class Trace {
   static const std::vector<std::string>& known_span_names();
 
  private:
-  struct Impl;
+  friend TraceCollector* active_trace_collector();
 
-  Trace();
-  ~Trace();
+  Trace() = default;
+  ~Trace() = default;
   static std::atomic<bool>& enabled_flag();
 
-  Impl* impl_;
+  TraceCollector collector_;
+};
+
+// The collector an NM_TRACE_* site on this thread records into right
+// now: the bound request collector first, the process-wide one when its
+// window is open, else null (see "Where a record lands" above).
+inline TraceCollector* active_trace_collector() {
+  if (internal::tls_request_collector != nullptr)
+    return internal::tls_request_collector;
+  if (Trace::enabled_flag().load(std::memory_order_relaxed))
+    return &Trace::instance().collector_;
+  return nullptr;
+}
+
+// The request-scoped collector bound to this thread (null when none) —
+// lets the flow tell a request-context run from a process-wide one
+// without touching what the macros record.
+inline TraceCollector* current_request_trace_collector() {
+  return internal::tls_request_collector;
+}
+
+// Binds `collector` as this thread's request-scoped trace collector for
+// the lifetime of the scope: NM_TRACE_* sites on this thread — and on
+// pool workers executing tasks submitted while bound (ThreadPool
+// propagates the binding) — record into it instead of the process-wide
+// collector. The caller owns the collector and must keep it alive for
+// the scope's lifetime (plus any pool tasks submitted under it).
+// Nestable; restores the previous binding on exit.
+class TraceRequestScope {
+ public:
+  explicit TraceRequestScope(TraceCollector* collector)
+      : previous_(internal::tls_request_collector) {
+    internal::tls_request_collector = collector;
+  }
+  ~TraceRequestScope() { internal::tls_request_collector = previous_; }
+  TraceRequestScope(const TraceRequestScope&) = delete;
+  TraceRequestScope& operator=(const TraceRequestScope&) = delete;
+
+ private:
+  TraceCollector* previous_;
 };
 
 // Thread-local span suppression for code that runs whole flow jobs on
-// pool workers (the parallel explorer's candidate runs). While alive on a
-// thread, NM_TRACE_SPAN on that thread records nothing; counters and
-// values are unaffected. Nestable; restores the previous state on exit.
+// pool workers against the *process-wide* collector (the parallel
+// explorer's candidate runs). While alive on a thread, NM_TRACE_SPAN on
+// that thread records nothing; counters and values are unaffected.
+// Request-scoped jobs (TraceRequestScope) don't need this — their spans
+// land in their own collector. Nestable; restores the previous state on
+// exit.
 class TraceSpanMuteScope {
  public:
   TraceSpanMuteScope();
@@ -145,8 +246,9 @@ class TraceSpanMuteScope {
   bool previous_ = false;
 };
 
-// RAII collection window for one flow run. `wanted = false` is a no-op,
-// so run_nanomap constructs one unconditionally from FlowOptions.
+// RAII collection window for one flow run against the process-wide
+// collector. `wanted = false` is a no-op, so run_nanomap constructs one
+// unconditionally from FlowOptions.
 class TraceScope {
  public:
   explicit TraceScope(bool wanted) {
@@ -167,20 +269,23 @@ class TraceScope {
 
 namespace internal {
 
-// RAII helper behind NM_TRACE_SPAN. The enabled check happens once at
-// construction; a span that straddles enable/disable is simply dropped.
+// RAII helper behind NM_TRACE_SPAN. The target collector is resolved once
+// at construction; a span that straddles enable/disable (or a request
+// rebinding) is simply dropped or closed against its original collector.
 class ScopedTraceSpan {
  public:
   explicit ScopedTraceSpan(const char* name) {
-    if (Trace::enabled()) id_ = Trace::instance().begin_span(name);
+    collector_ = active_trace_collector();
+    if (collector_ != nullptr) id_ = collector_->begin_span(name);
   }
   ~ScopedTraceSpan() {
-    if (id_ >= 0) Trace::instance().end_span(id_);
+    if (collector_ != nullptr && id_ >= 0) collector_->end_span(id_);
   }
   ScopedTraceSpan(const ScopedTraceSpan&) = delete;
   ScopedTraceSpan& operator=(const ScopedTraceSpan&) = delete;
 
  private:
+  TraceCollector* collector_ = nullptr;
   int id_ = -1;
 };
 
@@ -198,14 +303,15 @@ class ScopedTraceSpan {
 // Adds `delta` to the monotonic counter `site`.
 #define NM_TRACE_COUNT(site, delta)                                \
   do {                                                             \
-    if (::nanomap::Trace::enabled())                               \
-      ::nanomap::Trace::instance().count(site, delta);             \
+    if (::nanomap::TraceCollector* nm_trace_c =                    \
+            ::nanomap::active_trace_collector())                   \
+      nm_trace_c->count(site, delta);                              \
   } while (0)
 
 // Records one observation of `v` into the value histogram `site`.
 #define NM_TRACE_VALUE(site, v)                                    \
   do {                                                             \
-    if (::nanomap::Trace::enabled())                               \
-      ::nanomap::Trace::instance().value(                          \
-          site, static_cast<double>(v));                           \
+    if (::nanomap::TraceCollector* nm_trace_c =                    \
+            ::nanomap::active_trace_collector())                   \
+      nm_trace_c->value(site, static_cast<double>(v));             \
   } while (0)

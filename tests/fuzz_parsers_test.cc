@@ -9,6 +9,7 @@
 #include "rtl/parser.h"
 #include "rtl/verilog.h"
 #include "rtl/vhdl.h"
+#include "serve/job.h"
 #include "util/rng.h"
 
 namespace nanomap {
@@ -281,6 +282,65 @@ TEST(FuzzParsers, DefectMapHostileInputsRejectCleanly) {
   expect_clean_rejection(rates, "seed=" + huge_digits);
   expect_clean_rejection(rates, "seed");
   expect_clean_rejection(rates, ",,,");
+}
+
+// --- serving job lines ------------------------------------------------------
+//
+// The JSON-lines job parser (serve/job.h) sits directly on untrusted
+// stdin, so it gets the full hostile treatment: token soup over JSON/job
+// vocabulary, truncation at every byte, embedded NULs, and the
+// duplicate/unknown-key strictness the schema promises.
+
+const char kValidJobLine[] =
+    "{\"id\":\"j1\",\"circuit\":\"bench:ex1\",\"objective\":\"delay\","
+    "\"seed\":7,\"level\":2,\"area\":64,\"delay\":12.5,"
+    "\"deadline_ms\":100,\"trace\":true}";
+
+TEST(FuzzParsers, JobLinesSurviveTokenSoup) {
+  expect_no_crash(
+      [](const std::string& t) { return parse_job_line(t, 1); },
+      {"{", "}", "[", "]", ":", ",", "\"", "\\", "\"circuit\"", "\"id\"",
+       "\"seed\"", "\"level\"", "\"area\"", "\"delay\"", "\"objective\"",
+       "\"trace\"", "\"deadline_ms\"", "\"no_share\"", "\"fault\"",
+       "\"arch\"", "\"defects\"", "\"bench:ex1\"", "\"at\"", "\"both\"",
+       "true", "false", "null", "0", "-1", "1.5", "1e300", "42",
+       "999999999999999999999", "\"\\u0041\"", "\"\\n\""},
+      808, 400);
+}
+
+TEST(FuzzParsers, TruncatedJobLinesRejectCleanly) {
+  truncation_sweep(
+      [](const std::string& t) { return parse_job_line(t, 1); },
+      kValidJobLine);
+}
+
+TEST(FuzzParsers, JobLinesWithEmbeddedNulsRejectCleanly) {
+  embedded_nul_sweep(
+      [](const std::string& t) { return parse_job_line(t, 1); },
+      kValidJobLine, 66);
+}
+
+TEST(FuzzParsers, JobLinesEnforceKeyStrictness) {
+  auto parse = [](const std::string& t) { return parse_job_line(t, 1); };
+  // Duplicate keys — same value, different value, and a duplicate id.
+  expect_clean_rejection(parse,
+                         "{\"circuit\":\"a\",\"circuit\":\"a\"}");
+  expect_clean_rejection(parse,
+                         "{\"circuit\":\"a\",\"seed\":1,\"seed\":2}");
+  expect_clean_rejection(parse,
+                         "{\"id\":\"x\",\"id\":\"y\",\"circuit\":\"a\"}");
+  EXPECT_THROW(parse("{\"circuit\":\"a\",\"circuit\":\"a\"}"), InputError);
+  // Unknown keys, including near-misses of real ones.
+  EXPECT_THROW(parse("{\"circuit\":\"a\",\"Circuit\":\"b\"}"), InputError);
+  EXPECT_THROW(parse("{\"circuit\":\"a\",\"sed\":1}"), InputError);
+  EXPECT_THROW(parse("{\"circuit\":\"a\",\"deadline\":1}"), InputError);
+  // Oversized tokens must reject or parse, never crash.
+  const std::string huge(70000, 'x');
+  expect_clean_rejection(parse, "{\"circuit\":\"" + huge + "\"}");
+  expect_clean_rejection(parse, "{\"" + huge + "\":1,\"circuit\":\"a\"}");
+  expect_clean_rejection(parse,
+                         "{\"circuit\":\"a\",\"seed\":" +
+                             std::string(300, '9') + "}");
 }
 
 TEST(FuzzParsers, AcceptedNmapInputsAlwaysValidate) {

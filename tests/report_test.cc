@@ -94,6 +94,60 @@ TEST(Json, WriterAndParserRoundTrip) {
   EXPECT_EQ(field(nested, "x", JsonValue::Kind::kNumber).number, -7.0);
 }
 
+TEST(Json, CompactModeIsOneLineAndParsesIdentically) {
+  auto build = [](bool compact) {
+    JsonWriter w(compact);
+    w.begin_object();
+    w.field("name", "s27");
+    w.key("rows");
+    w.begin_array();
+    w.value(1);
+    w.value(2.5);
+    w.end();
+    w.key("nested");
+    w.begin_object();
+    w.field("ok", true);
+    w.end();
+    w.key("raw");
+    w.raw("{\"x\":7}");  // embed-a-finished-document hook
+    w.end();
+    return w.str();
+  };
+  const std::string compact = build(true);
+  const std::string pretty = build(false);
+
+  // Exactly one line, no trailing newline, no indentation whitespace.
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+  EXPECT_EQ(compact,
+            "{\"name\":\"s27\",\"rows\":[1,2.5],"
+            "\"nested\":{\"ok\":true},\"raw\":{\"x\":7}}");
+  EXPECT_EQ(pretty.back(), '\n');
+
+  // Both dialects parse to the same document.
+  JsonValue a = parse_json(compact);
+  JsonValue b = parse_json(pretty);
+  EXPECT_EQ(field(a, "name", JsonValue::Kind::kString).string,
+            field(b, "name", JsonValue::Kind::kString).string);
+  EXPECT_EQ(field(a, "rows", JsonValue::Kind::kArray).items.size(),
+            field(b, "rows", JsonValue::Kind::kArray).items.size());
+  const JsonValue& raw = field(a, "raw", JsonValue::Kind::kObject);
+  EXPECT_EQ(field(raw, "x", JsonValue::Kind::kNumber).number, 7.0);
+}
+
+TEST(Report, CompactJsonMatchesIndentedJson) {
+  FlowResult r = traced_run();
+  const std::string compact = r.report.to_json(/*include_timings=*/false,
+                                               /*compact=*/true);
+  EXPECT_EQ(compact.find('\n'), std::string::npos);
+  // Same document, byte-normalized through the parser's field order.
+  JsonValue a = parse_json(compact);
+  JsonValue b = parse_json(r.report.to_json(/*include_timings=*/false));
+  ASSERT_TRUE(a.is_object());
+  ASSERT_EQ(a.fields.size(), b.fields.size());
+  for (std::size_t i = 0; i < a.fields.size(); ++i)
+    EXPECT_EQ(a.fields[i].first, b.fields[i].first);
+}
+
 TEST(Json, ParserRejectsMalformedInput) {
   EXPECT_THROW(parse_json(""), InputError);
   EXPECT_THROW(parse_json("{"), InputError);

@@ -70,39 +70,18 @@
 #include "util/fault.h"
 #include "util/trace.h"
 
-#include "circuits/benchmarks.h"
 #include "flow/explore.h"
 #include "flow/nanomap_flow.h"
-#include "map/bench_format.h"
 #include "rtl/blif.h"
-#include "rtl/parser.h"
 #include "arch/arch_file.h"
 #include "arch/defect.h"
 #include "flow/power.h"
 #include "netlist/optimize.h"
-#include "rtl/verilog.h"
-#include "rtl/vhdl.h"
+#include "serve/cache.h"
 
 using namespace nanomap;
 
 namespace {
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-Design load_design(const std::string& input) {
-  if (input.rfind("bench:", 0) == 0) return make_benchmark(input.substr(6));
-  if (ends_with(input, ".nmap")) return parse_nmap_file(input);
-  if (ends_with(input, ".blif")) return parse_blif_file(input);
-  if (ends_with(input, ".bench")) return parse_bench_file(input);
-  if (ends_with(input, ".vhd") || ends_with(input, ".vhdl"))
-    return parse_vhdl_file(input);
-  if (ends_with(input, ".v")) return parse_verilog_file(input);
-  throw InputError("unrecognized input format: " + input +
-                   " (expected .nmap/.blif/.vhd or bench:<name>)");
-}
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
@@ -120,23 +99,14 @@ int usage(const char* argv0) {
 }
 
 // Exit-code taxonomy: the flow returns clean results with a typed error
-// kind instead of throwing, so the code is derived from the result; the
-// catch blocks below only see input/internal errors raised outside
-// run_nanomap (parsing, file IO, option validation).
+// kind instead of throwing, so the code comes from the shared
+// exit_code_for(FlowResult) (flow/nanomap_flow.h) — the same mapping the
+// nanomap-server response lines carry. The catch blocks below only see
+// input/internal errors raised outside run_nanomap (parsing, file IO,
+// option validation).
 constexpr int kExitFeasible = 0;
-constexpr int kExitInfeasible = 1;
 constexpr int kExitInputError = 2;
 constexpr int kExitInternalError = 3;
-
-int exit_code_for(const FlowResult& r) {
-  if (r.feasible) return kExitFeasible;
-  switch (r.error_kind) {
-    case FlowErrorKind::kInput: return kExitInputError;
-    case FlowErrorKind::kInternal:
-    case FlowErrorKind::kResourceExhausted: return kExitInternalError;
-    default: return kExitInfeasible;
-  }
-}
 
 }  // namespace
 
@@ -247,7 +217,7 @@ int main(int argc, char** argv) {
   }
 
   try {
-    Design design = load_design(input);
+    Design design = load_design_spec(input);
     if (do_sweep) {
       SweepResult swept = sweep(design.net);
       if (!quiet && swept.stats.total_removed() > 0)
